@@ -1,0 +1,105 @@
+// Ablation — adaptive loops (§II-D/E) vs eager task creation vs OpenMP-model
+// scheduling, across grain sizes.
+//
+// The paper's argument: performance-portable task code must create many more
+// tasks than cores, whose management is pure overhead; adaptive tasks create
+// work *on demand* instead. Expected shape: pre-split tasking degrades as
+// the grain shrinks (task count explodes) while the adaptive foreach stays
+// flat (splits only happen when a thief arrives).
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "baselines/loop_schedulers.hpp"
+#include "bench/common.hpp"
+#include "core/xkaapi.hpp"
+
+namespace {
+
+// The loop body: a small flop kernel per index.
+inline double body_work(std::int64_t i) {
+  double x = static_cast<double>(i % 97) + 1.0;
+  for (int k = 0; k < 40; ++k) x = x * 1.0001 + 0.5 / x;
+  return x;
+}
+
+}  // namespace
+
+int main() {
+  xkbench::preamble("Ablation (adaptive loops)",
+                    "adaptive foreach vs pre-split tasks vs loop team");
+  const std::int64_t n = xk::env_int("XKREPRO_ABL_N", 1 << 20);
+  const unsigned cores = static_cast<unsigned>(xk::env_int(
+      "XKREPRO_ABL_CORES",
+      static_cast<std::int64_t>(xkbench::core_counts().back())));
+
+  std::vector<double> out(static_cast<std::size_t>(n));
+  auto chunk_body = [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      out[static_cast<std::size_t>(i)] = body_work(i);
+    }
+  };
+
+  const double t_seq = xkbench::time_best([&] { chunk_body(0, n); });
+  std::printf("n=%ld, sequential: %.4fs\n\n", static_cast<long>(n), t_seq);
+
+  xk::Table table(
+      {"strategy", "grain", "tasks/chunks", "time(s)", "speedup"});
+
+  for (std::int64_t grain : {64, 256, 1024, 4096, 16384}) {
+    // 1. Adaptive foreach (tasks created on demand).
+    {
+      xk::Config cfg;
+      cfg.nworkers = cores;
+      xk::Runtime rt(cfg);
+      rt.reset_stats();
+      double t = 0.0;
+      rt.run([&] {
+        t = xkbench::time_best([&] {
+          xk::ForeachOptions opt;
+          opt.grain = grain;
+          xk::parallel_for(0, n, chunk_body, opt);
+        });
+      });
+      table.add_row({"adaptive-foreach", std::to_string(grain),
+                     std::to_string(rt.stats_snapshot().foreach_chunks),
+                     xk::Table::num(t, 4), xk::Table::num(t_seq / t, 2)});
+    }
+    // 2. Pre-split: one spawned task per grain-sized chunk (eager creation —
+    //    what the adaptive model avoids).
+    {
+      xk::Config cfg;
+      cfg.nworkers = cores;
+      xk::Runtime rt(cfg);
+      rt.reset_stats();
+      double t = 0.0;
+      rt.run([&] {
+        t = xkbench::time_best([&] {
+          for (std::int64_t lo = 0; lo < n; lo += grain) {
+            const std::int64_t hi = std::min(n, lo + grain);
+            xk::spawn([&chunk_body, lo, hi] { chunk_body(lo, hi); });
+          }
+          xk::sync();
+        });
+      });
+      table.add_row({"pre-split-tasks", std::to_string(grain),
+                     std::to_string(rt.stats_snapshot().tasks_spawned),
+                     xk::Table::num(t, 4), xk::Table::num(t_seq / t, 2)});
+    }
+    // 3. OpenMP-model dynamic schedule at the same chunk size.
+    {
+      xk::baseline::LoopTeam team(cores);
+      const double t = xkbench::time_best([&] {
+        team.run(0, n, xk::baseline::LoopSchedule::kDynamic, grain,
+                 [&](std::int64_t lo, std::int64_t hi, unsigned) {
+                   chunk_body(lo, hi);
+                 });
+      });
+      table.add_row({"omp-dynamic", std::to_string(grain),
+                     std::to_string((n + grain - 1) / grain),
+                     xk::Table::num(t, 4), xk::Table::num(t_seq / t, 2)});
+    }
+  }
+  table.print_auto(std::cout);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Shared harness pieces for the per-figure benchmark binaries.
+//
+// Conventions:
+//  * every binary runs with no arguments and finishes in seconds on a
+//    laptop-class box; XKREPRO_* environment variables scale runs up to
+//    paper-sized instances;
+//  * XKREPRO_CORES="1,2,4,8" selects the thread counts swept (the paper
+//    uses 1..48 on the 48-core Magny-Cours; counts beyond the visible
+//    cores oversubscribe, which is expected on small machines);
+//  * results print as fixed-width tables (XKREPRO_CSV=1 for CSV).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/cpu.hpp"
+#include "support/env.hpp"
+#include "support/table.hpp"
+#include "support/timing.hpp"
+
+namespace xkbench {
+
+/// Thread counts to sweep: XKREPRO_CORES as a comma list, else {1,2,4,8}
+/// clipped to 2x the visible cores (so default runs stay sane in CI) but
+/// always containing at least {1, hardware}.
+inline std::vector<unsigned> core_counts() {
+  std::vector<unsigned> counts;
+  if (auto env = xk::env_string("XKREPRO_CORES")) {
+    std::string s = *env;
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+      const std::size_t comma = s.find(',', pos);
+      const std::string tok = s.substr(pos, comma - pos);
+      if (!tok.empty()) {
+        counts.push_back(static_cast<unsigned>(std::stoul(tok)));
+      }
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  if (counts.empty()) {
+    const unsigned hw = xk::hardware_cores();
+    for (unsigned c : {1u, 2u, 4u, 8u}) {
+      if (c <= std::max(2 * hw, 8u)) counts.push_back(c);
+    }
+    if (std::find(counts.begin(), counts.end(), hw) == counts.end()) {
+      counts.push_back(hw);
+      std::sort(counts.begin(), counts.end());
+    }
+  }
+  return counts;
+}
+
+/// Repetitions per measurement (paper: averaged over 30 runs; default 3
+/// here — XKREPRO_REPS raises it).
+inline std::size_t reps() {
+  return static_cast<std::size_t>(xk::env_int("XKREPRO_REPS", 3));
+}
+
+/// Best-of-N wall time of `fn` (min over reps; one warmup).
+template <typename Fn>
+double time_best(Fn&& fn, std::size_t n = reps()) {
+  const xk::RunStats stats = xk::time_repeated(fn, n, /*warmups=*/1);
+  return stats.min;
+}
+
+/// Mean-of-N wall time (for noisy long runs).
+template <typename Fn>
+double time_mean(Fn&& fn, std::size_t n = reps()) {
+  const xk::RunStats stats = xk::time_repeated(fn, n, /*warmups=*/1);
+  return stats.mean;
+}
+
+inline void preamble(const char* figure, const char* description) {
+  std::printf("== %s ==\n%s\n", figure, description);
+  std::printf("machine: %u visible core(s); sweep:", xk::hardware_cores());
+  for (unsigned c : core_counts()) std::printf(" %u", c);
+  std::printf(" threads; reps=%zu\n", reps());
+  std::printf(
+      "note: thread counts above the visible cores oversubscribe; the\n"
+      "      reported *shape* (who wins / ratios), not absolute speedup,\n"
+      "      is the reproduction target (see EXPERIMENTS.md).\n\n");
+}
+
+}  // namespace xkbench

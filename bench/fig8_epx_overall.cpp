@@ -1,0 +1,72 @@
+// Figure 8 — EPX end-to-end: time decomposition vs cores, both scenarios.
+//
+// Paper: stacked bars (repera / loopelm / Cholesky / other) for 1..48 cores
+// on MEPPEN and MAXPLANE. The parallel phases shrink with cores while
+// 'other' (~30 %) stays constant — Amdahl's law; on MAXPLANE the Cholesky
+// segment dominates (~60 % sequential share), on MEPPEN the loops do.
+//
+// Here: the full mini-app time loop with every phase instrumented. The
+// parallel configuration uses X-Kaapi for the loops *and* the dataflow
+// factorization; 'other' stays sequential exactly as in EPX.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bench/common.hpp"
+#include "core/xkaapi.hpp"
+#include "epx/simulation.hpp"
+
+namespace {
+
+using namespace xk::epx;
+
+void bench_scenario(const char* name, int scale, int plies, int steps,
+                    xk::Table& table) {
+  auto fresh = [&] {
+    return std::string(name) == "MEPPEN" ? make_meppen(scale)
+                                         : make_maxplane(scale, plies);
+  };
+
+  // Sequential baseline.
+  {
+    Scenario s = fresh();
+    SimOptions opt;
+    const PhaseTimes t = simulate(s, steps, opt);
+    table.add_row({name, "1(seq)", xk::Table::num(t.repera, 3),
+                   xk::Table::num(t.loopelm, 3), xk::Table::num(t.cholesky, 3),
+                   xk::Table::num(t.other, 3), xk::Table::num(t.total(), 3),
+                   std::to_string(t.factorizations)});
+  }
+  for (unsigned cores : xkbench::core_counts()) {
+    if (cores == 1) continue;
+    Scenario s = fresh();
+    xk::Config cfg;
+    cfg.nworkers = cores;
+    xk::Runtime rt(cfg);
+    SimOptions opt;
+    opt.loop = xkaapi_runner();
+    opt.rt = &rt;
+    const PhaseTimes t = simulate(s, steps, opt);
+    table.add_row({name, std::to_string(cores), xk::Table::num(t.repera, 3),
+                   xk::Table::num(t.loopelm, 3), xk::Table::num(t.cholesky, 3),
+                   xk::Table::num(t.other, 3), xk::Table::num(t.total(), 3),
+                   std::to_string(t.factorizations)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  xkbench::preamble("Figure 8",
+                    "EPX overall: per-phase time decomposition vs cores");
+  const int scale = static_cast<int>(xk::env_int("XKREPRO_EPX_SCALE", 2));
+  const int steps = static_cast<int>(xk::env_int("XKREPRO_EPX_STEPS", 30));
+  std::printf("steps per run: %d, mesh scale: x%d\n\n", steps, scale);
+
+  xk::Table table({"instance", "cores", "repera(s)", "loopelm(s)",
+                   "cholesky(s)", "other(s)", "total(s)", "#factor"});
+  bench_scenario("MEPPEN", scale, 0, steps, table);
+  bench_scenario("MAXPLANE", scale, 6, steps, table);
+  table.print_auto(std::cout);
+  return 0;
+}

@@ -1,0 +1,120 @@
+// §III-A microbenchmarks (google-benchmark): the per-task costs behind
+// Figure 1 — the ~10-cycle push (§II-B), full spawn+sync round trips, and
+// the same costs on the baseline runtimes.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "baselines/central_queue.hpp"
+#include "baselines/gomp_pool.hpp"
+#include "baselines/ws_classic.hpp"
+#include "core/xkaapi.hpp"
+
+namespace {
+
+void noop_body() {}
+
+/// Spawn N empty tasks + sync, on one worker (pure creation/execution cost,
+/// no stealing): the paper's task-creation overhead axis.
+void BM_XkSpawnSyncBatch(benchmark::State& state) {
+  xk::Config cfg;
+  cfg.nworkers = 1;
+  cfg.bind_threads = false;
+  xk::Runtime rt(cfg);
+  const auto batch = static_cast<int>(state.range(0));
+  // One section per iteration: the root frame (and its arena) recycles, so
+  // this measures the spawn/dispatch path rather than cold-cache streaming
+  // through an ever-growing frame.
+  for (auto _ : state) {
+    rt.run([&] {
+      for (int i = 0; i < batch; ++i) xk::spawn(noop_body);
+      xk::sync();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_XkSpawnSyncBatch)->Arg(64)->Arg(1024);
+
+/// Dataflow spawn: one access declaration per task.
+void BM_XkSpawnDataflowBatch(benchmark::State& state) {
+  xk::Config cfg;
+  cfg.nworkers = 1;
+  cfg.bind_threads = false;
+  xk::Runtime rt(cfg);
+  const auto batch = static_cast<int>(state.range(0));
+  double slot = 0.0;
+  for (auto _ : state) {
+    rt.run([&] {
+      for (int i = 0; i < batch; ++i) {
+        xk::spawn([](double* d) { *d += 1.0; }, xk::rw(&slot));
+      }
+      xk::sync();
+    });
+  }
+  benchmark::DoNotOptimize(slot);
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_XkSpawnDataflowBatch)->Arg(64)->Arg(1024);
+
+void BM_GompSpawnBatch(benchmark::State& state) {
+  // Throttle off: with it, spawns past 64 degenerate to inline calls and
+  // the "per-task cost" would measure an empty function call.
+  xk::baseline::GompOptions opt;
+  opt.throttle = false;
+  xk::baseline::GompLikePool pool(1, opt);
+  const auto batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    pool.parallel([&] {
+      for (int i = 0; i < batch; ++i) pool.spawn(noop_body);
+      pool.taskwait();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_GompSpawnBatch)->Arg(64)->Arg(1024);
+
+void BM_WsSpawnBatch(benchmark::State& state) {
+  xk::baseline::ClassicWS ws(1);
+  const auto batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ws.parallel([&] {
+      for (int i = 0; i < batch; ++i) ws.spawn(noop_body);
+      ws.taskwait();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_WsSpawnBatch)->Arg(64)->Arg(1024);
+
+void BM_CentralQueueInsertBatch(benchmark::State& state) {
+  const auto batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    xk::baseline::CentralQueueRuntime rt(1);
+    state.ResumeTiming();
+    for (int i = 0; i < batch; ++i) rt.insert(noop_body);
+    rt.barrier();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_CentralQueueInsertBatch)->Arg(64)->Arg(1024);
+
+/// foreach chunk-dispatch overhead on an empty body.
+void BM_XkForeachEmpty(benchmark::State& state) {
+  xk::Config cfg;
+  cfg.nworkers = 2;
+  cfg.bind_threads = false;
+  xk::Runtime rt(cfg);
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  rt.begin();
+  for (auto _ : state) {
+    xk::parallel_for(0, n, [](std::int64_t, std::int64_t) {});
+  }
+  rt.end();
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_XkForeachEmpty)->Arg(1 << 12)->Arg(1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Dataflow pipeline demo: a multi-stage image-like pipeline over row bands
+// where every stage declares read/write regions and the runtime extracts
+// the wavefront parallelism implicitly — the §II-B model on a workload
+// shaped like the paper's motivating "mixed paradigm" codes. Also shows
+// cumulative-write (reduction) accesses and strided regions.
+//
+//   $ ./examples/dataflow_pipeline
+#include <cstdio>
+#include <vector>
+
+#include "core/xkaapi.hpp"
+
+namespace {
+
+constexpr int kRows = 64;
+constexpr int kCols = 4096;
+constexpr int kBand = 8;  // rows per task
+
+double* row(std::vector<double>& img, int r) { return img.data() + r * kCols; }
+
+}  // namespace
+
+int main() {
+  xk::Runtime rt;
+  std::vector<double> img(kRows * kCols, 1.0);
+  std::vector<double> tmp(kRows * kCols, 0.0);
+  double total = 0.0;
+
+  rt.run([&] {
+    for (int r = 0; r < kRows; r += kBand) {
+      const std::size_t band = kBand * kCols;
+      // Stage 1: blur band r of img into tmp (reads the band + halo row).
+      const int halo_lo = r > 0 ? r - 1 : r;
+      const int halo_rows = std::min(kRows, r + kBand + 1) - halo_lo;
+      xk::spawn(
+          [r](const double* in, double* out) {
+            for (int i = 0; i < kBand * kCols; ++i) {
+              out[i] = 0.5 * in[i] + 0.5;
+            }
+            (void)r;
+          },
+          xk::read(row(img, halo_lo), halo_rows * kCols),
+          xk::write(row(tmp, r), band));
+      // Stage 2: sharpen tmp band in place (RAW on stage 1).
+      xk::spawn(
+          [](double* data) {
+            for (int i = 0; i < kBand * kCols; ++i) {
+              data[i] = data[i] * 1.25 - 0.25;
+            }
+          },
+          xk::rw(row(tmp, r), band));
+      // Stage 3: reduce the band into a global sum. CW accesses commute:
+      // all bands' stage-3 tasks are mutually independent; the runtime
+      // serializes only their bodies (per-region guard).
+      xk::spawn(
+          [](const double* data, double* acc) {
+            double s = 0.0;
+            for (int i = 0; i < kBand * kCols; ++i) s += data[i];
+            *acc += s;
+          },
+          xk::read(row(tmp, r), band), xk::cw(&total));
+    }
+    xk::sync();
+  });
+
+  // Every element: 1.0 -> 1.0 (blur: 0.5+0.5) -> 1.0 (sharpen: 1.25-0.25).
+  std::printf("pipeline sum = %.1f (expect %.1f)\n", total,
+              static_cast<double>(kRows) * kCols);
+
+  // Strided access demo: columns of a row-major matrix as one region.
+  rt.run([&] {
+    xk::spawn(
+        [](double* col) {
+          for (int r = 0; r < kRows; ++r) col[r * kCols] = -1.0;
+        },
+        xk::rw_strided(img.data(), 1, kRows, kCols));
+    xk::spawn(
+        [](const double* col, double* out) {
+          double s = 0.0;
+          for (int r = 0; r < kRows; ++r) s += col[r * kCols];
+          *out = s;  // ordered after the column writer by overlap
+        },
+        xk::read_strided(img.data(), 1, kRows, kCols), xk::write(&total));
+    xk::sync();
+  });
+  std::printf("strided column sum = %.1f (expect %.1f)\n", total,
+              -static_cast<double>(kRows));
+  return 0;
+}

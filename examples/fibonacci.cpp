@@ -1,0 +1,64 @@
+// The paper's Figure-1 program: recursive fork-join Fibonacci with one
+// spawned child and one inline call per node, synchronized by xk::sync().
+//
+//   $ ./examples/fibonacci [n]     (default 30)
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/xkaapi.hpp"
+#include "support/timing.hpp"
+
+namespace {
+
+void fibonacci(std::uint64_t* result, int n) {
+  if (n < 2) {
+    *result = static_cast<std::uint64_t>(n);
+    return;
+  }
+  std::uint64_t r1 = 0, r2 = 0;
+  // #pragma kaapi task write(&r1)  -- the paper's annotation form
+  xk::spawn(fibonacci, xk::write(&r1), n - 1);
+  fibonacci(&r2, n - 2);
+  // #pragma kaapi sync
+  xk::sync();
+  *result = r1 + r2;
+}
+
+std::uint64_t fib_seq(int n) {
+  return n < 2 ? static_cast<std::uint64_t>(n)
+               : fib_seq(n - 1) + fib_seq(n - 2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 30;
+
+  xk::Timer t_seq;
+  const std::uint64_t expect = fib_seq(n);
+  const double seq_time = t_seq.seconds();
+
+  xk::Runtime rt;
+  std::uint64_t result = 0;
+  xk::Timer t_par;
+  rt.run([&] {
+    fibonacci(&result, n);
+    xk::sync();
+  });
+  const double par_time = t_par.seconds();
+
+  const auto stats = rt.stats_snapshot();
+  std::printf("fib(%d) = %llu (%s)\n", n,
+              static_cast<unsigned long long>(result),
+              result == expect ? "correct" : "WRONG");
+  std::printf("sequential: %.4fs   parallel (%u workers): %.4fs\n", seq_time,
+              rt.nworkers(), par_time);
+  std::printf("tasks: %llu spawned, %llu executed by thieves (%.1f%%)\n",
+              static_cast<unsigned long long>(stats.tasks_spawned),
+              static_cast<unsigned long long>(stats.tasks_run_thief),
+              stats.tasks_spawned != 0
+                  ? 100.0 * static_cast<double>(stats.tasks_run_thief) /
+                        static_cast<double>(stats.tasks_spawned)
+                  : 0.0);
+  return result == expect ? 0 : 1;
+}

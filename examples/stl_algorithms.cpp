@@ -1,0 +1,60 @@
+// The adaptive STL-like algorithm layer (§II-D / [27]): transform, reduce,
+// prefix sum, find and sort over a realistic text-statistics workload.
+//
+//   $ ./examples/stl_algorithms
+#include <cstdio>
+#include <vector>
+
+#include "algo/algo.hpp"
+#include "support/rng.hpp"
+#include "support/timing.hpp"
+
+int main() {
+  constexpr std::int64_t kN = 1 << 21;
+  xk::Rng rng(7);
+  std::vector<std::int64_t> values(kN);
+  for (auto& v : values) v = static_cast<std::int64_t>(rng.next_below(1000));
+
+  xk::Runtime rt;
+  rt.run([&] {
+    xk::Timer t;
+
+    // transform: squared values.
+    std::vector<std::int64_t> squares(kN);
+    xk::algo::transform(values.data(), squares.data(), kN,
+                        [](std::int64_t v) { return v * v; });
+
+    // reduce: mean of squares.
+    const auto sum_sq = xk::algo::accumulate(squares.data(), kN,
+                                             std::int64_t{0});
+
+    // count_if: multiples of 9.
+    const auto nines = xk::algo::count_if(
+        values.data(), kN, [](std::int64_t v) { return v % 9 == 0; });
+
+    // prefix sum: cumulative histogram offsets.
+    std::vector<std::int64_t> offsets(kN);
+    xk::algo::prefix_sum_exclusive(values.data(), offsets.data(), kN);
+
+    // find_first: first value equal to 999.
+    const auto first999 = xk::algo::find_first(
+        values.data(), kN, [](std::int64_t v) { return v == 999; });
+
+    // sort (fork-join merge sort).
+    auto sorted = values;
+    xk::algo::sort(sorted.data(), kN);
+
+    std::printf("n=%lld  mean-of-squares=%.1f  multiples-of-9=%lld\n",
+                static_cast<long long>(kN),
+                static_cast<double>(sum_sq) / static_cast<double>(kN),
+                static_cast<long long>(nines));
+    std::printf("prefix total=%lld  first 999 at index %lld\n",
+                static_cast<long long>(offsets[kN - 1] + values[kN - 1]),
+                static_cast<long long>(first999));
+    std::printf("sorted: min=%lld max=%lld  (%.3fs total on %u workers)\n",
+                static_cast<long long>(sorted.front()),
+                static_cast<long long>(sorted.back()), t.seconds(),
+                rt.nworkers());
+  });
+  return 0;
+}

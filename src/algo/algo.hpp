@@ -1,0 +1,168 @@
+// STL-like parallel algorithms on top of the adaptive task model — the
+// paper layers "a set of higher parallel algorithms, like those of the STL"
+// over adaptive tasks (§II-D, Traoré et al. [27]). Everything here builds on
+// xk::parallel_for / xk::parallel_reduce / xk::spawn and therefore inherits
+// the on-demand splitting behaviour: no tasks are created until a core goes
+// idle.
+//
+// prefix_sum is the poster child of the paper's §II-D argument: Fich's bound
+// says a log-depth parallel prefix needs >= 4n operations vs n-1 sequential,
+// so creating fine-grain tasks eagerly cannot be work-optimal; the blocked
+// two-pass scheme below does 2n + P·block work and only parallelizes when
+// workers actually show up.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+#include "core/xkaapi.hpp"
+
+namespace xk::algo {
+
+/// Applies `fn(in[i])` into out[i] over [0, n).
+template <typename In, typename Out, typename Fn>
+void transform(const In* in, Out* out, std::int64_t n, Fn fn,
+               ForeachOptions opt = {}) {
+  parallel_for(
+      0, n,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          out[i] = fn(in[i]);
+        }
+      },
+      opt);
+}
+
+/// Calls `fn(v[i])` for each element (order unspecified across chunks).
+template <typename T, typename Fn>
+void for_each(T* data, std::int64_t n, Fn fn, ForeachOptions opt = {}) {
+  parallel_for(
+      0, n,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) fn(data[i]);
+      },
+      opt);
+}
+
+/// Sum-reduction of fn(i) over [0, n) — see also xk::parallel_sum.
+template <typename T, typename In>
+T accumulate(const In* in, std::int64_t n, T init) {
+  return init + parallel_reduce(
+                    0, n, T{},
+                    [&](std::int64_t lo, std::int64_t hi, T& acc) {
+                      for (std::int64_t i = lo; i < hi; ++i) acc += in[i];
+                    },
+                    [](T a, T b) { return a + b; });
+}
+
+/// Number of elements satisfying `pred`.
+template <typename T, typename Pred>
+std::int64_t count_if(const T* in, std::int64_t n, Pred pred) {
+  return parallel_reduce(
+      0, n, std::int64_t{0},
+      [&](std::int64_t lo, std::int64_t hi, std::int64_t& acc) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          if (pred(in[i])) ++acc;
+        }
+      },
+      [](std::int64_t a, std::int64_t b) { return a + b; });
+}
+
+/// Index of the first element satisfying `pred`, or n when none does.
+/// Chunks past an already-found index are skipped (cooperative early exit),
+/// so the scan stays work-efficient even on adversarial inputs.
+template <typename T, typename Pred>
+std::int64_t find_first(const T* in, std::int64_t n, Pred pred) {
+  std::atomic<std::int64_t> best{n};
+  parallel_for(0, n, [&](std::int64_t lo, std::int64_t hi) {
+    if (lo >= best.load(std::memory_order_relaxed)) return;
+    for (std::int64_t i = lo; i < hi; ++i) {
+      if (pred(in[i])) {
+        std::int64_t cur = best.load(std::memory_order_relaxed);
+        while (i < cur &&
+               !best.compare_exchange_weak(cur, i, std::memory_order_relaxed)) {
+        }
+        return;
+      }
+    }
+  });
+  return best.load();
+}
+
+/// Exclusive prefix sum: out[i] = sum of in[0..i). Two-pass blocked scan —
+/// parallel block sums, sequential scan of the (few) block totals, parallel
+/// offset add. ~2n operations versus Fich's 4n lower bound for log-depth
+/// circuits; depth is O(n/P + P).
+template <typename T>
+void prefix_sum_exclusive(const T* in, T* out, std::int64_t n) {
+  if (n <= 0) return;
+  Worker* w = this_worker();
+  const std::int64_t nblocks =
+      w != nullptr ? std::max<std::int64_t>(1, 4 * w->runtime().nworkers())
+                   : 1;
+  const std::int64_t block = (n + nblocks - 1) / nblocks;
+  std::vector<T> sums(static_cast<std::size_t>(nblocks), T{});
+
+  parallel_for(0, nblocks, [&](std::int64_t blo, std::int64_t bhi) {
+    for (std::int64_t b = blo; b < bhi; ++b) {
+      const std::int64_t lo = b * block;
+      const std::int64_t hi = std::min(n, lo + block);
+      T s{};
+      for (std::int64_t i = lo; i < hi; ++i) s += in[i];
+      sums[static_cast<std::size_t>(b)] = s;
+    }
+  });
+  T running{};
+  for (std::int64_t b = 0; b < nblocks; ++b) {
+    const T next = running + sums[static_cast<std::size_t>(b)];
+    sums[static_cast<std::size_t>(b)] = running;
+    running = next;
+  }
+  parallel_for(0, nblocks, [&](std::int64_t blo, std::int64_t bhi) {
+    for (std::int64_t b = blo; b < bhi; ++b) {
+      const std::int64_t lo = b * block;
+      const std::int64_t hi = std::min(n, lo + block);
+      T s = sums[static_cast<std::size_t>(b)];
+      for (std::int64_t i = lo; i < hi; ++i) {
+        out[i] = s;
+        s += in[i];
+      }
+    }
+  });
+}
+
+namespace detail {
+
+template <typename T, typename Cmp>
+void merge_sort_rec(T* data, T* scratch, std::int64_t lo, std::int64_t hi,
+                    Cmp& cmp, int depth) {
+  const std::int64_t n = hi - lo;
+  if (n <= 1024 || depth <= 0) {
+    std::sort(data + lo, data + hi, cmp);
+    return;
+  }
+  const std::int64_t mid = lo + n / 2;
+  spawn([data, scratch, lo, mid, &cmp, depth] {
+    merge_sort_rec(data, scratch, lo, mid, cmp, depth - 1);
+  });
+  merge_sort_rec(data, scratch, mid, hi, cmp, depth - 1);
+  sync();
+  std::merge(data + lo, data + mid, data + mid, data + hi, scratch + lo, cmp);
+  std::copy(scratch + lo, scratch + hi, data + lo);
+}
+
+}  // namespace detail
+
+/// Fork-join parallel merge sort (recursive tasks — the capability the
+/// paper contrasts against flat dataflow runtimes, §V).
+template <typename T, typename Cmp = std::less<T>>
+void sort(T* data, std::int64_t n, Cmp cmp = Cmp{}) {
+  if (n <= 1) return;
+  std::vector<T> scratch(static_cast<std::size_t>(n));
+  detail::merge_sort_rec(data, scratch.data(), 0, n, cmp, 24);
+}
+
+}  // namespace xk::algo

@@ -1,0 +1,112 @@
+#include "baselines/central_queue.hpp"
+
+namespace xk::baseline {
+
+CentralQueueRuntime::CentralQueueRuntime(unsigned nthreads) {
+  threads_.reserve(nthreads);
+  for (unsigned i = 0; i < nthreads; ++i) {
+    threads_.emplace_back(&CentralQueueRuntime::worker_main, this);
+  }
+}
+
+CentralQueueRuntime::~CentralQueueRuntime() {
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  for (TaskNode* t : retired_) delete t;
+  for (TaskNode* t : ready_) delete t;  // destruction without barrier()
+}
+
+void CentralQueueRuntime::insert(Body body, std::vector<CqAccess> accesses) {
+  auto* node = new TaskNode{std::move(body), std::move(accesses), 0, {}, false};
+  {
+    std::lock_guard lock(mu_);
+    // Eager dependency resolution against live uses (QUARK: at insertion).
+    for (const CqAccess& acc : node->accesses) {
+      if (acc.mode == AccessMode::kNone || acc.mode == AccessMode::kScratch) {
+        continue;
+      }
+      for (RegionUse& use : live_uses_) {
+        if (use.task->done) continue;
+        Access before{use.access.region, use.access.mode, 0, kNoArgOffset};
+        Access after{acc.region, acc.mode, 0, kNoArgOffset};
+        if (accesses_conflict(before, after)) {
+          use.task->successors.push_back(node);
+          ++node->npred;
+        }
+      }
+    }
+    for (const CqAccess& acc : node->accesses) {
+      if (acc.mode == AccessMode::kNone || acc.mode == AccessMode::kScratch) {
+        continue;
+      }
+      live_uses_.push_back(RegionUse{node, acc});
+    }
+    ++pending_;
+    if (node->npred == 0) {
+      ready_.push_back(node);
+      work_cv_.notify_one();
+    }
+  }
+}
+
+void CentralQueueRuntime::finish(TaskNode* t) {
+  std::unique_lock lock(mu_);
+  t->done = true;
+  std::size_t woken = 0;
+  for (TaskNode* succ : t->successors) {
+    if (--succ->npred == 0) {
+      ready_.push_back(succ);
+      ++woken;
+    }
+  }
+  // Garbage-collect completed uses occasionally to bound the scan cost the
+  // way QUARK's window does. The node itself must stay alive: live_uses_
+  // entries and predecessors' successor lists still point at it — it is
+  // reclaimed at the barrier, when the whole graph has drained.
+  if (live_uses_.size() > 4096) {
+    std::erase_if(live_uses_, [](const RegionUse& u) { return u.task->done; });
+  }
+  retired_.push_back(t);
+  --pending_;
+  ++executed_;
+  const bool all_done = pending_ == 0;
+  lock.unlock();
+  for (std::size_t i = 0; i < woken; ++i) work_cv_.notify_one();
+  if (all_done) done_cv_.notify_all();
+}
+
+void CentralQueueRuntime::worker_main() {
+  for (;;) {
+    TaskNode* t = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || !ready_.empty(); });
+      if (shutdown_ && ready_.empty()) return;
+      t = ready_.front();
+      ready_.pop_front();
+    }
+    t->body();
+    finish(t);
+  }
+}
+
+void CentralQueueRuntime::barrier() {
+  std::unique_lock lock(mu_);
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+  // Graph drained: reclaim the retired nodes and reset the region history
+  // so the next phase starts fresh.
+  live_uses_.clear();
+  for (TaskNode* t : retired_) delete t;
+  retired_.clear();
+}
+
+std::uint64_t CentralQueueRuntime::executed() const {
+  std::lock_guard lock(mu_);
+  return executed_;
+}
+
+}  // namespace xk::baseline

@@ -1,0 +1,164 @@
+#include "baselines/gomp_pool.hpp"
+
+namespace xk::baseline {
+
+namespace {
+thread_local GompLikePool::TaskRec* g_current = nullptr;
+}  // namespace
+
+GompLikePool::GompLikePool(unsigned nthreads, Options opt) : opt_(opt) {
+  const unsigned extra = nthreads > 0 ? nthreads - 1 : 0;
+  threads_.reserve(extra);
+  for (unsigned i = 0; i < extra; ++i) {
+    threads_.emplace_back(&GompLikePool::worker_main, this);
+  }
+}
+
+GompLikePool::~GompLikePool() {
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  collect_garbage();
+}
+
+void GompLikePool::collect_garbage() {
+  std::vector<TaskRec*> local;
+  {
+    std::lock_guard lock(mu_);
+    local.swap(garbage_);
+  }
+  for (TaskRec* t : local) delete t;
+}
+
+void GompLikePool::run_one(TaskRec* t) {
+  TaskRec* saved = g_current;
+  g_current = t;
+  t->fn();
+  g_current = saved;
+  if (t->parent != nullptr) {
+    t->parent->children.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  pending_.fetch_sub(1, std::memory_order_acq_rel);
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  // Records are kept until the region's barrier: parents still scan their
+  // child lists from taskwait (matching GOMP, which also defers freeing).
+  std::lock_guard lock(mu_);
+  garbage_.push_back(t);
+}
+
+bool GompLikePool::try_run_queued() {
+  TaskRec* t = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    while (!queue_.empty()) {
+      TaskRec* cand = queue_.front();
+      queue_.pop_front();
+      if (!cand->taken.exchange(true, std::memory_order_acq_rel)) {
+        t = cand;
+        break;
+      }
+    }
+  }
+  if (t == nullptr) return false;
+  run_one(t);
+  return true;
+}
+
+bool GompLikePool::try_run_child_of(TaskRec* parent) {
+  TaskRec* t = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    // Scan from the parent's cursor: earlier children are taken or done.
+    while (parent->child_cursor < parent->child_list.size()) {
+      TaskRec* cand = parent->child_list[parent->child_cursor];
+      if (cand->taken.load(std::memory_order_acquire)) {
+        ++parent->child_cursor;
+        continue;
+      }
+      if (!cand->taken.exchange(true, std::memory_order_acq_rel)) {
+        ++parent->child_cursor;
+        t = cand;
+      }
+      break;
+    }
+  }
+  if (t == nullptr) return false;
+  run_one(t);
+  return true;
+}
+
+void GompLikePool::worker_main() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (!queue_.empty() && region_active_.load()) ||
+               epoch_ > seen;
+      });
+      if (shutdown_) return;
+      seen = epoch_;
+    }
+    while (region_active_.load(std::memory_order_acquire)) {
+      if (!try_run_queued()) std::this_thread::yield();
+    }
+  }
+}
+
+void GompLikePool::parallel(const std::function<void()>& master_fn) {
+  TaskRec root;
+  root.fn = nullptr;
+  g_current = &root;
+  region_active_.store(true, std::memory_order_release);
+  {
+    std::lock_guard lock(mu_);
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  master_fn();
+  // Implicit barrier: help until every queued task drained.
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    if (!try_run_queued()) std::this_thread::yield();
+  }
+  region_active_.store(false, std::memory_order_release);
+  g_current = nullptr;
+  collect_garbage();
+}
+
+void GompLikePool::spawn(std::function<void()> fn) {
+  const auto limit = static_cast<std::uint64_t>(opt_.throttle_factor) *
+                     static_cast<std::uint64_t>(nthreads());
+  if (opt_.throttle && pending_.load(std::memory_order_relaxed) >= limit) {
+    fn();  // inline past the throttle (GOMP's task-creation cutoff)
+    return;
+  }
+  auto* t = new TaskRec();
+  t->fn = std::move(fn);
+  t->parent = g_current;
+  if (g_current != nullptr) {
+    g_current->children.fetch_add(1, std::memory_order_acq_rel);
+  }
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(t);
+    if (g_current != nullptr) g_current->child_list.push_back(t);
+  }
+  work_cv_.notify_one();
+}
+
+void GompLikePool::taskwait() {
+  TaskRec* cur = g_current;
+  if (cur == nullptr) return;
+  // GOMP semantics: only *direct children* of the waiting task may execute
+  // here. This is also what bounds the stack: nesting depth follows the
+  // task tree depth instead of the queue length.
+  while (cur->children.load(std::memory_order_acquire) != 0) {
+    if (!try_run_child_of(cur)) std::this_thread::yield();
+  }
+}
+
+}  // namespace xk::baseline

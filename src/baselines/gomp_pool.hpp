@@ -1,0 +1,93 @@
+// GompLikePool — the OpenMP-3.0 task model as shipped by GCC's libGOMP
+// (the paper benchmarks gcc 4.6.2 in §III-A and Fig. 7).
+//
+// Mechanisms modeled:
+//  * one team-wide task queue protected by a single mutex + condvar
+//    (every spawn takes the lock — the cost the paper's Fig. 1 exposes);
+//  * heap allocation of one std::function-based record per task;
+//  * `taskwait` blocks on the *direct* children of the current task and may
+//    execute only those children while waiting (GOMP's rule — it is also
+//    what keeps the worker stack bounded by the task-tree depth);
+//  * the 64×nthreads creation throttle: beyond it, spawn degenerates to an
+//    inline call ("libGOMP implements a threshold heuristic that limits task
+//    creation when the number of tasks is greater than 64 times the number
+//    of threads", §V) — switchable, since it is also the mechanism that
+//    saves GOMP from the worst of Fig. 1.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xk::baseline {
+
+struct GompOptions {
+  bool throttle = true;
+  int throttle_factor = 64;
+};
+
+class GompLikePool {
+ public:
+  using Options = GompOptions;
+
+  explicit GompLikePool(unsigned nthreads, Options opt = Options());
+  ~GompLikePool();
+
+  GompLikePool(const GompLikePool&) = delete;
+  GompLikePool& operator=(const GompLikePool&) = delete;
+
+  /// Runs `master_fn` on the calling thread as the team master (an
+  /// `omp parallel` region with a single master producer). Returns after
+  /// every task completed (implicit barrier).
+  void parallel(const std::function<void()>& master_fn);
+
+  /// `#pragma omp task`: queues fn (or runs it inline past the throttle).
+  /// Must be called from inside parallel().
+  void spawn(std::function<void()> fn);
+
+  /// `#pragma omp taskwait`: waits for the current task's direct children,
+  /// executing queued tasks meanwhile.
+  void taskwait();
+
+  unsigned nthreads() const { return static_cast<unsigned>(threads_.size()) + 1; }
+  std::uint64_t tasks_executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+  /// Task record (public so the implementation's thread_local can name it).
+  struct TaskRec {
+    std::function<void()> fn;
+    TaskRec* parent = nullptr;
+    std::atomic<int> children{0};
+    std::atomic<bool> taken{false};
+    std::vector<TaskRec*> child_list;  // direct children, for taskwait
+    std::size_t child_cursor = 0;      // first possibly-untaken child
+  };
+
+ private:
+  void worker_main();
+  void run_one(TaskRec* t);
+  bool try_run_queued();
+  bool try_run_child_of(TaskRec* parent);
+  void collect_garbage();
+
+  Options opt_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<TaskRec*> queue_;
+  std::vector<TaskRec*> garbage_;  // freed at region end (see run_one)
+  std::atomic<std::uint64_t> pending_{0};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<bool> region_active_{false};
+  bool shutdown_ = false;
+  std::uint64_t epoch_ = 0;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace xk::baseline

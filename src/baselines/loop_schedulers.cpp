@@ -1,0 +1,102 @@
+#include "baselines/loop_schedulers.hpp"
+
+#include <algorithm>
+
+namespace xk::baseline {
+
+LoopTeam::LoopTeam(unsigned nthreads)
+    : nthreads_(nthreads == 0 ? 1 : nthreads), end_barrier_(nthreads_) {
+  threads_.reserve(nthreads_ - 1);
+  for (unsigned i = 1; i < nthreads_; ++i) {
+    threads_.emplace_back(&LoopTeam::member_main, this, i);
+  }
+}
+
+LoopTeam::~LoopTeam() {
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void LoopTeam::execute_share(unsigned index) {
+  const std::int64_t first = desc_.first;
+  const std::int64_t last = desc_.last;
+  const std::int64_t total = last - first;
+  const Body& body = *desc_.body;
+
+  switch (desc_.schedule) {
+    case LoopSchedule::kStatic: {
+      // Contiguous near-equal blocks (OpenMP static without chunk).
+      const std::int64_t base = total / nthreads_;
+      const std::int64_t rem = total % nthreads_;
+      const std::int64_t lo =
+          first + base * index + std::min<std::int64_t>(index, rem);
+      const std::int64_t hi = lo + base + (index < static_cast<unsigned>(rem) ? 1 : 0);
+      if (lo < hi) body(lo, hi, index);
+      break;
+    }
+    case LoopSchedule::kDynamic: {
+      const std::int64_t chunk = std::max<std::int64_t>(1, desc_.chunk);
+      for (;;) {
+        const std::int64_t lo = desc_.next.fetch_add(chunk, std::memory_order_relaxed);
+        if (lo >= last) break;
+        body(lo, std::min(lo + chunk, last), index);
+      }
+      break;
+    }
+    case LoopSchedule::kGuided: {
+      const std::int64_t min_chunk = std::max<std::int64_t>(1, desc_.chunk);
+      for (;;) {
+        std::int64_t lo = desc_.next.load(std::memory_order_relaxed);
+        std::int64_t take;
+        do {
+          if (lo >= last) return;
+          const std::int64_t remaining = last - lo;
+          take = std::max(min_chunk, remaining / (2 * nthreads_));
+          take = std::min(take, remaining);
+        } while (!desc_.next.compare_exchange_weak(lo, lo + take,
+                                                   std::memory_order_relaxed));
+        body(lo, lo + take, index);
+      }
+      break;
+    }
+  }
+}
+
+void LoopTeam::member_main(unsigned index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] { return shutdown_ || epoch_ > seen; });
+      if (shutdown_) return;
+      seen = epoch_;
+    }
+    execute_share(index);
+    end_barrier_.arrive_and_wait();  // the implicit barrier of `omp for`
+  }
+}
+
+void LoopTeam::run(std::int64_t first, std::int64_t last, LoopSchedule schedule,
+                   std::int64_t chunk, const Body& body) {
+  if (last < first) last = first;
+  desc_.first = first;
+  desc_.last = last;
+  desc_.schedule = schedule;
+  desc_.chunk = chunk;
+  desc_.body = &body;
+  desc_.next.store(first, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(mu_);
+    ++epoch_;
+  }
+  cv_.notify_all();
+  execute_share(0);
+  end_barrier_.arrive_and_wait();
+  desc_.body = nullptr;
+}
+
+}  // namespace xk::baseline

@@ -1,0 +1,74 @@
+// OpenMP-style loop schedulers on a persistent thread team — the Fig. 3
+// comparators ("OpenMP /static" and "OpenMP /dynamic", plus guided).
+//
+//  * static : contiguous near-equal blocks, zero scheduling overhead,
+//             no load balancing (GCC's schedule(static));
+//  * dynamic: shared atomic chunk counter, fixed chunk size
+//             (schedule(dynamic, chunk));
+//  * guided : exponentially decreasing chunks, remaining/(2P) floor at
+//             `chunk` (schedule(guided, chunk)).
+//
+// A LoopTeam keeps its threads parked between loops (like an OpenMP parallel
+// region executing consecutive for-loops) and closes every loop with a
+// sense-reversing barrier, the implicit barrier of `omp for`.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/barrier.hpp"
+#include "support/cache.hpp"
+
+namespace xk::baseline {
+
+enum class LoopSchedule { kStatic, kDynamic, kGuided };
+
+class LoopTeam {
+ public:
+  /// Body receives [lo, hi) and the member index.
+  using Body = std::function<void(std::int64_t, std::int64_t, unsigned)>;
+
+  explicit LoopTeam(unsigned nthreads);
+  ~LoopTeam();
+
+  LoopTeam(const LoopTeam&) = delete;
+  LoopTeam& operator=(const LoopTeam&) = delete;
+
+  /// Runs one loop over [first, last); the caller participates as member 0
+  /// and the call returns after the closing barrier.
+  void run(std::int64_t first, std::int64_t last, LoopSchedule schedule,
+           std::int64_t chunk, const Body& body);
+
+  unsigned nthreads() const { return nthreads_; }
+
+ private:
+  struct LoopDesc {
+    std::int64_t first = 0;
+    std::int64_t last = 0;
+    LoopSchedule schedule = LoopSchedule::kStatic;
+    std::int64_t chunk = 1;
+    const Body* body = nullptr;
+    std::atomic<std::int64_t> next{0};  // dynamic/guided cursor
+  };
+
+  void member_main(unsigned index);
+  void execute_share(unsigned index);
+
+  const unsigned nthreads_;
+  LoopDesc desc_;
+  SenseBarrier end_barrier_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t epoch_ = 0;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace xk::baseline

@@ -1,0 +1,198 @@
+#include "baselines/ws_classic.hpp"
+
+namespace xk::baseline {
+
+namespace {
+thread_local void* g_current_task = nullptr;  // TaskRec* of the running task
+thread_local unsigned g_self = 0;             // worker index within the pool
+}  // namespace
+
+ClassicWS::ClassicWS(unsigned nthreads, Options opt)
+    : opt_(opt), deques_(nthreads), pools_(nthreads), rngs_(nthreads) {
+  for (unsigned i = 0; i < nthreads; ++i) {
+    rngs_[i].value = Rng(0x1234567 + i * 977);
+    pools_[i].value = nullptr;
+  }
+  threads_.reserve(nthreads > 0 ? nthreads - 1 : 0);
+  for (unsigned i = 1; i < nthreads; ++i) {
+    threads_.emplace_back(&ClassicWS::worker_main, this, i);
+  }
+}
+
+ClassicWS::~ClassicWS() {
+  {
+    std::lock_guard lock(park_mu_);
+    shutdown_ = true;
+  }
+  park_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  for (auto& pool : pools_) {
+    TaskRec* t = pool.value;
+    while (t != nullptr) {
+      TaskRec* next = t->pool_next;
+      delete t;
+      t = next;
+    }
+  }
+}
+
+ClassicWS::TaskRec* ClassicWS::allocate(unsigned self) {
+  if (opt_.pooled_tasks) {
+    TaskRec*& head = pools_[self].value;
+    if (head != nullptr) {
+      TaskRec* t = head;
+      head = t->pool_next;
+      t->pool_next = nullptr;
+      t->children.store(0, std::memory_order_relaxed);
+      return t;
+    }
+  }
+  return new TaskRec();
+}
+
+void ClassicWS::recycle(TaskRec* t, unsigned self) {
+  if (opt_.pooled_tasks) {
+    t->fn = nullptr;
+    t->parent = nullptr;
+    t->pool_next = pools_[self].value;
+    pools_[self].value = t;
+  } else {
+    delete t;
+  }
+}
+
+void ClassicWS::run_one(TaskRec* t, unsigned self) {
+  void* saved = g_current_task;
+  g_current_task = t;
+  t->fn();
+  g_current_task = saved;
+  // Completion requires the children to have completed too (taskwait inside
+  // the body is the user's responsibility, as in Cilk/TBB; direct-children
+  // accounting here mirrors those runtimes' reference counts).
+  if (t->parent != nullptr) {
+    t->parent->children.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  pending_.fetch_sub(1, std::memory_order_acq_rel);
+  recycle(t, self);
+}
+
+void ClassicWS::spawn(std::function<void()> fn) {
+  const unsigned self = g_self;
+  TaskRec* t = allocate(self);
+  t->fn = std::move(fn);
+  t->parent = static_cast<TaskRec*>(g_current_task);
+  if (t->parent != nullptr) {
+    t->parent->children.fetch_add(1, std::memory_order_acq_rel);
+  }
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  Deque& d = deques_[self].value;
+  {
+    std::lock_guard lock(d.mu);
+    d.q.push_back(t);
+  }
+}
+
+bool ClassicWS::pop_or_steal(unsigned self) {
+  // Own deque: bottom (LIFO, depth-first).
+  {
+    Deque& d = deques_[self].value;
+    TaskRec* t = nullptr;
+    {
+      std::lock_guard lock(d.mu);
+      if (!d.q.empty()) {
+        t = d.q.back();
+        d.q.pop_back();
+      }
+    }
+    if (t != nullptr) {
+      run_one(t, self);
+      return true;
+    }
+  }
+  // Steal: random victim, top (FIFO, oldest).
+  const unsigned n = nthreads();
+  if (n < 2) return false;
+  const auto start = static_cast<unsigned>(rngs_[self]->next_below(n));
+  for (unsigned k = 0; k < n; ++k) {
+    const unsigned v = (start + k) % n;
+    if (v == self) continue;
+    Deque& d = deques_[v].value;
+    TaskRec* t = nullptr;
+    {
+      std::lock_guard lock(d.mu);
+      if (!d.q.empty()) {
+        t = d.q.front();
+        d.q.pop_front();
+      }
+    }
+    if (t != nullptr) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      run_one(t, self);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ClassicWS::worker_main(unsigned index) {
+  g_self = index;
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(park_mu_);
+      park_cv_.wait(lock, [&] { return shutdown_ || epoch_ > seen; });
+      if (shutdown_) return;
+      seen = epoch_;
+    }
+    while (region_active_.load(std::memory_order_acquire)) {
+      if (!pop_or_steal(index)) std::this_thread::yield();
+    }
+  }
+}
+
+void ClassicWS::parallel(const std::function<void()>& root) {
+  g_self = 0;
+  TaskRec root_rec;
+  root_rec.fn = nullptr;
+  g_current_task = &root_rec;
+  region_active_.store(true, std::memory_order_release);
+  {
+    std::lock_guard lock(park_mu_);
+    ++epoch_;
+  }
+  park_cv_.notify_all();
+  root();
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    if (!pop_or_steal(0)) std::this_thread::yield();
+  }
+  region_active_.store(false, std::memory_order_release);
+  g_current_task = nullptr;
+}
+
+void ClassicWS::taskwait() {
+  auto* cur = static_cast<TaskRec*>(g_current_task);
+  if (cur == nullptr) return;
+  const unsigned self = g_self;
+  while (cur->children.load(std::memory_order_acquire) != 0) {
+    // Pop only the own deque (LIFO) while waiting: the bottom task is the
+    // most recently spawned child, so nesting follows the spawn tree.
+    // Stealing from here would stack unrelated subtrees without bound
+    // (Cilk avoids this via continuation stealing; TBB via depth limits).
+    Deque& d = deques_[self].value;
+    TaskRec* t = nullptr;
+    {
+      std::lock_guard lock(d.mu);
+      if (!d.q.empty()) {
+        t = d.q.back();
+        d.q.pop_back();
+      }
+    }
+    if (t != nullptr) {
+      run_one(t, self);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace xk::baseline

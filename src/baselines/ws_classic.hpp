@@ -1,0 +1,93 @@
+// ClassicWS — classic distributed-deque work stealing, the Cilk+/TBB
+// stand-in for Fig. 1 (both are proprietary and unavailable offline).
+//
+// Mechanisms:
+//  * one deque per worker: owner pushes/pops at the bottom (LIFO, depth-
+//    first like Cilk's work-first execution), thieves steal from the top
+//    (oldest, biggest piece of work);
+//  * no request aggregation, no dataflow, no splitters — the comparison
+//    axis the paper uses Cilk+/TBB for;
+//  * `pooled_tasks = true` recycles task records from a per-worker free
+//    list (Cilk-like cheap spawn); `false` heap-allocates each record with
+//    a type-erased std::function (TBB-like heavier spawn). The two settings
+//    bracket the Cilk+/TBB overhead gap of Fig. 1.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/cache.hpp"
+#include "support/rng.hpp"
+
+namespace xk::baseline {
+
+struct WsOptions {
+  bool pooled_tasks = true;  ///< per-worker record recycling (Cilk-like)
+};
+
+class ClassicWS {
+ public:
+  using Options = WsOptions;
+
+  explicit ClassicWS(unsigned nthreads, Options opt = Options());
+  ~ClassicWS();
+
+  ClassicWS(const ClassicWS&) = delete;
+  ClassicWS& operator=(const ClassicWS&) = delete;
+
+  /// Runs `root` on the calling thread as worker 0; returns when the whole
+  /// task tree completed.
+  void parallel(const std::function<void()>& root);
+
+  /// Spawns a child of the current task (callable from task code only).
+  void spawn(std::function<void()> fn);
+
+  /// Waits for the current task's direct children; pops own deque (LIFO)
+  /// first, steals when empty.
+  void taskwait();
+
+  unsigned nthreads() const { return static_cast<unsigned>(deques_.size()); }
+  std::uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+
+ private:
+  struct TaskRec {
+    std::function<void()> fn;
+    TaskRec* parent = nullptr;
+    std::atomic<int> children{0};
+    TaskRec* pool_next = nullptr;
+  };
+
+  struct Deque {
+    std::mutex mu;
+    std::deque<TaskRec*> q;  // bottom = back, top = front
+  };
+
+  void worker_main(unsigned index);
+  void run_one(TaskRec* t, unsigned self);
+  bool pop_or_steal(unsigned self);
+  TaskRec* allocate(unsigned self);
+  void recycle(TaskRec* t, unsigned self);
+
+  Options opt_;
+  std::vector<Padded<Deque>> deques_;
+  std::vector<Padded<TaskRec*>> pools_;  // per-worker free lists
+  std::vector<Padded<Rng>> rngs_;
+  std::atomic<std::uint64_t> pending_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<bool> region_active_{false};
+
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  std::uint64_t epoch_ = 0;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace xk::baseline

@@ -1,0 +1,64 @@
+#include "core/access.hpp"
+
+#include <algorithm>
+
+namespace xk {
+namespace {
+
+/// Overlap between a contiguous interval [lo, hi) and a strided region.
+bool interval_overlaps_strided(std::uintptr_t lo, std::uintptr_t hi,
+                               const MemRegion& s) {
+  if (lo >= hi || s.empty()) return false;
+  if (hi <= s.lo() || lo >= s.hi()) return false;
+  if (s.runs == 1 || s.stride_bytes == 0) return true;  // bounding is exact
+  // Find the run whose start is the last at or before `lo`.
+  const std::uintptr_t rel = lo > s.base ? lo - s.base : 0;
+  std::size_t k = rel / s.stride_bytes;
+  if (k >= s.runs) k = s.runs - 1;
+  // The interval can only intersect run k or run k+1 given hi > lo.
+  for (std::size_t i = k; i < std::min(s.runs, k + 2); ++i) {
+    const std::uintptr_t run_lo = s.base + i * s.stride_bytes;
+    const std::uintptr_t run_hi = run_lo + s.run_bytes;
+    if (lo < run_hi && run_lo < hi) return true;
+  }
+  // Interval may span multiple strides entirely (hi far beyond lo).
+  if (hi - lo >= s.stride_bytes) return true;  // covers at least one full run
+  return false;
+}
+
+}  // namespace
+
+bool regions_overlap(const MemRegion& a, const MemRegion& b) {
+  if (a.empty() || b.empty()) return false;
+  if (a.hi() <= b.lo() || b.hi() <= a.lo()) return false;  // bounding check
+  if (a.runs == 1 && b.runs == 1) return true;             // both contiguous
+  // Iterate the runs of the region with fewer runs, testing each contiguous
+  // run against the other region.
+  const MemRegion& outer = a.runs <= b.runs ? a : b;
+  const MemRegion& inner = a.runs <= b.runs ? b : a;
+  for (std::size_t k = 0; k < outer.runs; ++k) {
+    const std::uintptr_t lo = outer.base + k * outer.stride_bytes;
+    if (interval_overlaps_strided(lo, lo + outer.run_bytes, inner)) return true;
+  }
+  return false;
+}
+
+bool accesses_conflict(const Access& before, const Access& after) {
+  const AccessMode mb = before.mode;
+  const AccessMode ma = after.mode;
+  if (mb == AccessMode::kNone || ma == AccessMode::kNone) return false;
+  if (mb == AccessMode::kScratch || ma == AccessMode::kScratch) return false;
+  if (mb == AccessMode::kRead && ma == AccessMode::kRead) return false;
+  if (mb == AccessMode::kCumulWrite && ma == AccessMode::kCumulWrite)
+    return false;
+  return regions_overlap(before.region, after.region);
+}
+
+bool conflict_is_false_dependency(const Access& before, const Access& after) {
+  // True dependency (RAW): `after` reads what `before` writes.
+  if (mode_writes(before.mode) && mode_reads(after.mode)) return false;
+  // WAR / WAW are false dependencies.
+  return accesses_conflict(before, after);
+}
+
+}  // namespace xk

@@ -1,0 +1,108 @@
+// Access modes and memory regions — the dataflow vocabulary of §II-B.
+//
+// A task declares, per shared argument, *how* it accesses a memory region
+// (read / write / read-write a.k.a. exclusive / cumulative-write a.k.a.
+// reduction / scratch). The runtime never inspects user data; dependencies
+// are computed purely from region overlap plus mode compatibility, and only
+// at steal time (work-first principle, §II-C).
+//
+// Regions are byte-addressed and may be strided (the paper: "multi-
+// dimensional array" shaped sets of addresses): `runs` contiguous segments of
+// `run_bytes` each, separated by `stride_bytes`. runs == 1 describes the
+// common contiguous case.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xk {
+
+enum class AccessMode : std::uint8_t {
+  kNone = 0,   ///< by-value argument, invisible to the scheduler
+  kRead,       ///< task reads the region
+  kWrite,      ///< task overwrites the region (no read of prior value)
+  kReadWrite,  ///< exclusive access (read-modify-write)
+  kCumulWrite, ///< reduction: commutative/associative accumulation
+  kScratch,    ///< task-private temporary, never creates dependencies
+};
+
+/// True when `mode` writes memory visible to successors.
+constexpr bool mode_writes(AccessMode mode) {
+  return mode == AccessMode::kWrite || mode == AccessMode::kReadWrite ||
+         mode == AccessMode::kCumulWrite;
+}
+
+/// True when `mode` reads memory produced by predecessors.
+constexpr bool mode_reads(AccessMode mode) {
+  return mode == AccessMode::kRead || mode == AccessMode::kReadWrite;
+}
+
+/// A strided set of byte addresses: `runs` segments of `run_bytes`, the
+/// start of segment k at `base + k * stride_bytes`.
+struct MemRegion {
+  std::uintptr_t base = 0;
+  std::size_t run_bytes = 0;
+  std::size_t runs = 1;
+  std::size_t stride_bytes = 0;
+
+  static MemRegion contiguous(const void* ptr, std::size_t bytes) {
+    return MemRegion{reinterpret_cast<std::uintptr_t>(ptr), bytes, 1, 0};
+  }
+
+  static MemRegion strided(const void* ptr, std::size_t run_bytes,
+                           std::size_t runs, std::size_t stride_bytes) {
+    return MemRegion{reinterpret_cast<std::uintptr_t>(ptr), run_bytes, runs,
+                     stride_bytes};
+  }
+
+  bool empty() const { return run_bytes == 0 || runs == 0; }
+
+  /// First byte address covered.
+  std::uintptr_t lo() const { return base; }
+
+  /// One past the last byte address covered (bounding interval).
+  std::uintptr_t hi() const {
+    if (empty()) return base;
+    return base + (runs - 1) * stride_bytes + run_bytes;
+  }
+
+  std::size_t total_bytes() const { return run_bytes * runs; }
+};
+
+/// Exact overlap test between two strided regions. O(min(runs_a, runs_b))
+/// worst case; O(1) for the dominant contiguous-vs-contiguous case.
+bool regions_overlap(const MemRegion& a, const MemRegion& b);
+
+/// Sentinel for Access::arg_offset: the access cannot be renamed because the
+/// runtime does not know where the body's pointer lives.
+inline constexpr std::uint32_t kNoArgOffset = 0xffffffffu;
+
+/// One declared access of a task.
+struct Access {
+  MemRegion region;
+  AccessMode mode = AccessMode::kNone;
+  /// Positional index of the argument (diagnostics).
+  std::uint32_t arg_index = 0;
+  /// Byte offset, within the task's argument block, of the pointer the body
+  /// dereferences for this access. Lets the renaming machinery (§II-B)
+  /// retarget a Write access to a runtime buffer. kNoArgOffset disables
+  /// renaming for this access.
+  std::uint32_t arg_offset = kNoArgOffset;
+};
+
+/// Dependency test used by the steal-time readiness scan: does an earlier
+/// task's access `before` order against a later task's access `after`?
+///
+///   R  vs R   -> independent
+///   CW vs CW  -> independent (reductions commute; the runtime serializes
+///                their bodies per-region, see Runtime::cw_guard)
+///   scratch   -> independent of everything
+///   otherwise -> dependent when the regions overlap
+bool accesses_conflict(const Access& before, const Access& after);
+
+/// True when the only reason `after` depends on `before` is a false (WAR or
+/// WAW) dependency, i.e. `after` does not read anything `before` writes.
+/// Such dependencies are breakable by renaming.
+bool conflict_is_false_dependency(const Access& before, const Access& after);
+
+}  // namespace xk

@@ -1,0 +1,102 @@
+#include "core/capi.h"
+
+#include <memory>
+
+#include "core/xkaapi.hpp"
+
+namespace {
+std::unique_ptr<xk::Runtime> g_runtime;
+}  // namespace
+
+extern "C" {
+
+int kaapic_init(int32_t ncpu) {
+  if (g_runtime) return -1;
+  xk::Config cfg = xk::Config::from_env();
+  if (ncpu > 0) cfg.nworkers = static_cast<unsigned>(ncpu);
+  try {
+    g_runtime = std::make_unique<xk::Runtime>(cfg);
+    g_runtime->begin();
+  } catch (...) {
+    g_runtime.reset();
+    return -1;
+  }
+  return 0;
+}
+
+int kaapic_finalize(void) {
+  if (!g_runtime) return -1;
+  try {
+    g_runtime->end();
+    g_runtime.reset();
+  } catch (...) {
+    g_runtime.reset();
+    return -1;
+  }
+  return 0;
+}
+
+int32_t kaapic_get_concurrency(void) {
+  return g_runtime ? static_cast<int32_t>(g_runtime->nworkers()) : 0;
+}
+
+int kaapic_spawn(void (*body)(void*), void* arg) {
+  if (!g_runtime) return -1;
+  xk::spawn([body, arg] { body(arg); });
+  return 0;
+}
+
+int kaapic_spawn_1(void (*body)(void*), void* ptr, uint64_t bytes,
+                   kaapic_mode_t mode) {
+  if (!g_runtime) return -1;
+  auto* p = static_cast<char*>(ptr);
+  const auto n = static_cast<std::size_t>(bytes);
+  switch (mode) {
+    case KAAPIC_MODE_R:
+      xk::spawn([body](const char* q) { body(const_cast<char*>(q)); },
+                xk::read(p, n));
+      break;
+    case KAAPIC_MODE_W:
+      xk::spawn([body](char* q) { body(q); }, xk::write(p, n));
+      break;
+    case KAAPIC_MODE_RW:
+      xk::spawn([body](char* q) { body(q); }, xk::rw(p, n));
+      break;
+    case KAAPIC_MODE_CW:
+      xk::spawn([body](char* q) { body(q); }, xk::cw(p, n));
+      break;
+    case KAAPIC_MODE_V:
+    default:
+      xk::spawn([body, ptr] { body(ptr); });
+      break;
+  }
+  return 0;
+}
+
+int kaapic_sync(void) {
+  if (!g_runtime) return -1;
+  try {
+    xk::sync();
+  } catch (...) {
+    return -1;
+  }
+  return 0;
+}
+
+int kaapic_foreach(int64_t first, int64_t last, void* arg,
+                   void (*body)(int64_t lo, int64_t hi, int32_t tid,
+                                void* arg)) {
+  if (!g_runtime) return -1;
+  try {
+    xk::parallel_for(first, last,
+                     [body, arg](std::int64_t lo, std::int64_t hi,
+                                 unsigned wid) {
+                       body(lo, hi, static_cast<int32_t>(wid), arg);
+                     });
+  } catch (...) {
+    return -1;
+  }
+  return 0;
+}
+
+}  // extern "C"

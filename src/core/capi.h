@@ -1,0 +1,54 @@
+// kaapic-flavor C API — a thin veneer over the C++ runtime mirroring the
+// paper's C interface (RT-0417: kaapic_init/kaapic_finalize/kaapic_spawn/
+// kaapic_foreach/kaapic_sync). The ROSE-based source-to-source compiler of
+// the original stack lowered `#pragma kaapi` annotations to exactly these
+// entry points; this reproduction keeps the C++ API primary and provides
+// this header for API-compatibility flavor and for C callers.
+#pragma once
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/// Access modes for kaapic_spawn arguments (paper §II-B).
+typedef enum {
+  KAAPIC_MODE_V = 0,  /* by value */
+  KAAPIC_MODE_R = 1,  /* read */
+  KAAPIC_MODE_W = 2,  /* write */
+  KAAPIC_MODE_RW = 3, /* exclusive */
+  KAAPIC_MODE_CW = 4, /* cumulative write */
+} kaapic_mode_t;
+
+/// Starts the runtime with `ncpu` workers (0 = one per core) and opens the
+/// implicit parallel section. Returns 0 on success.
+int kaapic_init(int32_t ncpu);
+
+/// Drains outstanding tasks and stops the runtime. Returns 0 on success.
+int kaapic_finalize(void);
+
+/// Number of workers of the live runtime (0 when not initialized).
+int32_t kaapic_get_concurrency(void);
+
+/// Spawns `body(arg)` as an independent task.
+int kaapic_spawn(void (*body)(void*), void* arg);
+
+/// Spawns `body(ptr)` as a dataflow task with one declared access of
+/// `bytes` bytes at `ptr` in the given mode.
+int kaapic_spawn_1(void (*body)(void*), void* ptr, uint64_t bytes,
+                   kaapic_mode_t mode);
+
+/// Waits for all tasks spawned so far by this thread (paper: implicit or
+/// `#pragma kaapi sync`).
+int kaapic_sync(void);
+
+/// Parallel loop over [first, last): `body(lo, hi, tid, arg)` per chunk —
+/// the paper's kaapic_foreach (§II-E).
+int kaapic_foreach(int64_t first, int64_t last, void* arg,
+                   void (*body)(int64_t lo, int64_t hi, int32_t tid,
+                                void* arg));
+
+#ifdef __cplusplus
+}
+#endif

@@ -1,0 +1,50 @@
+// Runtime configuration knobs.
+//
+// Every mechanism the paper describes as an optimization (steal-request
+// aggregation §II-C, the ready-list accelerating structure §II-C, renaming
+// §II-B) is individually switchable so the ablation benches can isolate its
+// contribution, and so tests can exercise each code path.
+#pragma once
+
+#include <cstddef>
+
+#include "support/cpu.hpp"
+
+namespace xk {
+
+struct Config {
+  /// Worker thread count (the paper: one thread per core by default).
+  unsigned nworkers = 0;  // 0 => default_worker_count()
+
+  /// Bind worker i to core i (mod cores); the paper binds via affinity mask.
+  bool bind_threads = true;
+
+  /// Steal-request aggregation: one elected thief (the combiner) replies to
+  /// all pending requests in a single victim traversal (§II-C). When off,
+  /// a combiner serves only its own request — classic work stealing.
+  bool steal_aggregation = true;
+
+  /// Attach the ready-list accelerating structure to a frame once a steal
+  /// traversal has scanned this many tasks without serving all requests.
+  /// 0 disables the ready list entirely.
+  std::size_t ready_list_threshold = 256;
+
+  /// Break WAR/WAW dependencies by renaming (redirecting a writer task to a
+  /// runtime-owned buffer, committed in program order). Costs one copy per
+  /// renamed region, exactly as the paper states.
+  bool renaming = false;
+
+  /// Failed steal attempts before the idle loop starts yielding the CPU.
+  /// Low values keep oversubscribed (threads > cores) runs healthy.
+  int steal_backoff = 16;
+
+  /// Builds a config from XK_* environment variables layered over defaults.
+  static Config from_env();
+
+  /// Resolved worker count (never 0).
+  unsigned workers() const {
+    return nworkers != 0 ? nworkers : default_worker_count();
+  }
+};
+
+}  // namespace xk

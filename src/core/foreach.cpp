@@ -1,0 +1,226 @@
+#include "core/foreach.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace xk::detail {
+
+int WorkInterval::split_tail(
+    int parts, std::int64_t min_keep,
+    std::vector<std::pair<std::int64_t, std::int64_t>>& out) {
+  lk.lock();
+  const std::int64_t r = e - b;
+  if (r <= min_keep || parts < 2) {
+    lk.unlock();
+    return 0;
+  }
+  const auto pieces =
+      static_cast<int>(std::min<std::int64_t>(parts, r));  // each >= 1
+  const std::int64_t q = r / pieces;
+  const std::int64_t rem = r % pieces;
+  // The owner keeps the first piece: [b, b + q + (rem ? 1 : 0)).
+  std::int64_t cut = b + q + (rem > 0 ? 1 : 0);
+  const std::int64_t old_e = e;
+  e = cut;
+  lk.unlock();
+  // The carved tail [cut, old_e) is now exclusively ours; partition it.
+  int emitted = 0;
+  for (int p = 1; p < pieces; ++p) {
+    const std::int64_t len = q + (p < rem ? 1 : 0);
+    if (len <= 0) break;
+    out.emplace_back(cut, cut + len);
+    cut += len;
+    ++emitted;
+  }
+  // Rounding slack (if any) goes to the last piece.
+  if (emitted > 0 && cut < old_e) out.back().second = old_e;
+  return emitted;
+}
+
+void ForeachShared::record_error(std::exception_ptr e) {
+  {
+    std::lock_guard lock(exc_mu);
+    if (!exc) exc = e;
+  }
+  error.store(true, std::memory_order_release);
+}
+
+namespace {
+
+/// Claims an unclaimed reserved slice into `w.interval`. Returns false when
+/// all slices are claimed.
+bool claim_reserved_slice(ForeachShared& sh, ForeachWork& w) {
+  for (auto& padded : sh.slices) {
+    ForeachShared::Slice& s = padded.value;
+    if (s.taken.load(std::memory_order_relaxed)) continue;
+    if (!s.taken.exchange(true, std::memory_order_acq_rel)) {
+      w.interval.lk.lock();
+      w.interval.b = s.b;
+      w.interval.e = s.e;
+      w.interval.lk.unlock();
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Splitter-produced piece: owns a shared ref, runs the work loop, then
+/// retires. Move-only so the single live instance releases exactly once.
+struct PieceFn {
+  ForeachWork work;
+
+  explicit PieceFn(ForeachShared* sh, std::int64_t b, std::int64_t e) {
+    work.shared = sh;
+    work.interval.b = b;
+    work.interval.e = e;
+  }
+  PieceFn(PieceFn&& o) noexcept {
+    work.shared = o.work.shared;
+    o.work.shared = nullptr;
+    o.work.interval.lk.lock();  // no real contention: o not yet published
+    work.interval.b = o.work.interval.b;
+    work.interval.e = o.work.interval.e;
+    o.work.interval.lk.unlock();
+  }
+  PieceFn(const PieceFn&) = delete;
+  PieceFn& operator=(const PieceFn&) = delete;
+  PieceFn& operator=(PieceFn&&) = delete;
+  ~PieceFn() {
+    if (work.shared != nullptr) work.shared->release();
+  }
+
+  void operator()(Worker& wk) {
+    ForeachShared& sh = *work.shared;
+    foreach_run(work, wk);
+    sh.outstanding.fetch_sub(1, std::memory_order_acq_rel);
+  }
+};
+
+/// Creates one splitter reply covering [b, e). The new task is itself
+/// adaptive (recursively splittable). Callers check sc.size() > 0 right
+/// before each call and the SplitContext is consumed by this thread only,
+/// so the reply slot is guaranteed; losing iterations here would be silent
+/// data corruption, hence the hard stop.
+void reply_piece(SplitContext& sc, ForeachShared& sh, std::int64_t b,
+                 std::int64_t e) {
+  sh.add_ref();
+  sh.outstanding.fetch_add(1, std::memory_order_acq_rel);
+  Task* t = make_heap_task(PieceFn(&sh, b, e));
+  auto* fn = static_cast<PieceFn*>(t->args);
+  arm_splitter(*t, &foreach_splitter, &fn->work);
+  if (!sc.reply_raw(t)) std::abort();
+}
+
+}  // namespace
+
+void foreach_run(ForeachWork& w, Worker& self) {
+  ForeachShared& sh = *w.shared;
+  const unsigned wid = self.id();
+  for (;;) {
+    if (sh.error.load(std::memory_order_acquire)) break;
+    std::int64_t lo = 0;
+    const std::int64_t n = w.interval.pop_front(sh.grain, &lo);
+    if (n > 0) {
+      try {
+        sh.invoke(sh.ctx, lo, lo + n, wid);
+      } catch (...) {
+        sh.record_error(std::current_exception());
+        break;
+      }
+      sh.done.fetch_add(n, std::memory_order_acq_rel);
+      self.stats().foreach_chunks++;
+      continue;
+    }
+    if (!claim_reserved_slice(sh, w)) break;
+  }
+}
+
+void foreach_splitter(void* state, SplitContext& sc) {
+  auto* w = static_cast<ForeachWork*>(state);
+  ForeachShared& sh = *w->shared;
+  if (sh.error.load(std::memory_order_acquire)) return;
+
+  // 1. Hand out reserved slices first (§II-E: "it grabs the reserved slice
+  //    if available").
+  while (sc.size() > 0) {
+    bool got = false;
+    for (auto& padded : sh.slices) {
+      ForeachShared::Slice& s = padded.value;
+      if (s.taken.load(std::memory_order_relaxed)) continue;
+      if (!s.taken.exchange(true, std::memory_order_acq_rel)) {
+        reply_piece(sc, sh, s.b, s.e);
+        got = true;
+        break;
+      }
+    }
+    if (!got) break;
+  }
+
+  // 2. Split this task's live interval into k+1 equal parts, one kept by
+  //    the victim (§II-E aggregation-aware split).
+  const auto k = static_cast<int>(sc.size());
+  if (k > 0) {
+    std::vector<std::pair<std::int64_t, std::int64_t>> parts;
+    parts.reserve(static_cast<std::size_t>(k));
+    w->interval.split_tail(k + 1, sh.grain, parts);
+    for (const auto& [b, e] : parts) reply_piece(sc, sh, b, e);
+  }
+}
+
+void foreach_execute(ForeachShared& sh, std::int64_t first, std::int64_t last) {
+  Worker& w = *this_worker();
+  const unsigned nw = w.runtime().nworkers();
+
+  // Drain pending siblings first: the loop must not run concurrently with
+  // program-order predecessors (OpenMP-like region semantics).
+  sync();
+
+  // Reserved slices: near-equal partition of [first, last), one per worker.
+  sh.slices = std::vector<Padded<ForeachShared::Slice>>(nw);
+  const std::int64_t total = last - first;
+  std::int64_t pos = first;
+  for (unsigned i = 0; i < nw; ++i) {
+    const std::int64_t len =
+        total / nw + (static_cast<std::int64_t>(i) < total % nw ? 1 : 0);
+    sh.slices[i]->b = pos;
+    sh.slices[i]->e = pos + len;
+    pos += len;
+  }
+
+  // Root work: claims slice 0 up front.
+  ForeachWork root;
+  root.shared = &sh;
+  sh.slices[0]->taken.store(true, std::memory_order_relaxed);
+  root.interval.b = sh.slices[0]->b;
+  root.interval.e = sh.slices[0]->e;
+  sh.outstanding.store(1, std::memory_order_relaxed);
+
+  // Publish the adaptive root task in the current frame and run it through
+  // the normal FIFO path (sync claims it; if a thief wins the claim race the
+  // sync suspends and helps, §II-B).
+  auto* t = new (w.frame_alloc(sizeof(Task), alignof(Task))) Task();
+  t->body = [](void* a, Worker& self) {
+    auto* rw = static_cast<ForeachWork*>(a);
+    foreach_run(*rw, self);
+    rw->shared->outstanding.fetch_sub(1, std::memory_order_acq_rel);
+  };
+  t->args = &root;
+  arm_splitter(*t, &foreach_splitter, &root);
+  w.push_task(t);
+  sync();
+
+  // The root's slice is done; other pieces may still run. Help until the
+  // whole interval completed (§II-E completion).
+  w.steal_until([&] { return sh.finished(); });
+
+  // An in-flight combiner may still hold pointers into `root` (it read the
+  // task before it terminated); the steal mutex is held for the whole round,
+  // so one lock/unlock flushes it before `root` leaves scope.
+  w.scan_barrier();
+
+  std::exception_ptr exc = sh.exc;  // safe: all writers retired
+  sh.release();
+  if (exc) std::rethrow_exception(exc);
+}
+
+}  // namespace xk::detail

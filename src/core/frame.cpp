@@ -1,0 +1,39 @@
+#include "core/frame.hpp"
+
+#include "core/readylist.hpp"
+
+namespace xk {
+
+Frame::~Frame() {
+  delete_heap_tasks();
+  delete ready_list.load(std::memory_order_relaxed);
+}
+
+void Frame::delete_heap_tasks() {
+  if (!has_heap_tasks_) return;
+  const std::uint32_t n = ntasks_.load(std::memory_order_relaxed);
+  Iterator it(*this);
+  for (std::uint32_t i = 0; i < n; ++i, it.advance()) {
+    Task* t = it.get();
+    if (t->heap_owned && t->heap_deleter != nullptr) {
+      t->heap_deleter(t->heap_box);
+    }
+  }
+  has_heap_tasks_ = false;
+}
+
+void Frame::reset() {
+  delete_heap_tasks();
+  delete ready_list.load(std::memory_order_relaxed);
+  ready_list.store(nullptr, std::memory_order_relaxed);
+  head_.next.store(nullptr, std::memory_order_relaxed);
+  tail_ = &head_;
+  ntasks_.store(0, std::memory_order_relaxed);
+  scan_hint_.store(0, std::memory_order_relaxed);
+  exec_chunk_ = &head_;
+  exec_index_ = 0;
+  exec_slot_ = 0;
+  arena.reset();
+}
+
+}  // namespace xk

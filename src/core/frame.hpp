@@ -1,0 +1,156 @@
+// Frame: the per-task workqueue of §II-B.
+//
+// "A thread that performs a task may create child tasks and pushes them in
+// its own workqueue. The workqueue is represented as a stack. The enqueue
+// operation is very fast, typically about ten cycles." Each running task gets
+// a frame; spawned children are appended; when the body returns (or at an
+// explicit sync) the owner executes them in FIFO order.
+//
+// Concurrency contract:
+//  * Only the owner appends tasks and advances the exec cursor.
+//  * Thieves (the elected combiner, holding the worker's steal mutex) read
+//    `size()` with acquire and then read published descriptors.
+//  * The frame is reset only after every task reached Term and no scanner is
+//    active (Worker::pop_frame implements the Dekker-style handshake).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/arena.hpp"
+#include "core/task.hpp"
+
+namespace xk {
+
+class ReadyList;
+
+class Frame {
+ public:
+  static constexpr std::uint32_t kChunkTasks = 128;
+
+  struct Chunk {
+    Task* tasks[kChunkTasks];
+    std::atomic<Chunk*> next{nullptr};
+  };
+
+  Frame() = default;
+  ~Frame();
+
+  Frame(const Frame&) = delete;
+  Frame& operator=(const Frame&) = delete;
+
+  /// Owner-only: appends a published descriptor. The release store on the
+  /// size counter is the publication point for the descriptor's contents.
+  void push_task(Task* t) {
+    const std::uint32_t n = ntasks_.load(std::memory_order_relaxed);
+    const std::uint32_t slot = n % kChunkTasks;
+    if (slot == 0 && n != 0) {
+      Chunk* fresh = arena.allocate_array<Chunk>(1);
+      new (fresh) Chunk();
+      tail_->next.store(fresh, std::memory_order_release);
+      tail_ = fresh;
+    }
+    tail_->tasks[slot] = t;
+    ntasks_.store(n + 1, std::memory_order_release);
+    if (t->heap_owned) has_heap_tasks_ = true;
+  }
+
+  std::uint32_t size_acquire() const {
+    return ntasks_.load(std::memory_order_acquire);
+  }
+  std::uint32_t size_relaxed() const {
+    return ntasks_.load(std::memory_order_relaxed);
+  }
+
+  /// Sequential reader over published descriptors; valid for indexes below a
+  /// previously loaded size_acquire().
+  class Iterator {
+   public:
+    explicit Iterator(const Frame& f)
+        : chunk_(&f.head_), index_(0), slot_(0) {}
+
+    Task* get() const { return chunk_->tasks[slot_]; }
+    std::uint32_t index() const { return index_; }
+
+    void advance() {
+      ++index_;
+      if (++slot_ == kChunkTasks) {
+        slot_ = 0;
+        chunk_ = chunk_->next.load(std::memory_order_acquire);
+      }
+    }
+
+    /// Moves forward to `target` (must be >= current index).
+    void seek(std::uint32_t target) {
+      while (index_ < target) advance();
+    }
+
+   private:
+    const Chunk* chunk_;
+    std::uint32_t index_;
+    std::uint32_t slot_;
+  };
+
+  /// Owner-only random access (used on the FIFO execution path).
+  Task* task_at(std::uint32_t i) {
+    Iterator it(*this);
+    it.seek(i);
+    return it.get();
+  }
+
+  /// Lower bound for "first possibly non-Term index"; monotonically raised
+  /// by scanners so repeat scans skip the drained prefix.
+  std::uint32_t scan_hint() const {
+    return scan_hint_.load(std::memory_order_relaxed);
+  }
+  void raise_scan_hint(std::uint32_t v) {
+    std::uint32_t cur = scan_hint_.load(std::memory_order_relaxed);
+    while (cur < v && !scan_hint_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Owner-only: recycles arena + counters. Precondition: all tasks Term and
+  /// no active scanner (enforced by Worker::pop_frame).
+  void reset();
+
+  /// Ready-list accelerating structure (§II-C); attached by a combiner under
+  /// the steal mutex, consulted by the Term path with a single acquire load.
+  std::atomic<ReadyList*> ready_list{nullptr};
+
+  // Owner-private FIFO dispatch cursor. Kept as a (chunk, slot) position so
+  // repeated syncs on a long-lived frame (e.g. a QUARK master inserting
+  // across many barriers) dispatch in O(1) instead of re-walking the chunk
+  // list from the head. The hop to the next chunk is deferred until the
+  // next access: at a boundary the successor chunk may not exist yet (it is
+  // allocated by the push that needs it).
+  std::uint32_t exec_cursor() const { return exec_index_; }
+  Task* exec_current() {
+    if (exec_slot_ == kChunkTasks) {
+      exec_chunk_ = exec_chunk_->next.load(std::memory_order_acquire);
+      exec_slot_ = 0;
+    }
+    return exec_chunk_->tasks[exec_slot_];
+  }
+  void exec_advance() {
+    ++exec_index_;
+    ++exec_slot_;  // may park at kChunkTasks until exec_current() hops
+  }
+
+  /// Arena holding descriptors, argument blocks and chunk storage.
+  Arena arena;
+
+ private:
+  Chunk head_;
+  Chunk* tail_ = &head_;
+  Chunk* exec_chunk_ = &head_;
+  std::uint32_t exec_index_ = 0;
+  std::uint32_t exec_slot_ = 0;
+  std::atomic<std::uint32_t> ntasks_{0};
+  std::atomic<std::uint32_t> scan_hint_{0};
+  bool has_heap_tasks_ = false;
+
+  void delete_heap_tasks();
+};
+
+}  // namespace xk

@@ -1,0 +1,147 @@
+#include "core/readylist.hpp"
+
+#include <algorithm>
+
+namespace xk {
+
+void ReadyList::extend() {
+  // Cap the per-round coverage growth: extend() runs inside the victim's
+  // scanning window, and the frame owner's pop_frame waits that window out —
+  // covering a 100k-task frame in one go would stall the owner for the whole
+  // build. Remaining tasks are covered by subsequent combiner rounds.
+  constexpr std::uint32_t kMaxPerRound = 2048;
+  std::lock_guard lock(mu_);
+  const std::uint32_t published = frame_.size_acquire();
+  if (covered_count_ >= published) return;
+  Frame::Iterator it(frame_);
+  it.seek(covered_count_);
+  std::uint32_t added = 0;
+  while (covered_count_ < published && added < kMaxPerRound) {
+    add_node_locked(it.get());
+    it.advance();
+    ++covered_count_;
+    ++added;
+  }
+}
+
+void ReadyList::add_node_locked(Task* t) {
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{t, 0, false, {}});
+  live_refs_.emplace_back();
+  index_.emplace(t, id);
+  Node& node = nodes_.back();
+
+  // A task that already completed before coverage: record and move on.
+  const TaskState s = t->load_state();
+  const bool already_done =
+      s == TaskState::kTerm || early_completions_.count(t) != 0;
+  if (already_done) {
+    node.completed = true;
+    early_completions_.erase(t);
+    return;
+  }
+
+  // Count conflicts against live (non-completed) predecessors' accesses.
+  for (std::uint32_t a = 0; a < t->naccesses; ++a) {
+    const Access& acc = t->accesses[a];
+    if (acc.mode == AccessMode::kNone || acc.mode == AccessMode::kScratch)
+      continue;
+    const std::uintptr_t lo = acc.region.lo();
+    const std::uintptr_t hi = acc.region.hi();
+    // Candidate predecessors: entries whose interval start is in
+    // [lo - max_span_, hi). Anything starting earlier cannot reach lo.
+    const std::uintptr_t from = lo > max_span_ ? lo - max_span_ : 0;
+    for (auto itv = live_.lower_bound(from);
+         itv != live_.end() && itv->first < hi; ++itv) {
+      const ChainEntry& e = itv->second;
+      if (e.node == id) continue;
+      if (!accesses_conflict(*e.acc, acc)) continue;
+      Node& pred = nodes_[e.node];
+      if (pred.completed) continue;
+      pred.successors.push_back(id);
+      ++node.npred;
+    }
+  }
+
+  // Publish this task's own accesses as live entries for later tasks.
+  for (std::uint32_t a = 0; a < t->naccesses; ++a) {
+    const Access& acc = t->accesses[a];
+    if (acc.mode == AccessMode::kNone || acc.mode == AccessMode::kScratch)
+      continue;
+    const std::uintptr_t lo = acc.region.lo();
+    const std::uintptr_t span = acc.region.hi() - lo;
+    max_span_ = std::max(max_span_, span);
+    auto itv = live_.emplace(lo, ChainEntry{id, &acc});
+    live_refs_[id].push_back(itv);
+  }
+
+  if (node.npred == 0 && t->load_state() == TaskState::kInit) {
+    ready_.push_back(id);
+  }
+}
+
+void ReadyList::on_complete(Task* t) {
+  std::lock_guard lock(mu_);
+  auto found = index_.find(t);
+  if (found == index_.end()) {
+    early_completions_.emplace(t, true);
+    return;
+  }
+  complete_node_locked(found->second);
+}
+
+void ReadyList::complete_node_locked(std::uint32_t id) {
+  Node& node = nodes_[id];
+  if (node.completed) return;
+  node.completed = true;
+  for (auto itv : live_refs_[id]) live_.erase(itv);
+  live_refs_[id].clear();
+  for (std::uint32_t succ : node.successors) {
+    Node& s = nodes_[succ];
+    if (s.npred > 0 && --s.npred == 0 && !s.completed) {
+      ready_.push_back(succ);
+    }
+  }
+  node.successors.clear();
+}
+
+Task* ReadyList::pop_ready_claimed() {
+  std::lock_guard lock(mu_);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    while (!ready_.empty()) {
+      const std::uint32_t id = ready_.front();
+      ready_.pop_front();
+      Task* t = nodes_[id].task;
+      if (t->try_claim(TaskState::kStolenClaim)) return t;
+      // Claimed elsewhere (victim FIFO or a previous pop); skip.
+    }
+    if (attempt == 1 || nodes_.empty()) break;
+    // Catch-up sweep: a task that was already claimed when its node was
+    // added may have terminated before it could observe this list (its
+    // pre-Term load of frame.ready_list raced the attach). Walk a bounded
+    // rotating window of nodes and fold in completions the notifications
+    // missed, then retry the pop once.
+    const std::size_t window = std::min<std::size_t>(nodes_.size(), 4096);
+    for (std::size_t k = 0; k < window; ++k) {
+      if (sweep_cursor_ >= nodes_.size()) sweep_cursor_ = 0;
+      const auto id = static_cast<std::uint32_t>(sweep_cursor_++);
+      Node& node = nodes_[id];
+      if (!node.completed && node.task->load_state() == TaskState::kTerm) {
+        complete_node_locked(id);
+      }
+    }
+  }
+  return nullptr;
+}
+
+std::size_t ReadyList::covered() const {
+  std::lock_guard lock(mu_);
+  return covered_count_;
+}
+
+std::size_t ReadyList::ready_size() const {
+  std::lock_guard lock(mu_);
+  return ready_.size();
+}
+
+}  // namespace xk

@@ -1,0 +1,94 @@
+// ReadyList — the "accelerating data structure for steal operations" (§II-C).
+//
+// "When the cost of computing ready tasks becomes important, the runtime
+// attaches to the victim an accelerating data structure ... a list that gets
+// updated with tasks becoming ready due to the completion of their data flow
+// dependencies. A subsequent steal operation is reduced to the pop of a task
+// from the ready list."
+//
+// Scope and soundness: the list covers one frame. Dependencies are computed
+// from region overlap between the frame's tasks, with completion counted at
+// Term (strict completion: body + descendants). Cross-frame conflicts are
+// covered by the hierarchical-dataflow contract (a dataflow task spawning
+// dataflow children declares accesses covering theirs — see spawn.hpp), which
+// makes the per-frame graph conservative-correct.
+//
+// Locking: every mutation (extend / completion / pop) happens under `mu_`.
+// Combiners call extend/pop while holding the victim's steal mutex; runners
+// call on_complete right before publishing Term. The lock also provides the
+// release/acquire edge that makes a completed task's memory effects visible
+// to the worker that claims a successor from the list.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/frame.hpp"
+#include "core/task.hpp"
+
+namespace xk {
+
+class ReadyList {
+ public:
+  explicit ReadyList(Frame& frame) : frame_(frame) {}
+
+  ReadyList(const ReadyList&) = delete;
+  ReadyList& operator=(const ReadyList&) = delete;
+
+  /// Extends coverage to every task currently published in the frame.
+  /// Called by the combiner (steal mutex held).
+  void extend();
+
+  /// Pops the oldest ready task and claims it (Init -> StolenClaim).
+  /// Returns nullptr when no covered task is ready and unclaimed.
+  Task* pop_ready_claimed();
+
+  /// Completion notification; must be invoked *before* the Term store by
+  /// whoever finished the task. Unknown tasks (not yet covered) are recorded
+  /// so a later extend() does not resurrect them.
+  void on_complete(Task* t);
+
+  /// Diagnostics for tests.
+  std::size_t covered() const;
+  std::size_t ready_size() const;
+
+ private:
+  struct Node {
+    Task* task = nullptr;
+    std::uint32_t npred = 0;
+    bool completed = false;
+    std::vector<std::uint32_t> successors;
+  };
+
+  // One live access chain entry: a non-completed covered task's access.
+  struct ChainEntry {
+    std::uint32_t node;
+    const Access* acc;
+  };
+
+  void add_node_locked(Task* t);
+  void complete_node_locked(std::uint32_t id);
+
+  Frame& frame_;
+  mutable std::mutex mu_;
+  std::vector<Node> nodes_;
+  std::unordered_map<const Task*, std::uint32_t> index_;
+  std::unordered_map<const Task*, bool> early_completions_;
+  std::deque<std::uint32_t> ready_;
+  std::uint32_t covered_count_ = 0;
+
+  // Live-access interval index: ordered by region lo() so a new access only
+  // examines entries whose bounding interval can overlap. `max_span_` bounds
+  // how far below lo() a candidate's start can be.
+  std::multimap<std::uintptr_t, ChainEntry> live_;
+  std::vector<std::vector<std::multimap<std::uintptr_t, ChainEntry>::iterator>>
+      live_refs_;  // per node: its live_ entries, erased at completion
+  std::uintptr_t max_span_ = 0;
+  std::size_t sweep_cursor_ = 0;  // rotating catch-up sweep position
+};
+
+}  // namespace xk

@@ -1,0 +1,55 @@
+// Loop reductions on top of parallel_for: per-worker accumulators on private
+// cache lines, merged sequentially at loop end (the paper's reduction access
+// mode applied to loops, §II-B/§II-E).
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/foreach.hpp"
+#include "support/cache.hpp"
+
+namespace xk {
+
+/// Reduces body results over [first, last).
+///   body: void(std::int64_t lo, std::int64_t hi, T& acc) — accumulate the
+///         chunk into acc (which starts at `identity` per worker);
+///   combine: T(T, T) — associative merge of two accumulators.
+/// Deterministic iff `combine` is associative-commutative over the values
+/// produced (floating-point reductions vary by schedule, as in OpenMP).
+template <typename T, typename Body, typename Combine>
+T parallel_reduce(std::int64_t first, std::int64_t last, T identity,
+                  Body&& body, Combine&& combine, ForeachOptions opt = {}) {
+  Worker* w = this_worker();
+  const unsigned nw = w != nullptr ? w->runtime().nworkers() : 1u;
+  std::vector<Padded<T>> accs;
+  accs.reserve(nw);
+  for (unsigned i = 0; i < nw; ++i) accs.emplace_back(identity);
+
+  parallel_for(
+      first, last,
+      [&](std::int64_t lo, std::int64_t hi, unsigned wid) {
+        body(lo, hi, accs[wid].value);
+      },
+      opt);
+
+  T result = identity;
+  for (unsigned i = 0; i < nw; ++i) result = combine(result, accs[i].value);
+  return result;
+}
+
+/// Convenience sum-reduction with per-index values: T(std::int64_t i).
+template <typename T, typename Fn>
+T parallel_sum(std::int64_t first, std::int64_t last, Fn&& fn,
+               ForeachOptions opt = {}) {
+  return parallel_reduce(
+      first, last, T{},
+      [&fn](std::int64_t lo, std::int64_t hi, T& acc) {
+        for (std::int64_t i = lo; i < hi; ++i) acc += fn(i);
+      },
+      [](T a, T b) { return a + b; }, opt);
+}
+
+}  // namespace xk

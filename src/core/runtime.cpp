@@ -1,0 +1,132 @@
+#include "core/runtime.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "support/cpu.hpp"
+#include "support/env.hpp"
+
+namespace xk {
+
+Config Config::from_env() {
+  Config cfg;
+  cfg.nworkers = static_cast<unsigned>(env_int("XK_NCPU", 0));
+  cfg.bind_threads = env_bool("XK_BIND", true);
+  cfg.steal_aggregation = env_bool("XK_AGGREGATION", true);
+  cfg.ready_list_threshold = static_cast<std::size_t>(
+      env_int("XK_READYLIST_THRESHOLD",
+              static_cast<std::int64_t>(cfg.ready_list_threshold)));
+  cfg.renaming = env_bool("XK_RENAMING", false);
+  cfg.steal_backoff = static_cast<int>(env_int("XK_BACKOFF", cfg.steal_backoff));
+  return cfg;
+}
+
+Runtime::Runtime(Config cfg) : cfg_(cfg) {
+  const unsigned nw = cfg_.workers();
+  workers_.reserve(nw);
+  for (unsigned i = 0; i < nw; ++i) {
+    workers_.push_back(std::make_unique<Worker>(*this, i, nw));
+  }
+  threads_.reserve(nw > 0 ? nw - 1 : 0);
+  for (unsigned i = 1; i < nw; ++i) {
+    threads_.emplace_back(&Runtime::worker_main, this, i);
+  }
+}
+
+Runtime::~Runtime() {
+  if (section_open_) end_silent();
+  {
+    std::lock_guard lock(park_mutex_);
+    shutdown_ = true;
+  }
+  park_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void Runtime::worker_main(unsigned index) {
+  Worker& w = *workers_[index];
+  detail::set_this_worker(&w);
+  if (cfg_.bind_threads) bind_self_to_core(index);
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(park_mutex_);
+      park_cv_.wait(lock, [&] { return shutdown_ || epoch_ > seen; });
+      if (shutdown_) break;
+      seen = epoch_;
+    }
+    int failures = 0;
+    while (section_active_.load(std::memory_order_acquire)) {
+      if (w.try_steal_once()) {
+        failures = 0;
+      } else if (++failures > cfg_.steal_backoff) {
+        // Oversubscription-friendly: yield first, then back off harder so
+        // idle thieves don't starve the workers that hold actual work.
+        if (failures > 256) {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    }
+  }
+  detail::set_this_worker(nullptr);
+}
+
+void Runtime::begin() {
+  if (section_open_) {
+    throw std::logic_error("xk::Runtime::begin: section already open");
+  }
+  if (this_worker() != nullptr) {
+    throw std::logic_error("xk::Runtime::begin: thread already bound");
+  }
+  Worker& w0 = *workers_[0];
+  detail::set_this_worker(&w0);
+  if (cfg_.bind_threads) bind_self_to_core(0);
+  w0.push_frame();  // root frame
+  section_open_ = true;
+  {
+    std::lock_guard lock(park_mutex_);
+    ++epoch_;
+    section_active_.store(true, std::memory_order_release);
+  }
+  park_cv_.notify_all();
+}
+
+void Runtime::end() {
+  if (!section_open_) {
+    throw std::logic_error("xk::Runtime::end: no open section");
+  }
+  Worker& w0 = *workers_[0];
+  std::exception_ptr exc;
+  try {
+    w0.drain_current_frame();
+  } catch (...) {
+    exc = std::current_exception();
+  }
+  section_active_.store(false, std::memory_order_release);
+  w0.pop_frame();
+  section_open_ = false;
+  detail::set_this_worker(nullptr);
+  if (exc) std::rethrow_exception(exc);
+}
+
+void Runtime::end_silent() {
+  try {
+    end();
+  } catch (...) {
+    // Cleanup path of Runtime::run: the user's exception wins.
+  }
+}
+
+WorkerStats Runtime::stats_snapshot() const {
+  WorkerStats total;
+  for (const auto& w : workers_) total += *w->stats_;
+  return total;
+}
+
+void Runtime::reset_stats() {
+  for (auto& w : workers_) *w->stats_ = WorkerStats{};
+}
+
+}  // namespace xk

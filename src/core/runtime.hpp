@@ -1,0 +1,111 @@
+// Runtime: the thread pool and session management.
+//
+// "The execution of a X-KAAPI program ... starts by the creation of a pool of
+// threads responsible to execute the tasks generated at runtime" (§II). The
+// calling thread is registered as worker 0; `workers() - 1` additional
+// threads are spawned and parked between parallel sections.
+//
+// Two usage styles:
+//   Runtime rt(cfg);
+//   rt.run([&]{ xk::spawn(...); xk::sync(); });          // scoped section
+// or
+//   rt.begin();  ...spawn/sync from the calling thread...  rt.end();
+// The second style backs long-lived clients such as the QUARK ABI layer
+// (insert tasks / barrier / finalize).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/stats.hpp"
+#include "core/task.hpp"
+#include "core/worker.hpp"
+
+namespace xk {
+
+class Runtime {
+ public:
+  explicit Runtime(Config cfg = Config::from_env());
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  const Config& config() const { return cfg_; }
+  unsigned nworkers() const { return static_cast<unsigned>(workers_.size()); }
+  Worker& worker(unsigned i) { return *workers_[i]; }
+
+  /// Opens a parallel section: registers the caller as worker 0, pushes the
+  /// root frame and wakes the pool. Calls cannot nest.
+  void begin();
+
+  /// Closes the section: drains the root frame (implicit sync), parks the
+  /// pool and unregisters the caller. Rethrows the first task exception.
+  void end();
+
+  /// Scoped section: begin(); fn(); end(). fn runs on the caller thread as
+  /// the root task and may spawn/sync freely.
+  template <typename Fn>
+  void run(Fn&& fn) {
+    begin();
+    try {
+      fn();
+    } catch (...) {
+      end_silent();
+      throw;
+    }
+    end();
+  }
+
+  /// True while a section is open (spawn/sync are legal).
+  bool in_section() const { return section_open_; }
+
+  /// Aggregated scheduler counters across all workers.
+  WorkerStats stats_snapshot() const;
+
+  /// Resets all counters (between benchmark repetitions).
+  void reset_stats();
+
+  /// Serialization guard for cumulative-write (reduction) task bodies: two
+  /// CW tasks on overlapping regions are independent for the scheduler but
+  /// their bodies must not interleave; the runtime hashes the region base to
+  /// one of these locks around the body.
+  std::mutex& cw_guard(std::uintptr_t base) {
+    return cw_locks_[(base >> 6) % kCwLocks].value;
+  }
+
+  /// Idle-loop coordination: workers steal while a section is open.
+  bool section_active() const {
+    return section_active_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class Worker;
+
+  void worker_main(unsigned index);
+  void end_silent();  // end() that never throws (exception cleanup path)
+
+  static constexpr std::size_t kCwLocks = 64;
+
+  Config cfg_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Park/wake machinery.
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+  std::uint64_t epoch_ = 0;
+  bool shutdown_ = false;
+  std::atomic<bool> section_active_{false};
+  bool section_open_ = false;
+
+  std::vector<Padded<std::mutex>> cw_locks_{kCwLocks};
+};
+
+}  // namespace xk

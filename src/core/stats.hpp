@@ -1,0 +1,58 @@
+// Per-worker scheduler counters.
+//
+// The counters are plain (non-atomic) because each instance is written only
+// by its owning worker and sits on its own cache line; aggregation snapshots
+// tolerate slight staleness (they are for tests/benches, not control flow).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+namespace xk {
+
+struct WorkerStats {
+  std::uint64_t tasks_spawned = 0;
+  std::uint64_t tasks_run_owner = 0;   ///< claimed via the FIFO fast path
+  std::uint64_t tasks_run_thief = 0;   ///< executed after a successful steal
+  std::uint64_t steal_attempts = 0;    ///< requests posted
+  std::uint64_t steals_ok = 0;         ///< requests answered with work
+  std::uint64_t combiner_rounds = 0;   ///< times this worker was the combiner
+  std::uint64_t requests_served = 0;   ///< replies produced as combiner
+  std::uint64_t requests_aggregated = 0;  ///< replies produced for *others*
+  std::uint64_t splitter_calls = 0;
+  std::uint64_t readylist_attach = 0;
+  std::uint64_t readylist_pops = 0;
+  std::uint64_t renames = 0;
+  std::uint64_t scan_visited = 0;      ///< tasks visited by readiness scans
+  std::uint64_t foreach_chunks = 0;
+
+  WorkerStats& operator+=(const WorkerStats& o) {
+    tasks_spawned += o.tasks_spawned;
+    tasks_run_owner += o.tasks_run_owner;
+    tasks_run_thief += o.tasks_run_thief;
+    steal_attempts += o.steal_attempts;
+    steals_ok += o.steals_ok;
+    combiner_rounds += o.combiner_rounds;
+    requests_served += o.requests_served;
+    requests_aggregated += o.requests_aggregated;
+    splitter_calls += o.splitter_calls;
+    readylist_attach += o.readylist_attach;
+    readylist_pops += o.readylist_pops;
+    renames += o.renames;
+    scan_visited += o.scan_visited;
+    foreach_chunks += o.foreach_chunks;
+    return *this;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const WorkerStats& s) {
+  os << "spawned=" << s.tasks_spawned << " run_owner=" << s.tasks_run_owner
+     << " run_thief=" << s.tasks_run_thief << " steals_ok=" << s.steals_ok
+     << " attempts=" << s.steal_attempts << " combiner=" << s.combiner_rounds
+     << " aggregated=" << s.requests_aggregated
+     << " splits=" << s.splitter_calls << " rl_pops=" << s.readylist_pops
+     << " renames=" << s.renames;
+  return os;
+}
+
+}  // namespace xk

@@ -1,0 +1,124 @@
+// Task descriptor and the state machine shared by victim and thieves.
+//
+// A task is "a function call that returns no value except through the shared
+// memory and the list of its effective parameters" (§II-B). The descriptor is
+// bump-allocated in its frame's arena by the owner and, once published
+// (frame task-count release-store), becomes immutable except for `state`,
+// `exception` and the renaming records.
+//
+// State machine (the single atomic below is our T.H.E analog: the victim's
+// FIFO claim and a thief's steal claim race on one CAS):
+//
+//   Init ──CAS(owner)──► RunOwner ──► BodyDoneOwner ──► Term
+//     └───CAS(combiner)► StolenClaim ──► RunThief ──► BodyDoneThief ──► Term
+//
+// "Owner" means: claimed by the thread whose frame stack holds the
+// descriptor, so the task's children are spawned onto the same stack and
+// remain visible to readiness scans of that stack. "Thief" means the subtree
+// moved to another worker's stack. A task *blocks* its program-order
+// successors while its writes may still be in flight:
+//
+//   blocking(s) = (s != Term) && (s != BodyDoneOwner)
+//
+// BodyDoneOwner does not block because the body's writes are done and any
+// still-running children have their own descriptors in deeper frames of the
+// same stack, where the scan sees them individually. BodyDoneThief must
+// block: the children live on the thief's stack, invisible to this scan.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+
+#include "core/access.hpp"
+
+namespace xk {
+
+class Worker;
+struct Task;
+class SplitContext;
+
+/// Task body: receives the argument block allocated next to the descriptor.
+using TaskBody = void (*)(void* args, Worker& worker);
+
+/// Splitter for adaptive tasks (§II-D): invoked by the elected combiner, at
+/// most one concurrently with the running body, to extract work on demand.
+using TaskSplitter = void (*)(void* adaptive_state, SplitContext& ctx);
+
+enum class TaskState : std::uint8_t {
+  kInit = 0,
+  kRunOwner = 1,
+  kStolenClaim = 2,
+  kRunThief = 3,
+  kBodyDoneOwner = 4,
+  kBodyDoneThief = 5,
+  /// Stolen + renamed: body and subtree done, renamed writes awaiting the
+  /// frame owner's in-order commit (then Term).
+  kCommitReady = 6,
+  kTerm = 7,
+};
+
+/// Does this state order the task before later tasks in a readiness scan?
+constexpr bool state_blocks_successors(TaskState s) {
+  return s != TaskState::kTerm && s != TaskState::kBodyDoneOwner;
+}
+
+/// Deferred-write record created when the scheduler renames a Write access:
+/// the body wrote into `buffer`; the owner copies it to `target` when the
+/// task's program-order turn arrives (all predecessors terminated).
+struct RenameRecord {
+  void* target = nullptr;
+  void* buffer = nullptr;
+  std::size_t bytes = 0;
+  RenameRecord* next = nullptr;
+};
+
+struct Task {
+  std::atomic<TaskState> state{TaskState::kInit};
+  /// Set when the descriptor was heap-allocated by a splitter reply rather
+  /// than arena-allocated in a frame; the hosting frame deletes it at reset
+  /// through heap_deleter(heap_box).
+  bool heap_owned = false;
+  void (*heap_deleter)(void*) = nullptr;
+  void* heap_box = nullptr;
+
+  TaskBody body = nullptr;
+  void* args = nullptr;
+
+  /// Declared accesses (arena-allocated array), empty for pure fork-join.
+  const Access* accesses = nullptr;
+  std::uint32_t naccesses = 0;
+
+  /// Adaptive-task hooks (§II-D); null for regular tasks. Both fields are
+  /// set before the descriptor is published (spawn time) and are immutable
+  /// afterwards; `splitter_armed` is the dynamic on/off switch the body may
+  /// clear when no divisible work remains.
+  TaskSplitter splitter = nullptr;
+  void* adaptive_state = nullptr;
+  std::atomic<bool> splitter_armed{false};
+
+  /// Renamed writes awaiting commit, owner-ordered (see RenameRecord).
+  RenameRecord* renames = nullptr;
+
+  /// First exception thrown by the body, adopted by the parent at its sync.
+  std::exception_ptr exception;
+
+  TaskState load_state(std::memory_order order = std::memory_order_acquire) const {
+    return state.load(order);
+  }
+
+  bool try_claim(TaskState desired) {
+    TaskState expected = TaskState::kInit;
+    return state.compare_exchange_strong(expected, desired,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+  }
+
+  /// True when a combiner may currently invoke the splitter.
+  bool splittable() const {
+    return splitter != nullptr &&
+           splitter_armed.load(std::memory_order_acquire);
+  }
+};
+
+}  // namespace xk

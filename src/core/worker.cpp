@@ -1,0 +1,553 @@
+// Worker implementation: FIFO owner execution, the steal protocol with
+// request aggregation, steal-time readiness computation, renaming, and the
+// ready-list integration. See worker.hpp for the protocol overview.
+#include "core/worker.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "core/adaptive.hpp"
+#include "core/readylist.hpp"
+#include "core/runtime.hpp"
+
+namespace xk {
+
+namespace {
+thread_local Worker* tls_worker = nullptr;
+}  // namespace
+
+Worker* this_worker() { return tls_worker; }
+
+namespace detail {
+void set_this_worker(Worker* w) { tls_worker = w; }
+}  // namespace detail
+
+Worker::Worker(Runtime& rt, unsigned id, unsigned nworkers)
+    : rt_(rt),
+      id_(id),
+      backoff_limit_(rt.config().steal_backoff),
+      frames_(kMaxDepth),
+      reqbox_(nworkers),
+      rng_(0x853c49e6748fea9bULL ^ (id * 0x9e3779b97f4a7c15ULL)) {}
+
+Worker::~Worker() = default;
+
+// ---------------------------------------------------------------------------
+// Frame stack: owner push / Dekker-protected pop (see worker.hpp).
+// ---------------------------------------------------------------------------
+
+Frame& Worker::push_frame() {
+  const std::uint32_t d = depth_.load(std::memory_order_relaxed);
+  if (d >= kMaxDepth) throw std::runtime_error("xk: frame stack overflow");
+  Frame& f = frames_[d];
+  depth_.store(d + 1, std::memory_order_seq_cst);
+  return f;
+}
+
+void Worker::pop_frame() {
+  const std::uint32_t d = depth_.load(std::memory_order_relaxed);
+  Frame& f = frames_[d - 1];
+  depth_.store(d - 1, std::memory_order_seq_cst);
+  // Dekker handshake: a combiner sets scanning_ (seq_cst) before reading
+  // depth_ (seq_cst). Either it sees the decremented depth and never touches
+  // this frame, or we see scanning_ true here and wait the scan out before
+  // recycling the frame's memory.
+  while (scanning_.load(std::memory_order_seq_cst)) {
+    std::this_thread::yield();
+  }
+  f.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Owner-side execution.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Commits renamed writes in program order and frees the records.
+void commit_renames(Task* t) {
+  RenameRecord* r = t->renames;
+  while (r != nullptr) {
+    std::memcpy(r->target, r->buffer, r->bytes);
+    RenameRecord* next = r->next;
+    delete[] static_cast<unsigned char*>(r->buffer);
+    delete r;
+    r = next;
+  }
+  t->renames = nullptr;
+}
+
+/// Locks (in address order) the serialization guards of a task's
+/// cumulative-write regions for the duration of the body. Two CW tasks on
+/// the same region are scheduler-independent; this guard keeps their bodies
+/// from interleaving (see Runtime::cw_guard).
+class CwBodyGuard {
+ public:
+  CwBodyGuard(Runtime& rt, const Task& t) {
+    for (std::uint32_t i = 0; i < t.naccesses; ++i) {
+      const Access& a = t.accesses[i];
+      if (a.mode == AccessMode::kCumulWrite) {
+        locks_.push_back(&rt.cw_guard(a.region.base));
+      }
+    }
+    std::sort(locks_.begin(), locks_.end());
+    locks_.erase(std::unique(locks_.begin(), locks_.end()), locks_.end());
+    for (std::mutex* m : locks_) m->lock();
+  }
+  ~CwBodyGuard() {
+    for (auto it = locks_.rbegin(); it != locks_.rend(); ++it) (*it)->unlock();
+  }
+
+ private:
+  std::vector<std::mutex*> locks_;
+};
+
+}  // namespace
+
+void Worker::run_task(Task* t, Frame* src, bool stolen) {
+  if (stolen) {
+    t->state.store(TaskState::kRunThief, std::memory_order_release);
+    stats_->tasks_run_thief++;
+  } else {
+    stats_->tasks_run_owner++;
+  }
+  push_frame();
+  try {
+    if (t->naccesses != 0) {
+      CwBodyGuard guard(rt_, *t);
+      t->body(t->args, *this);
+    } else {
+      t->body(t->args, *this);
+    }
+  } catch (...) {
+    t->exception = std::current_exception();
+  }
+  if (t->splitter != nullptr) {
+    t->splitter_armed.store(false, std::memory_order_release);
+  }
+  t->state.store(stolen ? TaskState::kBodyDoneThief : TaskState::kBodyDoneOwner,
+                 std::memory_order_release);
+  try {
+    drain_current_frame();
+  } catch (...) {
+    if (!t->exception) t->exception = std::current_exception();
+  }
+  pop_frame();
+
+  if (stolen && t->renames != nullptr) {
+    // The body wrote into rename buffers; the frame owner commits them in
+    // program order (wait_and_finalize) and publishes Term.
+    t->state.store(TaskState::kCommitReady, std::memory_order_release);
+    return;
+  }
+  if (!stolen && t->renames != nullptr) {
+    // Owner-claimed after a combiner renamed-but-lost the claim race can not
+    // happen (claim precedes renaming); renames imply the steal path.
+    commit_renames(t);
+  }
+  if (src != nullptr) {
+    if (ReadyList* rl = src->ready_list.load(std::memory_order_acquire)) {
+      rl->on_complete(t);  // before Term: see ReadyList locking notes
+    }
+  }
+  t->state.store(TaskState::kTerm, std::memory_order_release);
+}
+
+void Worker::drain_current_frame() {
+  Frame& f = current_frame();
+  std::exception_ptr first_exc;
+  for (;;) {
+    const std::uint32_t n = f.size_relaxed();
+    if (f.exec_cursor() >= n) break;
+    Task* t = f.exec_current();
+    f.exec_advance();
+    if (t->try_claim(TaskState::kRunOwner)) {
+      run_task(t, &f, /*stolen=*/false);
+    } else {
+      wait_and_finalize(t, f);
+    }
+    if (t->exception) {
+      if (!first_exc) first_exc = t->exception;
+      // Arena-allocated descriptors are recycled without destruction; drop
+      // the exception_ptr reference here so it cannot leak.
+      t->exception = nullptr;
+    }
+  }
+  if (first_exc) std::rethrow_exception(first_exc);
+}
+
+void Worker::wait_and_finalize(Task* t, Frame& f) {
+  int failures = 0;
+  for (;;) {
+    const TaskState s = t->load_state();
+    if (s == TaskState::kTerm) return;
+    if (s == TaskState::kCommitReady) {
+      // All program-order predecessors terminated (the drain is in-order),
+      // so the renamed writes can land on their true targets.
+      commit_renames(t);
+      if (ReadyList* rl = f.ready_list.load(std::memory_order_acquire)) {
+        rl->on_complete(t);
+      }
+      t->state.store(TaskState::kTerm, std::memory_order_release);
+      return;
+    }
+    if (try_steal_once()) {
+      failures = 0;
+    } else if (++failures >= backoff_limit_) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thief side: request posting, combining, readiness.
+// ---------------------------------------------------------------------------
+
+bool Worker::try_steal_once() {
+  const unsigned nw = rt_.nworkers();
+  if (nw < 2) return false;
+  // Helping while suspended nests the stolen subtree on this C++ stack;
+  // refuse new work near the frame-stack ceiling and just wait instead.
+  if (depth_.load(std::memory_order_relaxed) > kMaxDepth - 64) return false;
+  // Random starting point, first victim that looks busy.
+  const auto start = static_cast<unsigned>(rng_.next_below(nw));
+  Worker* victim = nullptr;
+  for (unsigned k = 0; k < nw; ++k) {
+    const unsigned v = (start + k) % nw;
+    if (v == id_) continue;
+    if (rt_.worker(v).looks_busy()) {
+      victim = &rt_.worker(v);
+      break;
+    }
+  }
+  if (victim == nullptr) return false;
+  stats_->steal_attempts++;
+
+  StealRequest& slot = victim->request_slot(id_);
+  slot.reply = nullptr;
+  slot.reply_frame = nullptr;
+  slot.status.store(StealRequest::kPosted, std::memory_order_seq_cst);
+
+  int spins = 0;
+  for (;;) {
+    const int s = slot.status.load(std::memory_order_acquire);
+    if (s == StealRequest::kServed) {
+      Task* t = slot.reply;
+      Frame* src = slot.reply_frame;
+      slot.status.store(StealRequest::kEmpty, std::memory_order_relaxed);
+      stats_->steals_ok++;
+      execute_reply(t, src);
+      return true;
+    }
+    if (s == StealRequest::kFailed) {
+      slot.status.store(StealRequest::kEmpty, std::memory_order_relaxed);
+      return false;
+    }
+    if (victim->steal_mutex_.try_lock()) {
+      victim->scanning_.store(true, std::memory_order_seq_cst);
+      combine_on(*victim);
+      victim->scanning_.store(false, std::memory_order_release);
+      victim->steal_mutex_.unlock();
+      continue;  // our own slot is now Served or Failed
+    }
+    if (++spins > 64) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+}
+
+void Worker::execute_reply(Task* t, Frame* src) {
+  if (t->heap_owned) {
+    // Splitter-produced task: host it in a fresh frame of this stack so it
+    // is visible to further steals/splits, then run it like a local child.
+    Frame& f = push_frame();
+    f.push_task(t);
+    try {
+      drain_current_frame();
+    } catch (...) {
+      // Adaptive tasks own their error reporting (e.g. the foreach body
+      // captures user exceptions into the loop's shared state); an exception
+      // escaping here has already been recorded on the task.
+    }
+    pop_frame();
+  } else {
+    run_task(t, src, /*stolen=*/true);
+  }
+}
+
+namespace {
+
+/// Snapshot of the cross-frame blockers used by readiness checks, built at
+/// most once per combiner round (lazily, on the first dataflow candidate).
+/// Sound under state monotonicity + the hierarchical-dataflow contract; see
+/// the readiness rules below.
+struct ScanSnapshot {
+  bool built = false;
+  // Per frame: descriptors whose state was on the thief side (their subtree
+  // runs on another stack) — these block candidates in *lower* scan frames.
+  std::vector<std::vector<const Task*>> thief_side;
+  // Per frame: descriptors in any successor-blocking state — these block
+  // candidates in *shallower* frames.
+  std::vector<std::vector<const Task*>> strong;
+
+  void build(Worker& victim, std::uint32_t depth) {
+    built = true;
+    thief_side.assign(depth, {});
+    strong.assign(depth, {});
+    for (std::uint32_t d = 0; d < depth; ++d) {
+      Frame& f = victim.frame_at(d);
+      const std::uint32_t n = f.size_acquire();
+      Frame::Iterator it(f);
+      const std::uint32_t from = std::min(f.scan_hint(), n);
+      it.seek(from);
+      for (std::uint32_t i = from; i < n; ++i, it.advance()) {
+        const Task* t = it.get();
+        if (t->naccesses == 0) continue;
+        switch (t->load_state()) {
+          case TaskState::kStolenClaim:
+          case TaskState::kRunThief:
+          case TaskState::kBodyDoneThief:
+          case TaskState::kCommitReady:
+            thief_side[d].push_back(t);
+            strong[d].push_back(t);
+            break;
+          case TaskState::kInit:
+          case TaskState::kRunOwner:
+            strong[d].push_back(t);
+            break;
+          case TaskState::kBodyDoneOwner:
+          case TaskState::kTerm:
+            break;
+        }
+      }
+    }
+  }
+};
+
+enum class Readiness { kReady, kBlocked, kFalseOnly };
+
+/// Conflict check of candidate `t` against one predecessor. Updates
+/// `false_only` (starts true): stays true only while every conflict is a
+/// breakable WAR/WAW against a renameable contiguous Write access of `t`.
+bool conflicts_with(const Task& pred, const Task& t, bool& false_only) {
+  bool any = false;
+  for (std::uint32_t i = 0; i < pred.naccesses; ++i) {
+    for (std::uint32_t j = 0; j < t.naccesses; ++j) {
+      const Access& pa = pred.accesses[i];
+      const Access& ta = t.accesses[j];
+      if (!accesses_conflict(pa, ta)) continue;
+      any = true;
+      const bool breakable = ta.mode == AccessMode::kWrite &&
+                             ta.region.runs == 1 &&
+                             ta.arg_offset != kNoArgOffset &&
+                             conflict_is_false_dependency(pa, ta);
+      if (!breakable) false_only = false;
+    }
+  }
+  return any;
+}
+
+/// Readiness of candidate `t` at (frame `d`, index `idx`): scans all program-
+/// order predecessors still in flight (§II-C "traversal of the victim stack
+/// from the top most task (the oldest), to look all its predecessors have
+/// been completed").
+///
+/// Predecessor rules (see task.hpp for the state rationale):
+///   frames < d : only thief-side tasks precede the candidate (Init tasks
+///                there run after the whole subtree; RunOwner/BodyDoneOwner
+///                are its ancestors);
+///   frame == d : every earlier, still-blocking sibling precedes it;
+///   frames > d : every blocking task precedes it (descendants of an earlier
+///                sibling).
+Readiness check_ready(Worker& victim, std::uint32_t depth, std::uint32_t d,
+                      const std::vector<const Task*>& prefix_live,
+                      const Task& t, ScanSnapshot& snap) {
+  if (t.naccesses == 0) return Readiness::kReady;
+  if (!snap.built) snap.build(victim, depth);
+  bool blocked = false;
+  bool false_only = true;
+  for (std::uint32_t f = 0; f < d; ++f) {
+    for (const Task* p : snap.thief_side[f]) {
+      blocked |= conflicts_with(*p, t, false_only);
+    }
+  }
+  for (const Task* p : prefix_live) {
+    blocked |= conflicts_with(*p, t, false_only);
+  }
+  for (std::uint32_t f = d + 1; f < depth; ++f) {
+    for (const Task* p : snap.strong[f]) {
+      blocked |= conflicts_with(*p, t, false_only);
+    }
+  }
+  if (!blocked) return Readiness::kReady;
+  return false_only ? Readiness::kFalseOnly : Readiness::kBlocked;
+}
+
+/// Redirects every contiguous Write access of a claimed task to a fresh
+/// buffer; the frame owner commits the buffers in program order.
+void apply_renaming(Task& t) {
+  for (std::uint32_t j = 0; j < t.naccesses; ++j) {
+    const Access& a = t.accesses[j];
+    if (a.mode != AccessMode::kWrite || a.region.runs != 1 ||
+        a.arg_offset == kNoArgOffset) {
+      continue;
+    }
+    auto* buffer = new unsigned char[a.region.run_bytes];
+    auto* rec = new RenameRecord{reinterpret_cast<void*>(a.region.base), buffer,
+                                 a.region.run_bytes, t.renames};
+    t.renames = rec;
+    *reinterpret_cast<void**>(static_cast<char*>(t.args) + a.arg_offset) =
+        buffer;
+  }
+}
+
+}  // namespace
+
+void Worker::combine_on(Worker& victim) {
+  stats_->combiner_rounds++;
+  const bool aggregate = rt_.config().steal_aggregation;
+  std::vector<StealRequest*> pending;
+  for (unsigned i = 0; i < victim.nslots(); ++i) {
+    StealRequest& s = victim.request_slot(i);
+    if (s.status.load(std::memory_order_acquire) == StealRequest::kPosted) {
+      if (aggregate || i == id_) pending.push_back(&s);
+    }
+  }
+  if (pending.empty()) return;
+
+  std::size_t served = 0;
+  auto reply_with = [&](Task* t, Frame* f) {
+    StealRequest* s = pending[served++];
+    s->reply = t;
+    s->reply_frame = f;
+    s->status.store(StealRequest::kServed, std::memory_order_release);
+  };
+
+  const std::uint32_t depth = victim.depth_acquire();
+  ScanSnapshot snap;
+  std::vector<Task*> adaptives;
+  std::size_t scanned_blocked = 0;
+  Frame* hottest = nullptr;
+  std::size_t hottest_blocked = 0;
+  const bool renaming = rt_.config().renaming;
+  const std::size_t threshold = rt_.config().ready_list_threshold;
+
+  for (std::uint32_t d = 0; d < depth && served < pending.size(); ++d) {
+    Frame& f = victim.frame_at(d);
+
+    if (ReadyList* rl = f.ready_list.load(std::memory_order_acquire)) {
+      // Accelerated path (§II-C): the list is authoritative for this frame.
+      rl->extend();
+      while (served < pending.size()) {
+        Task* t = rl->pop_ready_claimed();
+        if (t == nullptr) break;
+        stats_->readylist_pops++;
+        reply_with(t, &f);
+      }
+      continue;
+    }
+
+    const std::uint32_t n = f.size_acquire();
+    std::uint32_t idx = std::min(f.scan_hint(), n);
+    Frame::Iterator it(f);
+    it.seek(idx);
+    std::vector<const Task*> prefix_live;  // blocking siblings before cursor
+    bool all_term_prefix = true;
+    std::size_t blocked_here = 0;
+
+    for (; idx < n; ++idx, it.advance()) {
+      Task* t = it.get();
+      const TaskState s = t->load_state();
+      if (s == TaskState::kTerm) {
+        if (all_term_prefix) f.raise_scan_hint(idx + 1);
+        continue;
+      }
+      all_term_prefix = false;
+
+      if (s == TaskState::kInit) {
+        stats_->scan_visited++;
+        const Readiness r = check_ready(victim, depth, d, prefix_live, *t, snap);
+        if (r == Readiness::kReady ||
+            (r == Readiness::kFalseOnly && renaming)) {
+          if (t->try_claim(TaskState::kStolenClaim)) {
+            if (r == Readiness::kFalseOnly) {
+              apply_renaming(*t);
+              stats_->renames++;
+            }
+            reply_with(t, &f);
+            if (t->naccesses != 0) prefix_live.push_back(t);
+            if (served == pending.size()) break;
+            continue;
+          }
+        } else {
+          ++blocked_here;
+          ++scanned_blocked;
+          // Don't finish an expensive traversal that already qualified this
+          // frame for the accelerating structure: bail out and attach it
+          // (the per-candidate cost grows with the live prefix, so full
+          // scans of big blocked frames are quadratic — exactly the cost
+          // §II-C's ready list exists to remove).
+          if (threshold != 0 && scanned_blocked > threshold) {
+            hottest_blocked = blocked_here;
+            hottest = &f;
+            break;
+          }
+        }
+      } else if ((s == TaskState::kRunOwner || s == TaskState::kRunThief) &&
+                 t->splittable()) {
+        adaptives.push_back(t);
+      }
+      if (t->naccesses != 0 && s != TaskState::kBodyDoneOwner) {
+        prefix_live.push_back(t);
+      }
+    }
+    if (blocked_here > hottest_blocked) {
+      hottest_blocked = blocked_here;
+      hottest = &f;
+    }
+    if (threshold != 0 && scanned_blocked > threshold) break;
+  }
+
+  // On-demand task creation (§II-D): ask running adaptive tasks to split.
+  if (served < pending.size()) {
+    for (Task* t : adaptives) {
+      if (served >= pending.size()) break;
+      std::vector<StealRequest*> rest(pending.begin() +
+                                          static_cast<std::ptrdiff_t>(served),
+                                      pending.end());
+      SplitContext sc(rest.data(), rest.size());
+      stats_->splitter_calls++;
+      t->splitter(t->adaptive_state, sc);
+      served += sc.replied();
+    }
+  }
+
+  // Attach the accelerating structure once traversals get expensive (§II-C).
+  if (served < pending.size() && threshold != 0 &&
+      scanned_blocked > threshold && hottest != nullptr &&
+      hottest->ready_list.load(std::memory_order_relaxed) == nullptr) {
+    auto* rl = new ReadyList(*hottest);
+    hottest->ready_list.store(rl, std::memory_order_release);
+    rl->extend();
+    stats_->readylist_attach++;
+    while (served < pending.size()) {
+      Task* t = rl->pop_ready_claimed();
+      if (t == nullptr) break;
+      stats_->readylist_pops++;
+      reply_with(t, hottest);
+    }
+  }
+
+  stats_->requests_served += served;
+  for (std::size_t i = 0; i < served; ++i) {
+    if (pending[i] != &victim.request_slot(id_)) stats_->requests_aggregated++;
+  }
+  for (std::size_t i = served; i < pending.size(); ++i) {
+    pending[i]->status.store(StealRequest::kFailed, std::memory_order_release);
+  }
+}
+
+}  // namespace xk

@@ -1,0 +1,180 @@
+// Worker: one scheduler thread (the paper: one per core by default).
+//
+// Each worker owns a stack of frames (its "workqueue stack"), a steal-request
+// box where thieves post requests, and a steal mutex that elects the single
+// combiner allowed to traverse this worker's stack (§II-C request
+// aggregation: "one of the thieves is elected to reply to all requests").
+//
+// Victim/thief synchronization is split into two protocols:
+//  * per-task: a single CAS on Task::state arbitrates the victim's FIFO claim
+//    against a combiner's steal claim (T.H.E-style: common case uncontended);
+//  * per-frame: a Dekker handshake (depth store + scanning flag, both seq_cst)
+//    lets the owner recycle a popped frame only when no combiner can still be
+//    reading it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/frame.hpp"
+#include "core/stats.hpp"
+#include "core/task.hpp"
+#include "support/cache.hpp"
+#include "support/rng.hpp"
+
+namespace xk {
+
+class Runtime;
+class Worker;
+
+/// Returns the worker bound to the calling thread, or nullptr outside a
+/// runtime section.
+Worker* this_worker();
+
+namespace detail {
+/// Binds/unbinds the calling thread's worker (Runtime internal).
+void set_this_worker(Worker* w);
+}  // namespace detail
+
+/// A steal request slot: thief `i` posts into victim's box slot `i`; the
+/// combiner answers every posted slot before releasing the steal mutex.
+struct StealRequest {
+  enum Status : int { kEmpty = 0, kPosted, kServed, kFailed };
+  std::atomic<int> status{kEmpty};
+  Task* reply = nullptr;
+  Frame* reply_frame = nullptr;  ///< source frame (for ready-list notify); null for heap tasks
+};
+
+class Worker {
+ public:
+  static constexpr std::uint32_t kMaxDepth = 512;
+
+  Worker(Runtime& rt, unsigned id, unsigned nworkers);
+  ~Worker();
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  unsigned id() const { return id_; }
+  Runtime& runtime() { return rt_; }
+  WorkerStats& stats() { return *stats_; }
+
+  // ---- owner-side execution -------------------------------------------
+
+  /// Current (deepest) frame; valid only while depth > 0.
+  Frame& current_frame() { return frames_[depth_.load(std::memory_order_relaxed) - 1]; }
+
+  /// Spawns `t` into the current frame. Fast path of §II-B.
+  void push_task(Task* t) {
+    current_frame().push_task(t);
+    stats_->tasks_spawned++;
+  }
+
+  /// Allocates from the current frame's arena.
+  void* frame_alloc(std::size_t bytes, std::size_t align) {
+    return current_frame().arena.allocate(bytes, align);
+  }
+
+  /// Runs `t` (claim already performed by the caller): pushes a frame,
+  /// executes the body, drains children FIFO, handles renaming/exceptions,
+  /// publishes Term. `src` is the frame holding the descriptor (for
+  /// ready-list notification); may be null (root / heap tasks).
+  void run_task(Task* t, Frame* src, bool stolen);
+
+  /// FIFO-executes the current frame from its cursor until all its tasks
+  /// reached Term (the implicit sync at body end; also the body of
+  /// xk::sync()). Rethrows the first child exception after the drain.
+  void drain_current_frame();
+
+  /// Enters the idle loop until `done` becomes true: posts steal requests to
+  /// random victims with backoff. Used by the scheduler loop, by victims
+  /// suspended on a stolen task, and by foreach completion waits.
+  template <typename Pred>
+  void steal_until(Pred&& done) {
+    int failures = 0;
+    while (!done()) {
+      if (try_steal_once()) {
+        failures = 0;
+      } else if (++failures >= backoff_limit_) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  /// One steal attempt: pick a victim, post a request, spin until it is
+  /// served or failed (possibly becoming the combiner). Returns true when
+  /// work was obtained *and executed*.
+  bool try_steal_once();
+
+  /// Suspends on a task claimed by another worker until it terminates,
+  /// stealing meanwhile (§II-B: "it suspends its execution and switches to
+  /// the workstealing scheduler"). Commits pending renamed writes when the
+  /// task parks in CommitReady.
+  void wait_and_finalize(Task* t, Frame& f);
+
+  std::uint32_t depth_relaxed() const {
+    return depth_.load(std::memory_order_relaxed);
+  }
+
+  /// Waits out any combiner currently traversing this worker's stack (it
+  /// holds the steal mutex for the whole round, splitter calls included).
+  /// Used before freeing state that an in-flight splitter may reference.
+  void scan_barrier() { std::lock_guard<std::mutex> lock(steal_mutex_); }
+
+  // ---- victim-side state read by thieves --------------------------------
+
+  std::uint32_t depth_acquire() const {
+    return depth_.load(std::memory_order_seq_cst);
+  }
+  Frame& frame_at(std::uint32_t d) { return frames_[d]; }
+  StealRequest& request_slot(unsigned thief) { return reqbox_[thief].value; }
+  unsigned nslots() const { return static_cast<unsigned>(reqbox_.size()); }
+
+  /// Quick "might have work" probe used for victim selection.
+  bool looks_busy() const {
+    return depth_.load(std::memory_order_relaxed) > 0;
+  }
+
+  // ---- frame stack management (owner only) ------------------------------
+
+  Frame& push_frame();
+  void pop_frame();
+
+ private:
+  friend class Runtime;
+
+  /// Serves every posted request in `victim`'s box (only its own when
+  /// aggregation is off). Caller must hold the victim's steal mutex and have
+  /// raised the victim's scanning flag.
+  void combine_on(Worker& victim);
+
+  /// Executes a steal reply: a stolen descriptor (runs as thief) or a
+  /// splitter-produced heap task (hosted in a fresh frame of this stack).
+  void execute_reply(Task* t, Frame* src);
+
+  Runtime& rt_;
+  const unsigned id_;
+  int backoff_limit_;
+
+  // Frame stack. `depth_` is the Dekker-side publication; frames above the
+  // published depth are owner-private.
+  std::vector<Frame> frames_;
+  std::atomic<std::uint32_t> depth_{0};
+
+  // Steal election + scanner handshake.
+  std::mutex steal_mutex_;
+  std::atomic<bool> scanning_{false};
+
+  // Request box: slot i belongs to thief i.
+  std::vector<Padded<StealRequest>> reqbox_;
+
+  Padded<WorkerStats> stats_;
+  Rng rng_;
+};
+
+}  // namespace xk

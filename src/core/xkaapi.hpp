@@ -1,0 +1,23 @@
+// Umbrella header: the public X-Kaapi reproduction API.
+//
+//   #include "core/xkaapi.hpp"
+//
+//   xk::Runtime rt;                       // pool of one worker per core
+//   rt.run([] {
+//     xk::spawn(task_fn, xk::read(&a), xk::write(&b));   // dataflow task
+//     xk::spawn([] { recursive(); });                    // fork-join task
+//     xk::sync();                                        // wait children
+//     xk::parallel_for(0, n, [&](int64_t lo, int64_t hi) { ... });
+//   });
+#pragma once
+
+#include "core/access.hpp"       // IWYU pragma: export
+#include "core/adaptive.hpp"     // IWYU pragma: export
+#include "core/config.hpp"       // IWYU pragma: export
+#include "core/foreach.hpp"      // IWYU pragma: export
+#include "core/reduce.hpp"       // IWYU pragma: export
+#include "core/runtime.hpp"      // IWYU pragma: export
+#include "core/spawn.hpp"        // IWYU pragma: export
+#include "core/stats.hpp"        // IWYU pragma: export
+#include "core/task.hpp"         // IWYU pragma: export
+#include "core/worker.hpp"       // IWYU pragma: export

@@ -1,0 +1,170 @@
+#include "epx/hmatrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace xk::epx {
+
+namespace {
+
+/// Degrees of freedom touched by one constraint row: the slave node with
+/// weight 1 along the normal, (deformable facets) the four facet nodes with
+/// weight -1/4, and an optional structurally-coupled partner node (the
+/// through-thickness neighbour) that chains adjacent interfaces together.
+struct RowDofs {
+  int nodes[6];
+  double weight[6];
+  int count = 0;
+};
+
+RowDofs row_dofs(const Constraint& c) {
+  RowDofs r;
+  r.nodes[r.count] = c.node;
+  r.weight[r.count] = 1.0;
+  ++r.count;
+  if (c.facet_nodes[0] >= 0) {
+    for (int n : c.facet_nodes) {
+      r.nodes[r.count] = n;
+      r.weight[r.count] = -0.25;
+      ++r.count;
+    }
+  }
+  if (c.partner >= 0) {
+    r.nodes[r.count] = c.partner;
+    r.weight[r.count] = 0.5;
+    ++r.count;
+  }
+  return r;
+}
+
+/// H[i][j] = sum over shared nodes of w_i w_j (n_i . n_j) / m_node.
+double h_entry(const Mesh& mesh, const Constraint& ci, const RowDofs& ri,
+               const Constraint& cj, const RowDofs& rj) {
+  const double ndot = ci.normal.x * cj.normal.x + ci.normal.y * cj.normal.y +
+                      ci.normal.z * cj.normal.z;
+  double sum = 0.0;
+  for (int a = 0; a < ri.count; ++a) {
+    for (int b = 0; b < rj.count; ++b) {
+      if (ri.nodes[a] != rj.nodes[b]) continue;
+      sum += ri.weight[a] * rj.weight[b] * ndot /
+             mesh.mass[static_cast<std::size_t>(ri.nodes[a])];
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+CondensedSystem build_condensed_system(const Mesh& mesh,
+                                       std::vector<Constraint> constraints,
+                                       int bs, double dt) {
+  // Multipliers ordered by the scenario's sort key (spatial by default):
+  // neighbouring constraints share nodes, so the profile stays close to the
+  // interface bandwidth even when several interfaces couple.
+  std::sort(constraints.begin(), constraints.end(),
+            [](const Constraint& a, const Constraint& b) {
+              return a.sort_key != b.sort_key ? a.sort_key < b.sort_key
+                                              : a.node < b.node;
+            });
+  const int m = static_cast<int>(constraints.size());
+
+  std::vector<RowDofs> dofs;
+  dofs.reserve(constraints.size());
+  for (const Constraint& c : constraints) dofs.push_back(row_dofs(c));
+
+  // Exact row profile: jmin[i] = first j whose row shares a node with i =
+  // min over i's nodes of the first constraint using that node.
+  std::vector<int> jmin(static_cast<std::size_t>(m), 0);
+  {
+    std::unordered_map<int, int> first_use;
+    first_use.reserve(static_cast<std::size_t>(m) * 5);
+    for (int i = 0; i < m; ++i) {
+      int first = i;
+      const RowDofs& r = dofs[static_cast<std::size_t>(i)];
+      for (int a = 0; a < r.count; ++a) {
+        const auto [it, inserted] = first_use.try_emplace(r.nodes[a], i);
+        first = std::min(first, it->second);
+      }
+      jmin[static_cast<std::size_t>(i)] = first;
+    }
+  }
+
+  // Blockify the profile (skyline fill-in closure needs monotone coverage:
+  // a block row's bjmin is the min over its scalar rows).
+  const int nbk = std::max(1, (m + bs - 1) / bs);
+  std::vector<int> bjmin(static_cast<std::size_t>(nbk), 0);
+  for (int bi = 0; bi < nbk; ++bi) {
+    int lo = bi;
+    for (int i = bi * bs; i < std::min(m, (bi + 1) * bs); ++i) {
+      lo = std::min(lo, jmin[static_cast<std::size_t>(i)] / bs);
+    }
+    bjmin[static_cast<std::size_t>(bi)] = lo;
+  }
+
+  CondensedSystem sys{
+      skyline::BlockSkylineMatrix(std::max(1, m), bs, std::move(bjmin)),
+      std::vector<double>(static_cast<std::size_t>(std::max(1, m)), 0.0),
+      std::move(constraints)};
+
+  // Assemble entries (lower triangle within the profile) + SPD-stabilizing
+  // diagonal regularization (unilateral contact sets can be rank-deficient).
+  for (int i = 0; i < m; ++i) {
+    const Constraint& ci = sys.constraints[static_cast<std::size_t>(i)];
+    for (int j = jmin[static_cast<std::size_t>(i)]; j <= i; ++j) {
+      const double v = h_entry(mesh, ci, dofs[static_cast<std::size_t>(i)],
+                               sys.constraints[static_cast<std::size_t>(j)],
+                               dofs[static_cast<std::size_t>(j)]);
+      if (v == 0.0 && i != j) continue;
+      const int bi = i / bs, bj = j / bs;
+      double* blk = sys.h.block(bi, bj);
+      blk[(i % bs) + (j % bs) * bs] = v;
+      if (bi == bj && i != j) blk[(j % bs) + (i % bs) * bs] = v;
+    }
+    double* diag = sys.h.block(i / bs, i / bs);
+    diag[(i % bs) * (bs + 1)] += 1e-9 + 1e-3 / mesh.mass[static_cast<std::size_t>(ci.node)];
+  }
+  // Identity padding for the tail of the last block.
+  for (int i = m; i < sys.h.nbk() * bs; ++i) {
+    double* diag = sys.h.block(i / bs, i / bs);
+    diag[(i % bs) * (bs + 1)] = 1.0;
+  }
+
+  // RHS: approach-velocity rate (the constraint must cancel the normal
+  // closing velocity) plus a penetration pushback.
+  for (int i = 0; i < m; ++i) {
+    const Constraint& c = sys.constraints[static_cast<std::size_t>(i)];
+    const RowDofs& r = dofs[static_cast<std::size_t>(i)];
+    double vn = 0.0;
+    for (int a = 0; a < r.count; ++a) {
+      const Vec3& v = mesh.v[static_cast<std::size_t>(r.nodes[a])];
+      vn += r.weight[a] *
+            (v.x * c.normal.x + v.y * c.normal.y + v.z * c.normal.z);
+    }
+    const double pushback = c.gap < 0.0 ? -0.1 * c.gap / dt : 0.0;
+    // Only resist approach (unilateral): clamp separating constraints to 0.
+    sys.rhs[static_cast<std::size_t>(i)] = vn < 0.0 ? -vn + pushback : pushback;
+  }
+  return sys;
+}
+
+void apply_multipliers(Mesh& mesh, const CondensedSystem& sys,
+                       const std::vector<double>& lambda) {
+  const int m = static_cast<int>(sys.constraints.size());
+  for (int i = 0; i < m; ++i) {
+    // Unilateral contact: only push, never glue.
+    const double l = std::max(0.0, lambda[static_cast<std::size_t>(i)]);
+    if (l == 0.0) continue;
+    const Constraint& c = sys.constraints[static_cast<std::size_t>(i)];
+    const RowDofs r = row_dofs(c);
+    for (int a = 0; a < r.count; ++a) {
+      const auto n = static_cast<std::size_t>(r.nodes[a]);
+      const double s = l * r.weight[a] / mesh.mass[n];
+      mesh.v[n].x += s * c.normal.x;
+      mesh.v[n].y += s * c.normal.y;
+      mesh.v[n].z += s * c.normal.z;
+    }
+  }
+}
+
+}  // namespace xk::epx

@@ -1,0 +1,41 @@
+// Condensation of the kinematic constraints onto Lagrange multipliers —
+// EPX's H matrix (§I, §IV-B): "sparse Cholesky factorization of the
+// so-called H matrix, obtained from the condensation of dynamic equilibrium
+// equations onto Lagrange multipliers, in a Skyline representation".
+//
+// With unilateral contact constraints C (one row per active node-facet
+// pair) and lumped masses M, the condensed operator is H = C M^{-1} C^T:
+// H[i][j] is nonzero exactly when constraints i and j share a node, so
+// ordering the multipliers by slave node index yields the banded/skyline
+// profile this module assembles directly into a BlockSkylineMatrix.
+#pragma once
+
+#include <vector>
+
+#include "epx/kernels.hpp"
+#include "epx/mesh.hpp"
+#include "skyline/skyline.hpp"
+
+namespace xk::epx {
+
+/// Assembled condensed system: H (block skyline) plus the right-hand side
+/// b_i = -(C v)_i / dt - penetration correction, ready for factor + solve.
+struct CondensedSystem {
+  skyline::BlockSkylineMatrix h;
+  std::vector<double> rhs;
+  std::vector<Constraint> constraints;  // row order of H
+};
+
+/// Builds H = C M^{-1} C^T and the contact right-hand side from the active
+/// constraints (sorted by slave node to keep the profile tight). `bs` is
+/// the skyline block size (the paper's BS); `dt` scales the gap-rate RHS.
+CondensedSystem build_condensed_system(const Mesh& mesh,
+                                       std::vector<Constraint> constraints,
+                                       int bs, double dt);
+
+/// Applies the solved multipliers as velocity impulses:
+/// v += M^{-1} C^T lambda.
+void apply_multipliers(Mesh& mesh, const CondensedSystem& sys,
+                       const std::vector<double>& lambda);
+
+}  // namespace xk::epx

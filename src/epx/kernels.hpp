@@ -1,0 +1,90 @@
+// The two loop kernels that, with the sparse Cholesky, account for ~70 % of
+// an EPX run (§I, §IV):
+//
+//  LOOPELM — "independent loop on finite elements to compute nodal internal
+//            forces from local mechanical behaviour". Two parallel phases:
+//            per-element force computation (gather 8 nodes, strain-rate
+//            proxy, material update, 24 force components) and per-node
+//            assembly over the incidence table. The element phase is
+//            memory-heavy (gather/scatter dominates for cheap materials —
+//            the paper's "memory intensive character" on MEPPEN); the
+//            assembly phase is bandwidth-bound by construction.
+//
+//  REPERA  — "independent loop to sort candidates for node_to_facet
+//            unilateral contact". A spatial hash over master facets is
+//            rebuilt, then each slave node probes neighbouring cells,
+//            computes distances (sqrt/dot-heavy) and sorts its candidates —
+//            the compute-intensive kernel with good speedup in Fig. 6.
+//
+// Both kernels take a LoopRunner so the same code runs sequentially, under
+// X-Kaapi's adaptive foreach, or under the OpenMP-model LoopTeam (Fig. 3
+// compares exactly these on the two EPX loops).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "epx/material.hpp"
+#include "epx/mesh.hpp"
+
+namespace xk::epx {
+
+/// Runs `body` over chunked [0, n). Implementations: serial, X-Kaapi
+/// parallel_for, LoopTeam static/dynamic/guided.
+using LoopRunner = std::function<void(
+    std::int64_t n,
+    const std::function<void(std::int64_t, std::int64_t)>& body)>;
+
+LoopRunner seq_runner();
+LoopRunner xkaapi_runner(std::int64_t grain = 0);
+
+/// Persistent LOOPELM storage (element states + staging for assembly).
+struct LoopelmState {
+  std::vector<ElemState> elem_state;
+  std::vector<std::array<double, 24>> elem_force;  // 8 corners x 3 comps
+
+  void resize(int nelems) {
+    elem_state.assign(static_cast<std::size_t>(nelems), ElemState{});
+    elem_force.assign(static_cast<std::size_t>(nelems), {});
+  }
+};
+
+/// Internal force computation: fills mesh.f_int deterministically
+/// (assembly iterates the incidence table in fixed order).
+void loopelm(Mesh& mesh, LoopelmState& state, double dt, int material_iters,
+             const LoopRunner& run);
+
+/// One node-facet candidate produced by REPERA.
+struct ContactCandidate {
+  int node = -1;
+  int surface = -1;
+  int facet = -1;
+  double distance = 0.0;
+};
+
+/// Per-slave-node candidate lists, ordered by distance (stable).
+struct ReperaState {
+  /// Flattened per (surface, slave-slot) candidate lists.
+  std::vector<std::vector<ContactCandidate>> candidates;
+  std::size_t total = 0;
+};
+
+/// Contact candidate search + sort over every contact surface of the mesh.
+void repera(const Mesh& mesh, ReperaState& out, const LoopRunner& run);
+
+/// Selects the active constraints (closest candidate within tolerance per
+/// slave node) from a REPERA result. Deterministic.
+struct Constraint {
+  int node = -1;
+  Vec3 normal;
+  std::array<int, 4> facet_nodes{-1, -1, -1, -1};  // -1s for rigid facets
+  int partner = -1;   // structurally coupled node (ContactSurface doc)
+  long sort_key = 0;  // multiplier ordering key (skyline profile)
+  double gap = 0.0;
+};
+std::vector<Constraint> select_constraints(const Mesh& mesh,
+                                           const ReperaState& candidates);
+
+}  // namespace xk::epx

@@ -1,0 +1,63 @@
+#include "epx/material.hpp"
+
+#include <cmath>
+
+namespace xk::epx {
+
+const Material& material(int id) {
+  static const Material kSteel{2.1e11, 8.0e10, 1.6e11, 2.5e8, 1.0e9};
+  static const Material kPly{7.0e10, 2.6e10, 5.0e10, 6.0e8, 2.0e9};
+  return id == 0 ? kSteel : kPly;
+}
+
+double material_update(const Material& mat, ElemState& state,
+                       const std::array<double, 6>& dstrain, int return_iters) {
+  // Elastic predictor: sigma += lambda tr(de) I + 2 mu de.
+  const double tr = dstrain[0] + dstrain[1] + dstrain[2];
+  const double lambda = mat.bulk - 2.0 / 3.0 * mat.shear;
+  for (int c = 0; c < 3; ++c) {
+    state.stress[static_cast<std::size_t>(c)] +=
+        lambda * tr + 2.0 * mat.shear * dstrain[static_cast<std::size_t>(c)];
+  }
+  for (int c = 3; c < 6; ++c) {
+    state.stress[static_cast<std::size_t>(c)] +=
+        mat.shear * dstrain[static_cast<std::size_t>(c)];
+  }
+
+  // Deviatoric stress and von-Mises norm.
+  const double p =
+      (state.stress[0] + state.stress[1] + state.stress[2]) / 3.0;
+  double dev[6];
+  for (int c = 0; c < 3; ++c) dev[c] = state.stress[static_cast<std::size_t>(c)] - p;
+  for (int c = 3; c < 6; ++c) dev[c] = state.stress[static_cast<std::size_t>(c)];
+  double j2 = 0.0;
+  for (int c = 0; c < 3; ++c) j2 += dev[c] * dev[c];
+  for (int c = 3; c < 6; ++c) j2 += 2.0 * dev[c] * dev[c];
+  double vm = std::sqrt(1.5 * j2);
+
+  const double yield = mat.yield0 + mat.hardening * state.eps_plastic;
+  if (vm <= yield || vm == 0.0) return vm;
+
+  // Radial return with hardening: iterate the plastic multiplier (the
+  // fixed-point converges fast; `return_iters` fixes the cost).
+  double dgamma = 0.0;
+  for (int it = 0; it < return_iters; ++it) {
+    const double resid = vm - 3.0 * mat.shear * dgamma -
+                         (mat.yield0 +
+                          mat.hardening * (state.eps_plastic + dgamma));
+    const double slope = 3.0 * mat.shear + mat.hardening;
+    dgamma += resid / slope;
+    if (dgamma < 0.0) dgamma = 0.0;
+  }
+  const double scale = (vm - 3.0 * mat.shear * dgamma) / vm;
+  for (int c = 0; c < 3; ++c) {
+    state.stress[static_cast<std::size_t>(c)] = dev[c] * scale + p;
+  }
+  for (int c = 3; c < 6; ++c) {
+    state.stress[static_cast<std::size_t>(c)] = dev[c] * scale;
+  }
+  state.eps_plastic += dgamma;
+  return vm * scale;
+}
+
+}  // namespace xk::epx

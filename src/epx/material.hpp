@@ -1,0 +1,40 @@
+// Elasto-plastic material update for the LOOPELM kernel.
+//
+// A simplified small-strain von-Mises model with isotropic hardening and an
+// iterative radial-return mapping. The iteration count is the knob that
+// makes MEPPEN's elements expensive and irregular (dynamic buckling: "large
+// ratios between finite elements", §IV) and MAXPLANE's cheap and regular.
+// The physics is deliberately minimal; what matters for the reproduction is
+// the kernel's arithmetic intensity and its per-element cost variance.
+#pragma once
+
+#include <array>
+
+namespace xk::epx {
+
+struct Material {
+  double young = 2.1e11;
+  double shear = 8.0e10;
+  double bulk = 1.6e11;
+  double yield0 = 2.5e8;
+  double hardening = 1.0e9;
+};
+
+/// Per-element persistent state: Voigt stress + accumulated plastic strain.
+struct ElemState {
+  std::array<double, 6> stress{};  // xx yy zz xy yz zx
+  double eps_plastic = 0.0;
+};
+
+/// Returns the two materials of the mini-app (0: steel-like, 1: composite-
+/// ply-like with lower stiffness/yield).
+const Material& material(int id);
+
+/// Updates `state` from a Voigt strain increment; `return_iters` controls
+/// the radial-return cost (≥1). Returns the von-Mises stress after update
+/// (diagnostics). Deterministic: no branches depend on anything but the
+/// inputs.
+double material_update(const Material& mat, ElemState& state,
+                       const std::array<double, 6>& dstrain, int return_iters);
+
+}  // namespace xk::epx

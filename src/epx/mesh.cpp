@@ -1,0 +1,244 @@
+#include "epx/mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xk::epx {
+
+void Mesh::build_incidence() {
+  node_elems.assign(x.size(), {});
+  for (int e = 0; e < nelems(); ++e) {
+    for (int c = 0; c < 8; ++c) {
+      node_elems[static_cast<std::size_t>(elems[static_cast<std::size_t>(e)]
+                                              [static_cast<std::size_t>(c)])]
+          .push_back(Incidence{e, c});
+    }
+  }
+}
+
+double Mesh::min_edge() const {
+  double best = 1e300;
+  for (const auto& conn : elems) {
+    const Vec3& a = x0[static_cast<std::size_t>(conn[0])];
+    const Vec3& b = x0[static_cast<std::size_t>(conn[1])];
+    const double dx = a.x - b.x, dy = a.y - b.y, dz = a.z - b.z;
+    best = std::min(best, std::sqrt(dx * dx + dy * dy + dz * dz));
+  }
+  return best;
+}
+
+Mesh make_box(int nx, int ny, int nz, double h, Vec3 origin, double density) {
+  Mesh m;
+  const int px = nx + 1, py = ny + 1, pz = nz + 1;
+  auto node_id = [&](int i, int j, int k) { return (k * py + j) * px + i; };
+
+  m.x0.resize(static_cast<std::size_t>(px) * py * pz);
+  for (int k = 0; k < pz; ++k) {
+    for (int j = 0; j < py; ++j) {
+      for (int i = 0; i < px; ++i) {
+        m.x0[static_cast<std::size_t>(node_id(i, j, k))] =
+            Vec3{origin.x + i * h, origin.y + j * h, origin.z + k * h};
+      }
+    }
+  }
+  m.x = m.x0;
+  m.v.assign(m.x.size(), Vec3{});
+  m.f_int.assign(m.x.size(), Vec3{});
+  m.f_ext.assign(m.x.size(), Vec3{});
+  m.mass.assign(m.x.size(), 0.0);
+
+  m.elems.reserve(static_cast<std::size_t>(nx) * ny * nz);
+  const double corner_mass = density * h * h * h / 8.0;
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        const std::array<int, 8> conn = {
+            node_id(i, j, k),         node_id(i + 1, j, k),
+            node_id(i + 1, j + 1, k), node_id(i, j + 1, k),
+            node_id(i, j, k + 1),     node_id(i + 1, j, k + 1),
+            node_id(i + 1, j + 1, k + 1), node_id(i, j + 1, k + 1)};
+        m.elems.push_back(conn);
+        m.elem_material.push_back(0);
+        for (int c : conn) m.mass[static_cast<std::size_t>(c)] += corner_mass;
+      }
+    }
+  }
+  m.build_incidence();
+  return m;
+}
+
+namespace {
+
+Vec3 facet_center(const Mesh& m, const Facet& f) {
+  Vec3 c;
+  for (int n : f.nodes) {
+    const Vec3& p = m.x[static_cast<std::size_t>(n)];
+    c.x += 0.25 * p.x;
+    c.y += 0.25 * p.y;
+    c.z += 0.25 * p.z;
+  }
+  return c;
+}
+
+}  // namespace
+
+Scenario make_meppen(int scale) {
+  Scenario s;
+  s.name = "MEPPEN";
+  const int nx = 24 * scale, ny = 4 * scale, nz = 4 * scale;
+  const double h = 0.05;
+  // Start just outside the contact tolerance so impact happens within a few
+  // dozen steps (benches and tests run short windows of the crash).
+  const double standoff = 0.105;
+  s.mesh = make_box(nx, ny, nz, h, Vec3{standoff, 0.0, 0.0}, 7800.0);
+
+  // The missile flies in -x toward a rigid wall at x = 0.
+  for (Vec3& vel : s.mesh.v) vel.x = -150.0;
+
+  // Rigid wall: a grid of static facets spanning the impact zone.
+  ContactSurface wall;
+  const int wn = 8 * scale;
+  const double wh = (ny * h * 3.0) / wn;
+  for (int j = 0; j < wn; ++j) {
+    for (int k = 0; k < wn; ++k) {
+      Facet f;
+      f.nodes = {-1, -1, -1, -1};
+      f.center = Vec3{0.0, (j + 0.5) * wh - wn * wh / 2 + ny * h / 2,
+                      (k + 0.5) * wh - wn * wh / 2 + nz * h / 2};
+      f.normal = Vec3{1.0, 0.0, 0.0};
+      wall.facets.push_back(f);
+    }
+  }
+  // Slave nodes: the front face of the missile (x == min).
+  for (int n = 0; n < s.mesh.nnodes(); ++n) {
+    if (s.mesh.x0[static_cast<std::size_t>(n)].x < standoff + 1e-9) {
+      wall.slave_nodes.push_back(n);
+    }
+  }
+  wall.gap_tolerance = 2.0 * h;
+  s.mesh.contacts.push_back(std::move(wall));
+
+  // Strongly plastic material: expensive return mapping, heavy per element.
+  s.material_iters = 6;
+  s.repera_every = 1;
+  s.cholesky_block = 8;
+  s.dt = 0.2 * s.mesh.min_edge() / 5000.0;  // CFL-ish vs steel wave speed
+  return s;
+}
+
+Scenario make_maxplane(int scale, int plies) {
+  Scenario s;
+  s.name = "MAXPLANE";
+  const int nx = 10 * scale, ny = 10 * scale;
+  const double h = 0.01;
+  // Build plies as one mesh: ply p occupies z in [p*(h+gap), ...], one
+  // element thick; contact between consecutive plies.
+  Mesh all;
+  const double gap = 0.1 * h;
+  std::vector<int> node_base(static_cast<std::size_t>(plies) + 1, 0);
+  for (int p = 0; p < plies; ++p) {
+    Mesh ply = make_box(nx, ny, 1, h, Vec3{0.0, 0.0, p * (h + gap)}, 1600.0);
+    node_base[static_cast<std::size_t>(p)] = all.nnodes();
+    const int base = all.nnodes();
+    const int ebase = all.nelems();
+    all.x0.insert(all.x0.end(), ply.x0.begin(), ply.x0.end());
+    all.x.insert(all.x.end(), ply.x.begin(), ply.x.end());
+    all.v.insert(all.v.end(), ply.v.begin(), ply.v.end());
+    all.f_int.resize(all.x.size());
+    all.f_ext.resize(all.x.size());
+    all.mass.insert(all.mass.end(), ply.mass.begin(), ply.mass.end());
+    for (auto conn : ply.elems) {
+      for (int& n : conn) n += base;
+      all.elems.push_back(conn);
+      all.elem_material.push_back(p % 2);  // alternating ply materials
+    }
+    (void)ebase;
+  }
+  node_base[static_cast<std::size_t>(plies)] = all.nnodes();
+  all.build_incidence();
+
+  // Inter-ply contact: top-face facets of ply p vs bottom nodes of ply p+1.
+  const int px = nx + 1, py = ny + 1;
+  auto ply_node = [&](int p, int i, int j, int k) {
+    return node_base[static_cast<std::size_t>(p)] + (k * py + j) * px + i;
+  };
+  for (int p = 0; p + 1 < plies; ++p) {
+    ContactSurface cs;
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        Facet f;
+        f.nodes = {ply_node(p, i, j, 1), ply_node(p, i + 1, j, 1),
+                   ply_node(p, i + 1, j + 1, 1), ply_node(p, i, j + 1, 1)};
+        f.center = facet_center(all, f);
+        f.normal = Vec3{0.0, 0.0, 1.0};
+        cs.facets.push_back(f);
+      }
+    }
+    for (int j = 0; j < py; ++j) {
+      for (int i = 0; i < px; ++i) {
+        cs.slave_nodes.push_back(ply_node(p + 1, i, j, 0));
+        // Through-thickness partner: the top node of the same column, which
+        // is a facet node of the interface above — chains the interfaces
+        // into one condensed system (see ContactSurface::slave_partners).
+        cs.slave_partners.push_back(ply_node(p + 1, i, j, 1));
+        // Spatial multiplier ordering: all interfaces of a column adjacent.
+        cs.slave_sort_keys.push_back(
+            (static_cast<long>(j) * px + i) * plies + p);
+      }
+    }
+    // Wide activation window: inter-ply contact stays condensed into H even
+    // while the multipliers push the plies a little apart — EPX keeps such
+    // persistent links in the system, which is what makes the MAXPLANE H
+    // "close to the system stiffness matrix" (§IV).
+    cs.gap_tolerance = 5.0 * gap;
+    all.contacts.push_back(std::move(cs));
+  }
+
+  // Projectile: a downward velocity patch on the top ply ("ice projectile"
+  // footprint) plus a mild stack-wide compression so every inter-ply
+  // interface carries active contact — that is what makes the condensed H
+  // matrix plate-sized and the CHOLESKY phase dominant in the paper's
+  // MAXPLANE runs ("the size and filling of the H matrix are close to those
+  // of the system stiffness matrix", §IV).
+  for (int p = 0; p < plies; ++p) {
+    const double vz = -2.0 * static_cast<double>(p);
+    for (int k = 0; k <= 1; ++k) {
+      for (int j = 0; j < py; ++j) {
+        for (int i = 0; i < px; ++i) {
+          all.v[static_cast<std::size_t>(ply_node(p, i, j, k))].z = vz;
+        }
+      }
+    }
+  }
+  for (int j = py / 3; j < 2 * py / 3; ++j) {
+    for (int i = px / 3; i < 2 * px / 3; ++i) {
+      all.v[static_cast<std::size_t>(ply_node(plies - 1, i, j, 1))].z = -60.0;
+    }
+  }
+  // Sustained crushing load against an anchored foundation: the multiplier
+  // impulses push plies apart, the load re-closes them onto the (nearly
+  // immovable) bottom ply, so the inter-ply contact system stays condensed
+  // and factored essentially every step — the regime in which "the solution
+  // procedure is strongly dominated by the condensed system solution, and
+  // then by the CHOLESKY algorithm" (§IV).
+  for (std::size_t n = 0; n < all.f_ext.size(); ++n) {
+    all.f_ext[n].z = -2.0e6 * all.mass[n];
+  }
+  for (int j = 0; j < py; ++j) {
+    for (int i = 0; i < px; ++i) {
+      const auto n = static_cast<std::size_t>(ply_node(0, i, j, 0));
+      all.mass[n] *= 1.0e9;  // foundation anchor
+      all.f_ext[n].z = 0.0;
+      all.v[n] = Vec3{};
+    }
+  }
+
+  s.mesh = std::move(all);
+  s.material_iters = 1;  // mostly elastic plies: cheap, regular LOOPELM
+  s.repera_every = 8;    // persistent contacts: searches can be cadenced
+  s.cholesky_block = 32;  // block grain: keeps steal cost amortized (Fig. 2 lesson)
+  s.dt = 0.2 * s.mesh.min_edge() / 3000.0;
+  return s;
+}
+
+}  // namespace xk::epx

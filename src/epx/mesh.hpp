@@ -1,0 +1,110 @@
+// Synthetic finite-element meshes for the EPX mini-app (§IV).
+//
+// EUROPLEXUS is proprietary; this mesh layer reproduces the *structure* its
+// hot kernels operate on: hex8 elements over structured node grids, a
+// node→element incidence table (for deterministic parallel force assembly),
+// contact surfaces (slave node sets vs master facet sets), and per-node
+// kinematic state. Two scenario builders mirror the paper's instances:
+//
+//  MEPPEN   — "crash of a large steel missile on a perfectly rigid wall":
+//             a long beam flying into a static rigid wall; large plastic
+//             strains (elasto-plastic material with expensive return
+//             mapping), moderate contact, tiny H matrix. Time splits mainly
+//             between LOOPELM and REPERA, as in Fig. 6-left/Fig. 8-top.
+//
+//  MAXPLANE — "impact of an ice projectile on a composite plate": a stack
+//             of plies with contact conditions between every pair of
+//             adjacent plies; many persistent contacts condense into a
+//             large skyline H whose factorization dominates (≈60 % of the
+//             time, §IV-B), as in Fig. 6-right/Fig. 8-bottom.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace xk::epx {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+};
+
+/// One quadrilateral master facet of a contact surface.
+struct Facet {
+  std::array<int, 4> nodes;  ///< -1 for rigid (wall) facets
+  Vec3 center;               ///< updated from nodes; fixed for rigid facets
+  Vec3 normal;
+};
+
+/// A contact interface: slave nodes tested against master facets.
+struct ContactSurface {
+  std::vector<int> slave_nodes;
+  std::vector<Facet> facets;
+  double gap_tolerance = 0.0;
+  /// Optional (parallel to slave_nodes): a structurally-coupled partner
+  /// node per slave (e.g. the through-thickness neighbour). The condensed
+  /// H row of a constraint includes the partner, reproducing the cross-
+  /// interface coupling EPX's condensation introduces (§IV-B: the MAXPLANE
+  /// H has "size and filling close to those of the system stiffness
+  /// matrix"). Empty = no partners.
+  std::vector<int> slave_partners;
+  /// Optional (parallel to slave_nodes): multiplier ordering keys. A
+  /// spatial ordering keeps the skyline profile tight when several
+  /// interfaces couple. Empty = order by node id.
+  std::vector<long> slave_sort_keys;
+};
+
+struct Mesh {
+  // Node state (structure-of-arrays: the LOOPELM gather/scatter pattern).
+  std::vector<Vec3> x0;     ///< reference positions
+  std::vector<Vec3> x;      ///< current positions
+  std::vector<Vec3> v;      ///< velocities
+  std::vector<Vec3> f_int;  ///< assembled internal forces
+  std::vector<Vec3> f_ext;  ///< external + contact forces
+  std::vector<double> mass;
+
+  // Hex8 elements.
+  std::vector<std::array<int, 8>> elems;
+  std::vector<int> elem_material;
+
+  // Node -> incident (element, local corner) pairs, corner-ordered for
+  // deterministic assembly.
+  struct Incidence {
+    int elem;
+    int corner;
+  };
+  std::vector<std::vector<Incidence>> node_elems;
+
+  std::vector<ContactSurface> contacts;
+
+  int nnodes() const { return static_cast<int>(x.size()); }
+  int nelems() const { return static_cast<int>(elems.size()); }
+
+  /// Builds node_elems from elems (call after constructing elements).
+  void build_incidence();
+
+  /// Characteristic element edge length (for stable time-step estimates).
+  double min_edge() const;
+};
+
+/// Structured box mesh: nx x ny x nz elements, spacing h, origin at
+/// `origin`; nodes get `density * h^3 / 8`-lumped masses per element corner.
+Mesh make_box(int nx, int ny, int nz, double h, Vec3 origin, double density);
+
+struct Scenario {
+  Mesh mesh;
+  double dt = 0.0;
+  int material_iters = 2;      ///< plastic return-mapping iterations
+  int repera_every = 1;        ///< contact search cadence (steps)
+  int cholesky_block = 16;     ///< BS for the condensed H factorization
+  const char* name = "";
+};
+
+/// MEPPEN-like: long beam (missile) vs rigid wall. `scale` grows the mesh.
+Scenario make_meppen(int scale = 1);
+
+/// MAXPLANE-like: `plies` stacked plates with inter-ply contact. `scale`
+/// grows the in-plane resolution.
+Scenario make_maxplane(int scale = 1, int plies = 4);
+
+}  // namespace xk::epx

@@ -1,0 +1,114 @@
+#include "epx/simulation.hpp"
+
+#include <cmath>
+
+#include "core/xkaapi.hpp"
+#include "skyline/factor.hpp"
+#include "support/timing.hpp"
+
+namespace xk::epx {
+
+double state_checksum(const Mesh& mesh) {
+  // Order-fixed Kahan-free sum with index mixing: any schedule-dependent
+  // divergence in x or v changes the value.
+  double sum = 0.0;
+  for (int n = 0; n < mesh.nnodes(); ++n) {
+    const Vec3& p = mesh.x[static_cast<std::size_t>(n)];
+    const Vec3& v = mesh.v[static_cast<std::size_t>(n)];
+    const double w = 1.0 + (n % 17) * 1e-3;
+    sum += w * (p.x + 2.0 * p.y + 3.0 * p.z) +
+           w * 1e-4 * (v.x + 2.0 * v.y + 3.0 * v.z);
+  }
+  return sum;
+}
+
+PhaseTimes simulate(Scenario& scenario, int steps, const SimOptions& opt) {
+  Mesh& mesh = scenario.mesh;
+  const double dt = scenario.dt;
+  const LoopRunner run = opt.loop ? opt.loop : seq_runner();
+  const int repera_every =
+      opt.repera_every > 0 ? opt.repera_every : scenario.repera_every;
+
+  PhaseTimes times;
+  LoopelmState elm;
+  elm.resize(mesh.nelems());
+  ReperaState rep;
+  std::vector<Constraint> constraints;
+
+  const bool own_section = opt.rt != nullptr && !opt.rt->in_section();
+  if (own_section) opt.rt->begin();
+
+  Timer phase;
+  for (int step = 0; step < steps; ++step) {
+    // --- LOOPELM: internal forces --------------------------------------
+    phase.reset();
+    loopelm(mesh, elm, dt, scenario.material_iters, run);
+    times.loopelm += phase.seconds();
+
+    // --- REPERA: contact candidates (cadenced) --------------------------
+    if (step % repera_every == 0) {
+      phase.reset();
+      repera(mesh, rep, run);
+      times.repera += phase.seconds();
+
+      phase.reset();
+      constraints = select_constraints(mesh, rep);
+      times.other += phase.seconds();
+    }
+
+    // --- integrate free velocities (central difference) -----------------
+    phase.reset();
+    for (int n = 0; n < mesh.nnodes(); ++n) {
+      const auto i = static_cast<std::size_t>(n);
+      const double inv_m = 1.0 / mesh.mass[i];
+      mesh.v[i].x += dt * (mesh.f_ext[i].x - mesh.f_int[i].x) * inv_m;
+      mesh.v[i].y += dt * (mesh.f_ext[i].y - mesh.f_int[i].y) * inv_m;
+      mesh.v[i].z += dt * (mesh.f_ext[i].z - mesh.f_int[i].z) * inv_m;
+    }
+    times.other += phase.seconds();
+
+    // --- condensed contact system: build (other) + factor/solve (chol) --
+    if (!constraints.empty()) {
+      phase.reset();
+      CondensedSystem sys = build_condensed_system(
+          mesh, constraints, scenario.cholesky_block, dt);
+      times.other += phase.seconds();
+
+      phase.reset();
+      int info;
+      if (opt.rt != nullptr) {
+        info = skyline::factor_xkaapi(sys.h, *opt.rt);
+      } else {
+        info = skyline::factor_sequential(sys.h);
+      }
+      std::vector<double> lambda(sys.rhs.size(), 0.0);
+      if (info == 0) {
+        skyline::solve_factored(sys.h, sys.rhs.data(), lambda.data());
+      }
+      times.cholesky += phase.seconds();
+      times.factorizations++;
+      times.constraints_total +=
+          static_cast<std::int64_t>(sys.constraints.size());
+
+      phase.reset();
+      apply_multipliers(mesh, sys, lambda);
+      times.other += phase.seconds();
+    }
+
+    // --- advance positions ----------------------------------------------
+    phase.reset();
+    for (int n = 0; n < mesh.nnodes(); ++n) {
+      const auto i = static_cast<std::size_t>(n);
+      mesh.x[i].x += dt * mesh.v[i].x;
+      mesh.x[i].y += dt * mesh.v[i].y;
+      mesh.x[i].z += dt * mesh.v[i].z;
+    }
+    times.other += phase.seconds();
+    times.steps++;
+  }
+
+  if (own_section) opt.rt->end();
+  return times;
+}
+
+}  // namespace xk::epx

@@ -1,0 +1,63 @@
+// The EPX mini-app time loop (§IV): central-difference explicit dynamics
+// driving the three instrumented kernels plus the residual "other" work.
+//
+// Per step:
+//   LOOPELM  — internal nodal forces (phase-timed as `loopelm`);
+//   REPERA   — contact candidate search, every `repera_every` steps
+//              (phase-timed as `repera`);
+//   CHOLESKY — condensed H factorization + triangular solves when contacts
+//              are active (phase-timed as `cholesky`; "the cost of following
+//              triangular system solutions being neglected" — we time them
+//              inside the same phase, they are negligible);
+//   other    — constraint selection, H assembly, multiplier application,
+//              time integration: the sequential ~30 % Amdahl residue the
+//              paper's Fig. 8 shows as 'other'.
+//
+// The whole loop is deterministic: a parallel run reproduces the sequential
+// trajectory bit for bit (kernels assemble in fixed order; the task
+// factorization executes the same kernel sequence per block).
+#pragma once
+
+#include <cstdint>
+
+#include "epx/hmatrix.hpp"
+#include "epx/kernels.hpp"
+#include "epx/mesh.hpp"
+
+namespace xk {
+class Runtime;
+}
+
+namespace xk::epx {
+
+/// Per-phase wall-clock accumulation over a run (Fig. 8's bar segments).
+struct PhaseTimes {
+  double loopelm = 0.0;
+  double repera = 0.0;
+  double cholesky = 0.0;
+  double other = 0.0;
+  int steps = 0;
+  int factorizations = 0;
+  std::int64_t constraints_total = 0;
+
+  double total() const { return loopelm + repera + cholesky + other; }
+};
+
+struct SimOptions {
+  /// Loop backend for LOOPELM/REPERA (serial when empty).
+  LoopRunner loop;
+  /// Runtime for the task-parallel H factorization (sequential when null).
+  Runtime* rt = nullptr;
+  /// Override the scenario's contact-search cadence (0 = keep).
+  int repera_every = 0;
+};
+
+/// Runs `steps` time steps of the scenario, mutating its mesh. Returns the
+/// phase decomposition.
+PhaseTimes simulate(Scenario& scenario, int steps, const SimOptions& opt);
+
+/// Checksum of the kinematic state (positions + velocities), for
+/// determinism tests across backends.
+double state_checksum(const Mesh& mesh);
+
+}  // namespace xk::epx

@@ -1,0 +1,52 @@
+// Sequential BLAS-like kernels for the tiled/blocked Cholesky factorizations
+// (the paper's potrf/trsm/syrk/gemm, §III-B and Fig. 7 pseudo-code).
+//
+// Column-major with explicit leading dimensions. The update kernels hardcode
+// the Cholesky signature alpha = -1, beta = 1 (C := C - A·op(B)) — that is
+// the only combination the factorizations use. All kernels are single-
+// threaded; parallelism comes from the runtimes scheduling them as tasks.
+#pragma once
+
+namespace xk::linalg {
+
+/// In-place lower Cholesky of the leading n x n of A (column-major, lda).
+/// Returns 0 on success, j+1 when the j-th pivot is not positive.
+int potrf_lower(int n, double* a, int lda);
+
+/// B := B * L^{-T} for lower-triangular L (n x n); B is m x n.
+/// (PLASMA's dtrsm RIGHT/LOWER/TRANS/NONUNIT as used by tile Cholesky.)
+void trsm_right_lower_trans(int m, int n, const double* l, int ldl, double* b,
+                            int ldb);
+
+/// C := C - A * A^T on the lower triangle only; C is n x n, A is n x k.
+void syrk_lower(int n, int k, const double* a, int lda, double* c, int ldc);
+
+/// C := C - A * B^T; C is m x n, A is m x k, B is n x k.
+void gemm_nt(int m, int n, int k, const double* a, int lda, const double* b,
+             int ldb, double* c, int ldc);
+
+/// x := L^{-1} x for lower-triangular L (n x n), forward substitution.
+void trsv_lower_notrans(int n, const double* l, int ldl, double* x);
+
+/// x := L^{-T} x for lower-triangular L (n x n), backward substitution.
+void trsv_lower_trans(int n, const double* l, int ldl, double* x);
+
+/// y := y - A * x; A is m x n.
+void gemv_minus(int m, int n, const double* a, int lda, const double* x,
+                double* y);
+
+/// y := y - A^T * x; A is m x n (so y has n entries, x has m).
+void gemv_minus_trans(int m, int n, const double* a, int lda, const double* x,
+                      double* y);
+
+// Naive reference implementations (tests compare the kernels against these).
+namespace ref {
+int potrf_lower(int n, double* a, int lda);
+void trsm_right_lower_trans(int m, int n, const double* l, int ldl, double* b,
+                            int ldb);
+void syrk_lower(int n, int k, const double* a, int lda, double* c, int ldc);
+void gemm_nt(int m, int n, int k, const double* a, int lda, const double* b,
+             int ldb, double* c, int ldc);
+}  // namespace ref
+
+}  // namespace xk::linalg

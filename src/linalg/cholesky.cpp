@@ -1,0 +1,258 @@
+#include "linalg/cholesky.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/xkaapi.hpp"
+#include "linalg/blas.hpp"
+#include "quark/quark.h"
+
+namespace xk::linalg {
+
+double cholesky_flops(int n) {
+  const double nd = n;
+  return nd * nd * nd / 3.0 + nd * nd / 2.0 + nd / 6.0;
+}
+
+// ---------------------------------------------------------------------------
+// Sequential.
+// ---------------------------------------------------------------------------
+
+int cholesky_sequential(TiledMatrix& a) {
+  const int nt = a.nt();
+  const int nb = a.nb();
+  for (int k = 0; k < nt; ++k) {
+    const int info = potrf_lower(nb, a.tile(k, k), nb);
+    if (info != 0) return k * nb + info;
+    for (int m = k + 1; m < nt; ++m) {
+      trsm_right_lower_trans(nb, nb, a.tile(k, k), nb, a.tile(m, k), nb);
+    }
+    for (int m = k + 1; m < nt; ++m) {
+      syrk_lower(nb, nb, a.tile(m, k), nb, a.tile(m, m), nb);
+      for (int n = k + 1; n < m; ++n) {
+        gemm_nt(nb, nb, nb, a.tile(m, k), nb, a.tile(n, k), nb, a.tile(m, n),
+                nb);
+      }
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// X-Kaapi dataflow: one task per kernel, accesses are whole tiles.
+// ---------------------------------------------------------------------------
+
+int cholesky_xkaapi(TiledMatrix& a, Runtime& rt) {
+  const int nt = a.nt();
+  const int nb = a.nb();
+  const std::size_t te = a.tile_elems();
+  std::atomic<int> info{0};
+
+  rt.run([&] {
+    for (int k = 0; k < nt; ++k) {
+      xk::spawn(
+          [nb, k, &info](double* akk) {
+            const int r = potrf_lower(nb, akk, nb);
+            if (r != 0) {
+              int expected = 0;
+              info.compare_exchange_strong(expected, k * nb + r);
+            }
+          },
+          xk::rw(a.tile(k, k), te));
+      for (int m = k + 1; m < nt; ++m) {
+        xk::spawn(
+            [nb](const double* akk, double* amk) {
+              trsm_right_lower_trans(nb, nb, akk, nb, amk, nb);
+            },
+            xk::read(a.tile(k, k), te), xk::rw(a.tile(m, k), te));
+      }
+      for (int m = k + 1; m < nt; ++m) {
+        xk::spawn(
+            [nb](const double* amk, double* amm) {
+              syrk_lower(nb, nb, amk, nb, amm, nb);
+            },
+            xk::read(a.tile(m, k), te), xk::rw(a.tile(m, m), te));
+        for (int n = k + 1; n < m; ++n) {
+          xk::spawn(
+              [nb](const double* amk, const double* ank, double* amn) {
+                gemm_nt(nb, nb, nb, amk, nb, ank, nb, amn, nb);
+              },
+              xk::read(a.tile(m, k), te), xk::read(a.tile(n, k), te),
+              xk::rw(a.tile(m, n), te));
+        }
+      }
+    }
+    xk::sync();
+  });
+  return info.load();
+}
+
+// ---------------------------------------------------------------------------
+// QUARK ABI variant (backend picked by the Quark handle).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct QuarkCholeskyShared {
+  std::atomic<int>* info;
+};
+
+void quark_potrf(Quark* q) {
+  int nb = 0, kblock = 0;
+  double* akk = nullptr;
+  std::atomic<int>* info = nullptr;
+  quark_unpack_args_4(q, nb, kblock, akk, info);
+  const int r = potrf_lower(nb, akk, nb);
+  if (r != 0) {
+    int expected = 0;
+    info->compare_exchange_strong(expected, kblock * nb + r);
+  }
+}
+
+void quark_trsm(Quark* q) {
+  int nb = 0;
+  double* akk = nullptr;
+  double* amk = nullptr;
+  quark_unpack_args_3(q, nb, akk, amk);
+  trsm_right_lower_trans(nb, nb, akk, nb, amk, nb);
+}
+
+void quark_syrk(Quark* q) {
+  int nb = 0;
+  double* amk = nullptr;
+  double* amm = nullptr;
+  quark_unpack_args_3(q, nb, amk, amm);
+  syrk_lower(nb, nb, amk, nb, amm, nb);
+}
+
+void quark_gemm(Quark* q) {
+  int nb = 0;
+  double* amk = nullptr;
+  double* ank = nullptr;
+  double* amn = nullptr;
+  quark_unpack_args_4(q, nb, amk, ank, amn);
+  gemm_nt(nb, nb, nb, amk, nb, ank, nb, amn, nb);
+}
+
+}  // namespace
+
+int cholesky_quark(TiledMatrix& a, quark_s* quark) {
+  const int nt = a.nt();
+  const int nb = a.nb();
+  const std::size_t tb = a.tile_elems() * sizeof(double);
+  std::atomic<int> info{0};
+  std::atomic<int>* info_ptr = &info;
+  const Quark_Task_Flags flags;
+
+  for (int k = 0; k < nt; ++k) {
+    QUARK_Insert_Task(quark, quark_potrf, &flags,
+                      sizeof(int), &nb, QUARK_VALUE,
+                      sizeof(int), &k, QUARK_VALUE,
+                      tb, a.tile(k, k), QUARK_INOUT,
+                      sizeof(info_ptr), &info_ptr, QUARK_VALUE,
+                      std::size_t{0});
+    for (int m = k + 1; m < nt; ++m) {
+      QUARK_Insert_Task(quark, quark_trsm, &flags,
+                        sizeof(int), &nb, QUARK_VALUE,
+                        tb, a.tile(k, k), QUARK_INPUT,
+                        tb, a.tile(m, k), QUARK_INOUT,
+                        std::size_t{0});
+    }
+    for (int m = k + 1; m < nt; ++m) {
+      QUARK_Insert_Task(quark, quark_syrk, &flags,
+                        sizeof(int), &nb, QUARK_VALUE,
+                        tb, a.tile(m, k), QUARK_INPUT,
+                        tb, a.tile(m, m), QUARK_INOUT,
+                        std::size_t{0});
+      for (int n = k + 1; n < m; ++n) {
+        QUARK_Insert_Task(quark, quark_gemm, &flags,
+                          sizeof(int), &nb, QUARK_VALUE,
+                          tb, a.tile(m, k), QUARK_INPUT,
+                          tb, a.tile(n, k), QUARK_INPUT,
+                          tb, a.tile(m, n), QUARK_INOUT,
+                          std::size_t{0});
+      }
+    }
+  }
+  QUARK_Barrier(quark);
+  return info.load();
+}
+
+// ---------------------------------------------------------------------------
+// Static pipeline: row-cyclic ownership, left-looking order, progress flags.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct StaticProgress {
+  std::vector<std::atomic<int>> potrf_done;  // [k]
+  std::vector<std::atomic<int>> trsm_done;   // [m * nt + k]
+
+  explicit StaticProgress(int nt)
+      : potrf_done(static_cast<std::size_t>(nt)),
+        trsm_done(static_cast<std::size_t>(nt) * nt) {
+    for (auto& f : potrf_done) f.store(0, std::memory_order_relaxed);
+    for (auto& f : trsm_done) f.store(0, std::memory_order_relaxed);
+  }
+
+  static void wait(const std::atomic<int>& flag) {
+    int spins = 0;
+    while (flag.load(std::memory_order_acquire) == 0) {
+      if (++spins > 128) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+int cholesky_static(TiledMatrix& a, unsigned nthreads) {
+  const int nt = a.nt();
+  const int nb = a.nb();
+  if (nthreads == 0) nthreads = 1;
+  StaticProgress progress(nt);
+  std::atomic<int> info{0};
+
+  auto worker = [&](unsigned self) {
+    for (int m = static_cast<int>(self); m < nt;
+         m += static_cast<int>(nthreads)) {
+      // Left-looking over columns n of row m. All waits reference rows
+      // n < m, i.e. strictly earlier positions in the global order.
+      for (int n = 0; n < m; ++n) {
+        for (int k = 0; k < n; ++k) {
+          StaticProgress::wait(
+              progress.trsm_done[static_cast<std::size_t>(n) * nt + k]);
+          // trsm(m, k) is our own earlier step in this row.
+          gemm_nt(nb, nb, nb, a.tile(m, k), nb, a.tile(n, k), nb, a.tile(m, n),
+                  nb);
+        }
+        StaticProgress::wait(progress.potrf_done[static_cast<std::size_t>(n)]);
+        trsm_right_lower_trans(nb, nb, a.tile(n, n), nb, a.tile(m, n), nb);
+        progress.trsm_done[static_cast<std::size_t>(m) * nt + n].store(
+            1, std::memory_order_release);
+      }
+      for (int k = 0; k < m; ++k) {
+        syrk_lower(nb, nb, a.tile(m, k), nb, a.tile(m, m), nb);
+      }
+      const int r = potrf_lower(nb, a.tile(m, m), nb);
+      if (r != 0) {
+        int expected = 0;
+        info.compare_exchange_strong(expected, m * nb + r);
+      }
+      progress.potrf_done[static_cast<std::size_t>(m)].store(
+          1, std::memory_order_release);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(nthreads - 1);
+  for (unsigned t = 1; t < nthreads; ++t) threads.emplace_back(worker, t);
+  worker(0);
+  for (std::thread& t : threads) t.join();
+  return info.load();
+}
+
+}  // namespace xk::linalg

@@ -1,0 +1,37 @@
+// Tiled Cholesky factorization — the PLASMA dpotrf_Tile algorithm (§III-B)
+// in four scheduling variants:
+//
+//   sequential : plain loop nest over the kernels (the baseline timing);
+//   xkaapi     : one dataflow task per kernel on the X-Kaapi runtime —
+//                accesses are the (contiguous) tiles, dependencies implicit;
+//   quark      : the same task stream through the QUARK ABI (backend chosen
+//                by the Quark handle: central list = "PLASMA/Quark" of
+//                Fig. 2, xkaapi backend = the paper's ported library);
+//   static     : statically scheduled pipeline with per-tile progress flags
+//                and no task management at all ("PLASMA/static" of Fig. 2) —
+//                row-cyclic ownership, left-looking order, spin-waits on
+//                producer flags.
+//
+// All variants factor the lower triangle in place (A = L·L^T) and return 0
+// on success or a nonzero pivot index on failure.
+#pragma once
+
+#include "linalg/tiled.hpp"
+
+struct quark_s;
+
+namespace xk {
+class Runtime;
+}
+
+namespace xk::linalg {
+
+int cholesky_sequential(TiledMatrix& a);
+int cholesky_xkaapi(TiledMatrix& a, Runtime& rt);
+int cholesky_quark(TiledMatrix& a, quark_s* quark);
+int cholesky_static(TiledMatrix& a, unsigned nthreads);
+
+/// Flop count of an n x n Cholesky (n^3/3 + lower order), for GFlop/s.
+double cholesky_flops(int n);
+
+}  // namespace xk::linalg

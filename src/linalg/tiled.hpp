@@ -1,0 +1,62 @@
+// Tiled symmetric matrix in PLASMA tile layout: NT x NT tiles of NB x NB
+// doubles, each tile contiguous in memory (column-major inside the tile).
+// Contiguous tiles are exactly what makes the dataflow access regions of the
+// tiled Cholesky precise one-tile regions (§III-B).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace xk::linalg {
+
+class TiledMatrix {
+ public:
+  /// Builds an n x n matrix with tile size nb (n rounded up to a multiple
+  /// of nb; the logical dimension keeps the requested n).
+  TiledMatrix(int n, int nb);
+
+  int n() const { return n_; }
+  int nb() const { return nb_; }
+  int nt() const { return nt_; }
+
+  /// Pointer to tile (i, j), 0-based tile indices; a contiguous nb*nb block.
+  double* tile(int i, int j) {
+    return data_.data() +
+           (static_cast<std::size_t>(j) * nt_ + i) * tile_elems();
+  }
+  const double* tile(int i, int j) const {
+    return data_.data() +
+           (static_cast<std::size_t>(j) * nt_ + i) * tile_elems();
+  }
+
+  std::size_t tile_elems() const {
+    return static_cast<std::size_t>(nb_) * nb_;
+  }
+
+  /// Element access through the tile layout (slow; tests / verification).
+  double get(int i, int j) const;
+  void set(int i, int j, double v);
+
+  /// Fills the lower triangle (and mirrors the diagonal blocks) with a
+  /// deterministic symmetric positive-definite matrix:
+  /// A = R + n·I with R symmetric, entries in [-1, 1] from `seed`.
+  void fill_spd(std::uint64_t seed);
+
+  /// Dense column-major copy of the full symmetric matrix (from the lower
+  /// triangle), for verification.
+  std::vector<double> to_dense_symmetric() const;
+
+ private:
+  int n_;
+  int nb_;
+  int nt_;
+  std::vector<double> data_;
+};
+
+/// Frobenius-norm residual ||A0 - L·L^T||_F / ||A0||_F, where `factored`
+/// holds L in its lower triangle and `dense0` is the original symmetric
+/// matrix (column-major n x n from to_dense_symmetric()).
+double cholesky_residual(const TiledMatrix& factored,
+                         const std::vector<double>& dense0);
+
+}  // namespace xk::linalg

@@ -1,0 +1,92 @@
+// QUARK-style API (modeled on ICL-UT-11-02, "QUARK Users' Guide") — the
+// paper ported QUARK onto X-Kaapi to schedule PLASMA's algorithms (§III-B):
+// "we have ported QUARK on top of X-KAAPI to produce a binary compatible
+// QUARK library, which is linked with PLASMA algorithms".
+//
+// This reproduction provides the subset PLASMA-style tiled algorithms use:
+//   QUARK_New / QUARK_Delete / QUARK_Barrier / QUARK_Insert_Task
+// with VALUE / INPUT / OUTPUT / INOUT / SCRATCH argument flags and the
+// quark_unpack_args_N macros.
+//
+// Two interchangeable backends:
+//   QUARK_BACKEND_XKAAPI  — tasks become X-Kaapi dataflow tasks (distributed
+//                           work stealing, steal-time readiness, ready-list);
+//   QUARK_BACKEND_CENTRAL — the original QUARK scheduling model (centralized
+//                           ready list, insertion-time dependencies).
+// Fig. 2 is the comparison between the two under identical task streams.
+#pragma once
+
+#include <cstddef>
+
+typedef struct quark_s Quark;
+
+enum QuarkArgFlags {
+  QUARK_VALUE = 0x01,   // copied by value at insertion
+  QUARK_INPUT = 0x02,   // read dependency
+  QUARK_OUTPUT = 0x03,  // write dependency
+  QUARK_INOUT = 0x04,   // exclusive dependency
+  QUARK_SCRATCH = 0x05, // per-execution temporary, no dependency
+  QUARK_NODEP = 0x06,   // pointer passed through, no dependency
+};
+
+enum QuarkBackend {
+  QUARK_BACKEND_XKAAPI = 0,
+  QUARK_BACKEND_CENTRAL = 1,
+};
+
+struct Quark_Task_Flags {
+  int priority = 0;  // accepted, unused (QUARK compat)
+};
+
+/// Creates a runtime with `num_threads` workers (0 = one per core) using the
+/// backend named by XK_QUARK_BACKEND ("central" or "xkaapi", default xkaapi).
+Quark* QUARK_New(int num_threads);
+
+/// Creates a runtime with an explicit backend.
+Quark* QUARK_New_Backend(int num_threads, QuarkBackend backend);
+
+/// Waits for all inserted tasks, then tears the runtime down.
+void QUARK_Delete(Quark* quark);
+
+/// Waits for every task inserted so far.
+void QUARK_Barrier(Quark* quark);
+
+/// Inserts one task. Varargs are (size, pointer, flags) triplets terminated
+/// by 0, exactly like QUARK:
+///   QUARK_Insert_Task(q, fn, &flags,
+///                     sizeof(int), &n, QUARK_VALUE,
+///                     nb*nb*sizeof(double), tileA, QUARK_INPUT,
+///                     nb*nb*sizeof(double), tileC, QUARK_INOUT,
+///                     0);
+/// For VALUE the bytes are copied now; for SCRATCH a per-execution buffer of
+/// `size` bytes is provided; for the dependency flags the pointer defines a
+/// contiguous memory region of `size` bytes.
+unsigned long long QUARK_Insert_Task(Quark* quark, void (*function)(Quark*),
+                                     const Quark_Task_Flags* flags, ...);
+
+/// Copies the bytes of argument `index` of the currently running task into
+/// `dest` (VALUE) or stores the argument pointer (dependency/scratch flags).
+/// Used by the quark_unpack_args_N macros.
+void QUARK_Arg_Fetch(Quark* quark, int index, void* dest, std::size_t bytes);
+
+/// Worker count of the runtime behind `quark`.
+int QUARK_Thread_Count(Quark* quark);
+
+// quark_unpack_args_N: copy the N arguments of the running task into the
+// named variables (VALUE args by value; pointer args as pointers).
+#define XK_QUARK_FETCH(q, i, var) QUARK_Arg_Fetch((q), (i), &(var), sizeof(var))
+#define quark_unpack_args_1(q, a) do { XK_QUARK_FETCH(q, 0, a); } while (0)
+#define quark_unpack_args_2(q, a, b) \
+  do { XK_QUARK_FETCH(q, 0, a); XK_QUARK_FETCH(q, 1, b); } while (0)
+#define quark_unpack_args_3(q, a, b, c) \
+  do { quark_unpack_args_2(q, a, b); XK_QUARK_FETCH(q, 2, c); } while (0)
+#define quark_unpack_args_4(q, a, b, c, d) \
+  do { quark_unpack_args_3(q, a, b, c); XK_QUARK_FETCH(q, 3, d); } while (0)
+#define quark_unpack_args_5(q, a, b, c, d, e) \
+  do { quark_unpack_args_4(q, a, b, c, d); XK_QUARK_FETCH(q, 4, e); } while (0)
+#define quark_unpack_args_6(q, a, b, c, d, e, f) \
+  do { quark_unpack_args_5(q, a, b, c, d, e); XK_QUARK_FETCH(q, 5, f); } while (0)
+#define quark_unpack_args_7(q, a, b, c, d, e, f, g) \
+  do { quark_unpack_args_6(q, a, b, c, d, e, f); XK_QUARK_FETCH(q, 6, g); } while (0)
+#define quark_unpack_args_8(q, a, b, c, d, e, f, g, h) \
+  do { quark_unpack_args_7(q, a, b, c, d, e, f, g); XK_QUARK_FETCH(q, 7, h); } while (0)

@@ -1,0 +1,196 @@
+#include "skyline/factor.hpp"
+
+#include <atomic>
+#include <vector>
+
+#include "baselines/gomp_pool.hpp"
+#include "core/xkaapi.hpp"
+#include "linalg/blas.hpp"
+
+namespace xk::skyline {
+
+using linalg::gemm_nt;
+using linalg::gemv_minus;
+using linalg::gemv_minus_trans;
+using linalg::potrf_lower;
+using linalg::syrk_lower;
+using linalg::trsm_right_lower_trans;
+using linalg::trsv_lower_notrans;
+using linalg::trsv_lower_trans;
+
+int factor_sequential(BlockSkylineMatrix& a) {
+  const int nbk = a.nbk();
+  const int bs = a.bs();
+  for (int k = 0; k < nbk; ++k) {
+    const int info = potrf_lower(bs, a.block(k, k), bs);
+    if (info != 0) return k * bs + info;
+    for (int m = k + 1; m < nbk; ++m) {
+      if (a.is_empty(m, k)) continue;
+      trsm_right_lower_trans(bs, bs, a.block(k, k), bs, a.block(m, k), bs);
+    }
+    for (int m = k + 1; m < nbk; ++m) {
+      if (a.is_empty(m, k)) continue;
+      syrk_lower(bs, bs, a.block(m, k), bs, a.block(m, m), bs);
+      for (int n = k + 1; n < m; ++n) {
+        if (a.is_empty(n, k)) continue;
+        if (a.is_empty(m, n)) continue;
+        gemm_nt(bs, bs, bs, a.block(m, k), bs, a.block(n, k), bs,
+                a.block(m, n), bs);
+      }
+    }
+  }
+  return 0;
+}
+
+int factor_xkaapi(BlockSkylineMatrix& a, Runtime& rt) {
+  const int nbk = a.nbk();
+  const int bs = a.bs();
+  const std::size_t be = static_cast<std::size_t>(bs) * bs;
+  std::atomic<int> info{0};
+
+  auto submit = [&] {
+    for (int k = 0; k < nbk; ++k) {
+      xk::spawn(
+          [bs, k, &info](double* akk) {
+            const int r = potrf_lower(bs, akk, bs);
+            if (r != 0) {
+              int expected = 0;
+              info.compare_exchange_strong(expected, k * bs + r);
+            }
+          },
+          xk::rw(a.block(k, k), be));
+      for (int m = k + 1; m < nbk; ++m) {
+        if (a.is_empty(m, k)) continue;
+        xk::spawn(
+            [bs](const double* akk, double* amk) {
+              trsm_right_lower_trans(bs, bs, akk, bs, amk, bs);
+            },
+            xk::read(a.block(k, k), be), xk::rw(a.block(m, k), be));
+      }
+      for (int m = k + 1; m < nbk; ++m) {
+        if (a.is_empty(m, k)) continue;
+        xk::spawn(
+            [bs](const double* amk, double* amm) {
+              syrk_lower(bs, bs, amk, bs, amm, bs);
+            },
+            xk::read(a.block(m, k), be), xk::rw(a.block(m, m), be));
+        for (int n = k + 1; n < m; ++n) {
+          if (a.is_empty(n, k)) continue;
+          if (a.is_empty(m, n)) continue;
+          xk::spawn(
+              [bs](const double* amk, const double* ank, double* amn) {
+                gemm_nt(bs, bs, bs, amk, bs, ank, bs, amn, bs);
+              },
+              xk::read(a.block(m, k), be), xk::read(a.block(n, k), be),
+              xk::rw(a.block(m, n), be));
+        }
+      }
+    }
+    xk::sync();
+  };
+  // Usable standalone or from inside an open section (the EPX time loop
+  // factors H at every step inside one long-lived section).
+  if (rt.in_section()) {
+    submit();
+  } else {
+    rt.run(submit);
+  }
+  return info.load();
+}
+
+int factor_gomp(BlockSkylineMatrix& a, baseline::GompLikePool& pool) {
+  const int nbk = a.nbk();
+  const int bs = a.bs();
+  std::atomic<int> info{0};
+
+  pool.parallel([&] {
+    for (int k = 0; k < nbk; ++k) {
+      // potrf stays on the master (only lines 7/12/17 create tasks in the
+      // paper's OpenMP port).
+      const int r = potrf_lower(bs, a.block(k, k), bs);
+      if (r != 0) {
+        int expected = 0;
+        info.compare_exchange_strong(expected, k * bs + r);
+        return;
+      }
+      for (int m = k + 1; m < nbk; ++m) {
+        if (a.is_empty(m, k)) continue;
+        pool.spawn([&a, bs, k, m] {
+          trsm_right_lower_trans(bs, bs, a.block(k, k), bs, a.block(m, k), bs);
+        });
+      }
+      pool.taskwait();  // the paper's taskwait "after line 8"
+      for (int m = k + 1; m < nbk; ++m) {
+        if (a.is_empty(m, k)) continue;
+        pool.spawn([&a, bs, k, m] {
+          syrk_lower(bs, bs, a.block(m, k), bs, a.block(m, m), bs);
+        });
+        for (int n = k + 1; n < m; ++n) {
+          if (a.is_empty(n, k)) continue;
+          if (a.is_empty(m, n)) continue;
+          pool.spawn([&a, bs, k, m, n] {
+            gemm_nt(bs, bs, bs, a.block(m, k), bs, a.block(n, k), bs,
+                    a.block(m, n), bs);
+          });
+        }
+      }
+      pool.taskwait();  // the paper's taskwait "after line 19"
+    }
+  });
+  return info.load();
+}
+
+void solve_factored(const BlockSkylineMatrix& lfac, const double* b,
+                    double* x) {
+  const int nbk = lfac.nbk();
+  const int bs = lfac.bs();
+  const int n = lfac.n();
+  const int padded = nbk * bs;
+  std::vector<double> y(static_cast<std::size_t>(padded), 0.0);
+  for (int i = 0; i < n; ++i) y[static_cast<std::size_t>(i)] = b[i];
+
+  // Forward: L y' = y, block rows ascending.
+  for (int i = 0; i < nbk; ++i) {
+    double* yi = y.data() + static_cast<std::size_t>(i) * bs;
+    for (int j = lfac.bjmin(i); j < i; ++j) {
+      gemv_minus(bs, bs, lfac.block(i, j), bs,
+                 y.data() + static_cast<std::size_t>(j) * bs, yi);
+    }
+    trsv_lower_notrans(bs, lfac.block(i, i), bs, yi);
+  }
+  // Backward: L^T x = y', block rows descending. Column i of L^T gathers
+  // the sub-diagonal blocks (m, i) of L.
+  for (int i = nbk - 1; i >= 0; --i) {
+    double* yi = y.data() + static_cast<std::size_t>(i) * bs;
+    for (int m = i + 1; m < nbk; ++m) {
+      if (lfac.is_empty(m, i)) continue;
+      gemv_minus_trans(bs, bs, lfac.block(m, i), bs,
+                       y.data() + static_cast<std::size_t>(m) * bs, yi);
+    }
+    trsv_lower_trans(bs, lfac.block(i, i), bs, yi);
+  }
+  for (int i = 0; i < n; ++i) x[i] = y[static_cast<std::size_t>(i)];
+}
+
+double factor_flops(const BlockSkylineMatrix& a) {
+  const int nbk = a.nbk();
+  const double bs = a.bs();
+  const double potrf = bs * bs * bs / 3.0;
+  const double trsm = bs * bs * bs;
+  const double syrk = bs * bs * bs;
+  const double gemm = 2.0 * bs * bs * bs;
+  double total = 0.0;
+  for (int k = 0; k < nbk; ++k) {
+    total += potrf;
+    for (int m = k + 1; m < nbk; ++m) {
+      if (a.is_empty(m, k)) continue;
+      total += trsm + syrk;
+      for (int n = k + 1; n < m; ++n) {
+        if (!a.is_empty(n, k) && !a.is_empty(m, n)) total += gemm;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace xk::skyline

@@ -1,0 +1,47 @@
+// Blocked Cholesky (L·L^T) of a block-skyline matrix — the paper's sparse
+// CHOLESKY kernel (Fig. 7). The block loop nest is exactly the paper's
+// pseudo-code, including the is_empty() profile tests:
+//
+//   for (k = 0; k < N; k += BS) {
+//     potrf(k);                                   // task in X-Kaapi only
+//     for (m) if (!is_empty(m,k)) trsm(k,m);      // tasks
+//     /* OpenMP: taskwait */
+//     for (m) if (!is_empty(m,k)) { syrk(k,m);    // tasks
+//       for (n) if (!is_empty(n,k) && !is_empty(m,n)) gemm(k,m,n); }
+//     /* OpenMP: taskwait */
+//   }
+//
+// Variants:
+//   sequential : loop nest calling the kernels;
+//   xkaapi     : every call is a dataflow task; block indices define the
+//                accessed memory regions, synchronization is implicit;
+//   gomp       : the paper's OpenMP port — potrf on the master, trsm and
+//                syrk/gemm as tasks with a taskwait after each phase (the
+//                extra synchronization that limits speedup in Fig. 7).
+#pragma once
+
+#include "skyline/skyline.hpp"
+
+namespace xk {
+class Runtime;
+}
+namespace xk::baseline {
+class GompLikePool;
+}
+
+namespace xk::skyline {
+
+/// In-place blocked Cholesky; returns 0 or the failing global pivot + 1.
+int factor_sequential(BlockSkylineMatrix& a);
+int factor_xkaapi(BlockSkylineMatrix& a, Runtime& rt);
+int factor_gomp(BlockSkylineMatrix& a, baseline::GompLikePool& pool);
+
+/// Solves L·L^T x = b given the factored matrix; b and x have length n().
+void solve_factored(const BlockSkylineMatrix& lfac, const double* b,
+                    double* x);
+
+/// Flop count of the blocked factorization for this profile (for GFlop/s
+/// and for sizing benchmark runs).
+double factor_flops(const BlockSkylineMatrix& a);
+
+}  // namespace xk::skyline

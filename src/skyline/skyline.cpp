@@ -1,0 +1,140 @@
+#include "skyline/skyline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "support/rng.hpp"
+
+namespace xk::skyline {
+
+BlockSkylineMatrix::BlockSkylineMatrix(int n, int bs, std::vector<int> bjmin)
+    : n_(n), bs_(bs), bjmin_(std::move(bjmin)) {
+  const int nbk = static_cast<int>(bjmin_.size());
+  if (nbk * bs < n) {
+    throw std::invalid_argument("skyline: profile does not cover n");
+  }
+  row_offset_.resize(bjmin_.size());
+  std::size_t offset = 0;
+  for (int i = 0; i < nbk; ++i) {
+    if (bjmin_[static_cast<std::size_t>(i)] < 0 ||
+        bjmin_[static_cast<std::size_t>(i)] > i) {
+      throw std::invalid_argument("skyline: bjmin out of range");
+    }
+    row_offset_[static_cast<std::size_t>(i)] = offset;
+    offset += static_cast<std::size_t>(i - bjmin_[static_cast<std::size_t>(i)] + 1);
+  }
+  total_blocks_ = offset;
+  blocks_.assign(total_blocks_ * static_cast<std::size_t>(bs_) * bs_, 0.0);
+}
+
+double BlockSkylineMatrix::density() const {
+  // Stored entries mirrored to the upper triangle, diagonal counted once.
+  const auto bb = static_cast<double>(bs_) * bs_;
+  const double stored = static_cast<double>(total_blocks_) * bb;
+  const double diag_blocks = nbk() * bb;
+  const double nnz = 2.0 * stored - diag_blocks;
+  return nnz / (static_cast<double>(n_) * static_cast<double>(n_));
+}
+
+void BlockSkylineMatrix::fill_spd(std::uint64_t seed, double shift) {
+  Rng rng(seed);
+  if (shift <= 0.0) {
+    // Row sums of |off-diagonal| are bounded by the widest profile row;
+    // a shift above that guarantees diagonal dominance, hence SPD.
+    int max_width_blocks = 1;
+    for (int i = 0; i < nbk(); ++i) {
+      max_width_blocks = std::max(max_width_blocks, i - bjmin(i) + 1);
+    }
+    shift = 2.0 * static_cast<double>(max_width_blocks) * bs_ + 1.0;
+  }
+  clear();
+  const int padded = nbk() * bs_;
+  for (int bi = 0; bi < nbk(); ++bi) {
+    for (int bj = bjmin(bi); bj <= bi; ++bj) {
+      double* blk = block(bi, bj);
+      for (int jj = 0; jj < bs_; ++jj) {
+        for (int ii = 0; ii < bs_; ++ii) {
+          const int gi = bi * bs_ + ii;
+          const int gj = bj * bs_ + jj;
+          if (gj > gi) continue;  // lower triangle only within diag blocks
+          double v;
+          if (gi >= n_ || gj >= n_) {
+            v = (gi == gj) ? 1.0 : 0.0;  // identity padding
+          } else if (gi == gj) {
+            v = rng.next_double(0.0, 1.0) + shift;
+          } else {
+            v = rng.next_double(-1.0, 1.0);
+          }
+          blk[ii + jj * bs_] = v;
+          if (bi == bj && gi != gj) blk[jj + ii * bs_] = v;  // mirror in diag
+        }
+      }
+    }
+  }
+  (void)padded;
+}
+
+void BlockSkylineMatrix::clear() {
+  std::fill(blocks_.begin(), blocks_.end(), 0.0);
+}
+
+double BlockSkylineMatrix::get(int i, int j) const {
+  if (j > i) std::swap(i, j);
+  const int bi = i / bs_, bj = j / bs_;
+  if (is_empty(bi, bj)) return 0.0;
+  return block(bi, bj)[(i % bs_) + (j % bs_) * bs_];
+}
+
+std::vector<double> BlockSkylineMatrix::to_dense() const {
+  const auto nn = static_cast<std::size_t>(n_);
+  std::vector<double> dense(nn * nn, 0.0);
+  for (int i = 0; i < n_; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      const double v = get(i, j);
+      dense[static_cast<std::size_t>(i) + static_cast<std::size_t>(j) * nn] = v;
+      dense[static_cast<std::size_t>(j) + static_cast<std::size_t>(i) * nn] = v;
+    }
+  }
+  return dense;
+}
+
+void BlockSkylineMatrix::matvec(const double* x, double* y) const {
+  for (int i = 0; i < n_; ++i) y[i] = 0.0;
+  for (int i = 0; i < n_; ++i) {
+    double acc = 0.0;
+    for (int j = 0; j <= i; ++j) {
+      const double v = get(i, j);
+      if (v == 0.0) continue;
+      acc += v * x[j];
+      if (j != i) y[j] += v * x[i];
+    }
+    y[i] += acc;
+  }
+}
+
+BlockSkylineMatrix make_fem_like(int n, int bs, double target_density,
+                                 std::uint64_t seed) {
+  const int nbk = (n + bs - 1) / bs;
+  // Stored fraction ~= 2*avg_width_blocks*bs^2*nbk / n^2; solve for the
+  // average block bandwidth that hits the target.
+  const double nd = n;
+  double avg_width =
+      target_density * nd * nd / (2.0 * static_cast<double>(bs) * bs * nbk);
+  avg_width = std::max(1.0, avg_width);
+
+  Rng rng(seed);
+  std::vector<int> bjmin(static_cast<std::size_t>(nbk));
+  double walk = avg_width;
+  for (int i = 0; i < nbk; ++i) {
+    // Bounded random walk around the calibrated average (FEM envelopes vary
+    // smoothly as element connectivity changes along the numbering).
+    walk += rng.next_double(-0.35, 0.35) * avg_width;
+    walk = std::clamp(walk, 1.0, 2.0 * avg_width + 1.0);
+    const int width = std::max(1, static_cast<int>(std::lround(walk)));
+    bjmin[static_cast<std::size_t>(i)] = std::max(0, i - (width - 1));
+  }
+  return BlockSkylineMatrix(n, bs, std::move(bjmin));
+}
+
+}  // namespace xk::skyline

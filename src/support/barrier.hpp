@@ -1,0 +1,46 @@
+// Sense-reversing centralized barrier.
+//
+// Used by the baseline loop schedulers (an OpenMP `parallel for` ends with an
+// implicit barrier) and by tests that need to line threads up at a point.
+// std::barrier exists but its completion-function machinery is more than we
+// need and this version lets tests inspect the arrival count.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+namespace xk {
+
+class SenseBarrier {
+ public:
+  explicit SenseBarrier(std::size_t parties) noexcept
+      : parties_(parties), remaining_(parties) {}
+
+  SenseBarrier(const SenseBarrier&) = delete;
+  SenseBarrier& operator=(const SenseBarrier&) = delete;
+
+  /// Blocks until all `parties` threads have arrived. Spin-then-yield wait so
+  /// the barrier stays correct (if slow) when threads outnumber cores.
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(parties_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);  // releases waiters
+      return;
+    }
+    int spins = 0;
+    while (sense_.load(std::memory_order_acquire) != my_sense) {
+      if (++spins > 64) std::this_thread::yield();
+    }
+  }
+
+  std::size_t parties() const noexcept { return parties_; }
+
+ private:
+  const std::size_t parties_;
+  std::atomic<std::size_t> remaining_;
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace xk

@@ -1,0 +1,42 @@
+// Cache-layout helpers: cache-line constants and padding wrappers used to
+// keep per-worker mutable state on private cache lines (avoids false sharing
+// between the owner's hot path and thieves probing neighbouring counters).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace xk {
+
+/// Size every concurrently-touched per-thread structure is padded to.
+/// std::hardware_destructive_interference_size is 64 on x86-64 but GCC warns
+/// it is ABI-unstable, so we pin the conventional value.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Wraps a T so that distinct array elements never share a cache line.
+/// Used for per-worker counters, steal-request slots and reduction cells.
+template <typename T>
+struct alignas(kCacheLine) Padded {
+  T value{};
+
+  Padded() = default;
+  template <typename... Args>
+  explicit Padded(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+static_assert(alignof(Padded<int>) == kCacheLine);
+static_assert(sizeof(Padded<int>) % kCacheLine == 0);
+
+/// Rounds `n` up to the next multiple of `align` (power of two).
+constexpr std::size_t round_up(std::size_t n, std::size_t align) noexcept {
+  return (n + align - 1) & ~(align - 1);
+}
+
+}  // namespace xk

@@ -1,0 +1,37 @@
+#include "support/cpu.hpp"
+
+#include "support/env.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace xk {
+
+unsigned hardware_cores() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1u : n;
+}
+
+bool bind_self_to_core(unsigned core) {
+#if defined(__linux__)
+  const unsigned ncores = hardware_cores();
+  if (ncores <= 1) return true;  // nothing to choose between
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core % ncores, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)core;
+  return false;
+#endif
+}
+
+unsigned default_worker_count() {
+  const std::int64_t requested = env_int("XK_NCPU", 0);
+  if (requested > 0) return static_cast<unsigned>(requested);
+  return hardware_cores();
+}
+
+}  // namespace xk

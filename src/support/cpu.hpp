@@ -1,0 +1,24 @@
+// CPU topology and thread-placement helpers.
+//
+// The paper binds threads to cores with an affinity mask (§III-C); on the
+// reproduction machine core counts vary, so binding is best-effort and the
+// worker count is an independent knob (XK_NCPU) that may oversubscribe.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+namespace xk {
+
+/// Number of hardware threads visible to this process (>= 1).
+unsigned hardware_cores();
+
+/// Best-effort pinning of the calling thread to `core % hardware_cores()`.
+/// Returns true when the affinity call succeeded. On single-core containers
+/// this is a no-op that still returns true so tests don't depend on topology.
+bool bind_self_to_core(unsigned core);
+
+/// Default worker count: XK_NCPU when set, otherwise hardware_cores().
+unsigned default_worker_count();
+
+}  // namespace xk

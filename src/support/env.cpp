@@ -1,0 +1,52 @@
+#include "support/env.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace xk {
+
+std::optional<std::string> env_string(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return std::nullopt;
+  return std::string(raw);
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  auto raw = env_string(name);
+  if (!raw) return fallback;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t value = std::stoll(*raw, &pos);
+    if (pos != raw->size()) return fallback;
+    return value;
+  } catch (...) {
+    return fallback;
+  }
+}
+
+double env_double(const char* name, double fallback) {
+  auto raw = env_string(name);
+  if (!raw) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(*raw, &pos);
+    if (pos != raw->size()) return fallback;
+    return value;
+  } catch (...) {
+    return fallback;
+  }
+}
+
+bool env_bool(const char* name, bool fallback) {
+  auto raw = env_string(name);
+  if (!raw) return fallback;
+  std::string v = *raw;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  return fallback;
+}
+
+}  // namespace xk

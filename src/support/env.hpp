@@ -1,0 +1,27 @@
+// Environment-variable configuration helpers. All tunables of the runtime
+// and the benchmark harness are overridable through XK_* / XKREPRO_*
+// variables; these helpers centralise the parsing and defaulting.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace xk {
+
+/// Returns the raw value of `name`, or nullopt when unset/empty.
+std::optional<std::string> env_string(const char* name);
+
+/// Parses `name` as a signed 64-bit integer; returns `fallback` when unset
+/// or unparsable (a malformed value is ignored rather than fatal so that a
+/// stray variable cannot brick a run).
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Parses `name` as a double with the same defaulting policy as env_int.
+double env_double(const char* name, double fallback);
+
+/// Parses `name` as a boolean: "1/true/yes/on" => true, "0/false/no/off"
+/// => false, anything else => fallback.
+bool env_bool(const char* name, bool fallback);
+
+}  // namespace xk

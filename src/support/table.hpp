@@ -1,0 +1,41 @@
+// Plain-text table emitter for the benchmark harness.
+//
+// Every bench binary prints the rows/series of the corresponding paper figure
+// in a fixed-width table (human-readable) and can also emit CSV for plotting
+// (XKREPRO_CSV=1).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace xk {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells are blank, extra cells are dropped.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` significant decimals.
+  static std::string num(double value, int precision = 3);
+
+  /// Fixed-width rendering with a header rule.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated rendering (no padding).
+  void print_csv(std::ostream& os) const;
+
+  /// Honors XKREPRO_CSV: csv when set, pretty table otherwise.
+  void print_auto(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xk

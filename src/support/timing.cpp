@@ -1,0 +1,28 @@
+#include "support/timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace xk {
+
+RunStats RunStats::from_samples(const std::vector<double>& samples) {
+  RunStats stats;
+  stats.count = samples.size();
+  if (samples.empty()) return stats;
+
+  stats.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+               static_cast<double>(samples.size());
+  const auto [lo, hi] = std::minmax_element(samples.begin(), samples.end());
+  stats.min = *lo;
+  stats.max = *hi;
+
+  double sq = 0.0;
+  for (double s : samples) sq += (s - stats.mean) * (s - stats.mean);
+  stats.stddev = samples.size() > 1
+                     ? std::sqrt(sq / static_cast<double>(samples.size() - 1))
+                     : 0.0;
+  return stats;
+}
+
+}  // namespace xk

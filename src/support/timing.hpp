@@ -1,0 +1,55 @@
+// Wall-clock timing and summary statistics for the benchmark harness.
+// The paper reports times averaged over 30 runs (§III); RunStats carries the
+// same aggregation (mean/min/max/stddev over repetitions).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+namespace xk {
+
+/// Monotonic wall-clock timer with double-seconds reads.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Summary statistics over repeated measurements.
+struct RunStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;
+
+  static RunStats from_samples(const std::vector<double>& samples);
+};
+
+/// Runs `fn` `repeats` times (after `warmups` unmeasured runs) and returns
+/// wall-clock statistics. `fn` must be invocable with no arguments.
+template <typename Fn>
+RunStats time_repeated(Fn&& fn, std::size_t repeats, std::size_t warmups = 1) {
+  for (std::size_t i = 0; i < warmups; ++i) fn();
+  std::vector<double> samples;
+  samples.reserve(repeats);
+  for (std::size_t i = 0; i < repeats; ++i) {
+    Timer t;
+    fn();
+    samples.push_back(t.seconds());
+  }
+  return RunStats::from_samples(samples);
+}
+
+}  // namespace xk

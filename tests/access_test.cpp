@@ -1,0 +1,136 @@
+// Unit tests for the access-mode / memory-region algebra (§II-B vocabulary).
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/access.hpp"
+
+namespace {
+
+using xk::Access;
+using xk::AccessMode;
+using xk::MemRegion;
+
+char buffer[4096];
+
+MemRegion contig(std::size_t off, std::size_t bytes) {
+  return MemRegion::contiguous(buffer + off, bytes);
+}
+
+TEST(MemRegion, ContiguousBounds) {
+  const MemRegion r = contig(16, 32);
+  EXPECT_EQ(r.hi() - r.lo(), 32u);
+  EXPECT_EQ(r.total_bytes(), 32u);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE(MemRegion::contiguous(buffer, 0).empty());
+}
+
+TEST(MemRegion, ContiguousOverlap) {
+  EXPECT_TRUE(xk::regions_overlap(contig(0, 16), contig(8, 16)));
+  EXPECT_TRUE(xk::regions_overlap(contig(8, 16), contig(0, 16)));
+  EXPECT_FALSE(xk::regions_overlap(contig(0, 16), contig(16, 16)));  // adjacent
+  EXPECT_FALSE(xk::regions_overlap(contig(0, 16), contig(100, 16)));
+  EXPECT_TRUE(xk::regions_overlap(contig(0, 100), contig(50, 1)));  // nested
+}
+
+TEST(MemRegion, StridedBounds) {
+  // 4 runs of 8 bytes, 32 bytes apart: covers [0,8) [32,40) [64,72) [96,104).
+  const MemRegion s = MemRegion::strided(buffer, 8, 4, 32);
+  EXPECT_EQ(s.lo(), reinterpret_cast<std::uintptr_t>(buffer));
+  EXPECT_EQ(s.hi() - s.lo(), 3u * 32 + 8);
+  EXPECT_EQ(s.total_bytes(), 32u);
+}
+
+TEST(MemRegion, StridedVsContiguous) {
+  const MemRegion s = MemRegion::strided(buffer, 8, 4, 32);
+  EXPECT_TRUE(xk::regions_overlap(s, contig(0, 4)));     // inside run 0
+  EXPECT_FALSE(xk::regions_overlap(s, contig(8, 24)));   // gap after run 0
+  EXPECT_TRUE(xk::regions_overlap(s, contig(32, 8)));    // run 1 exactly
+  EXPECT_TRUE(xk::regions_overlap(s, contig(30, 4)));    // straddles into run 1
+  EXPECT_FALSE(xk::regions_overlap(s, contig(104, 50))); // past the end
+  EXPECT_TRUE(xk::regions_overlap(s, contig(0, 4096)));  // interval covers all
+}
+
+TEST(MemRegion, StridedVsStrided) {
+  // Two interleaved column-like patterns that never touch.
+  const MemRegion a = MemRegion::strided(buffer, 8, 8, 32);       // offset 0
+  const MemRegion b = MemRegion::strided(buffer + 16, 8, 8, 32);  // offset 16
+  EXPECT_FALSE(xk::regions_overlap(a, b));
+  // Shift b onto a's runs.
+  const MemRegion c = MemRegion::strided(buffer + 4, 8, 8, 32);
+  EXPECT_TRUE(xk::regions_overlap(a, c));
+}
+
+TEST(MemRegion, SelfOverlap) {
+  const MemRegion s = MemRegion::strided(buffer, 8, 4, 32);
+  EXPECT_TRUE(xk::regions_overlap(s, s));
+}
+
+Access make(AccessMode m, std::size_t off, std::size_t bytes) {
+  Access a;
+  a.mode = m;
+  a.region = contig(off, bytes);
+  return a;
+}
+
+TEST(AccessConflict, ReadReadIndependent) {
+  EXPECT_FALSE(xk::accesses_conflict(make(AccessMode::kRead, 0, 8),
+                                     make(AccessMode::kRead, 0, 8)));
+}
+
+TEST(AccessConflict, RawWarWaw) {
+  const Access w = make(AccessMode::kWrite, 0, 8);
+  const Access r = make(AccessMode::kRead, 4, 8);
+  const Access x = make(AccessMode::kReadWrite, 0, 8);
+  EXPECT_TRUE(xk::accesses_conflict(w, r));   // RAW
+  EXPECT_TRUE(xk::accesses_conflict(r, w));   // WAR
+  EXPECT_TRUE(xk::accesses_conflict(w, w));   // WAW
+  EXPECT_TRUE(xk::accesses_conflict(x, r));
+  EXPECT_TRUE(xk::accesses_conflict(r, x));
+}
+
+TEST(AccessConflict, DisjointRegionsNeverConflict) {
+  EXPECT_FALSE(xk::accesses_conflict(make(AccessMode::kWrite, 0, 8),
+                                     make(AccessMode::kWrite, 64, 8)));
+}
+
+TEST(AccessConflict, CumulWritesCommute) {
+  const Access a = make(AccessMode::kCumulWrite, 0, 8);
+  const Access b = make(AccessMode::kCumulWrite, 0, 8);
+  EXPECT_FALSE(xk::accesses_conflict(a, b));
+  // ...but CW still orders against plain reads and writes.
+  EXPECT_TRUE(xk::accesses_conflict(a, make(AccessMode::kRead, 0, 8)));
+  EXPECT_TRUE(xk::accesses_conflict(make(AccessMode::kWrite, 0, 8), a));
+}
+
+TEST(AccessConflict, ScratchNeverConflicts) {
+  const Access s = make(AccessMode::kScratch, 0, 8);
+  EXPECT_FALSE(xk::accesses_conflict(s, make(AccessMode::kWrite, 0, 8)));
+  EXPECT_FALSE(xk::accesses_conflict(make(AccessMode::kWrite, 0, 8), s));
+}
+
+TEST(AccessConflict, FalseDependencyClassification) {
+  const Access w1 = make(AccessMode::kWrite, 0, 8);
+  const Access w2 = make(AccessMode::kWrite, 0, 8);
+  const Access r = make(AccessMode::kRead, 0, 8);
+  const Access rw = make(AccessMode::kReadWrite, 0, 8);
+  EXPECT_TRUE(xk::conflict_is_false_dependency(w1, w2));   // WAW
+  EXPECT_TRUE(xk::conflict_is_false_dependency(r, w1));    // WAR
+  EXPECT_FALSE(xk::conflict_is_false_dependency(w1, r));   // RAW is true
+  EXPECT_FALSE(xk::conflict_is_false_dependency(w1, rw));  // RW reads
+  // Disjoint: no conflict at all => not a false dependency either.
+  EXPECT_FALSE(xk::conflict_is_false_dependency(
+      make(AccessMode::kWrite, 0, 8), make(AccessMode::kWrite, 64, 8)));
+}
+
+TEST(AccessConflict, ModeHelpers) {
+  EXPECT_TRUE(xk::mode_writes(AccessMode::kWrite));
+  EXPECT_TRUE(xk::mode_writes(AccessMode::kReadWrite));
+  EXPECT_TRUE(xk::mode_writes(AccessMode::kCumulWrite));
+  EXPECT_FALSE(xk::mode_writes(AccessMode::kRead));
+  EXPECT_TRUE(xk::mode_reads(AccessMode::kRead));
+  EXPECT_TRUE(xk::mode_reads(AccessMode::kReadWrite));
+  EXPECT_FALSE(xk::mode_reads(AccessMode::kWrite));
+}
+
+}  // namespace

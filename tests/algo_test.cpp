@@ -1,0 +1,158 @@
+// STL-like adaptive algorithms vs their std:: counterparts.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "algo/algo.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+xk::Config cfg(unsigned n) {
+  xk::Config c;
+  c.nworkers = n;
+  c.bind_threads = false;
+  return c;
+}
+
+std::vector<std::int64_t> random_values(std::int64_t n, std::uint64_t seed) {
+  xk::Rng rng(seed);
+  std::vector<std::int64_t> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<std::int64_t>(rng.next_below(1000000));
+  return v;
+}
+
+class AlgoTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AlgoTest, Transform) {
+  xk::Runtime rt(cfg(GetParam()));
+  const auto in = random_values(50000, 1);
+  std::vector<std::int64_t> out(in.size());
+  rt.run([&] {
+    xk::algo::transform(in.data(), out.data(),
+                        static_cast<std::int64_t>(in.size()),
+                        [](std::int64_t v) { return v * 2 + 1; });
+  });
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    ASSERT_EQ(out[i], in[i] * 2 + 1);
+  }
+}
+
+TEST_P(AlgoTest, Accumulate) {
+  xk::Runtime rt(cfg(GetParam()));
+  const auto in = random_values(100000, 2);
+  const auto expected =
+      std::accumulate(in.begin(), in.end(), std::int64_t{100});
+  std::int64_t got = 0;
+  rt.run([&] {
+    got = xk::algo::accumulate(in.data(),
+                               static_cast<std::int64_t>(in.size()),
+                               std::int64_t{100});
+  });
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(AlgoTest, CountIf) {
+  xk::Runtime rt(cfg(GetParam()));
+  const auto in = random_values(80000, 3);
+  const auto expected = std::count_if(in.begin(), in.end(),
+                                      [](std::int64_t v) { return v % 7 == 0; });
+  std::int64_t got = 0;
+  rt.run([&] {
+    got = xk::algo::count_if(in.data(), static_cast<std::int64_t>(in.size()),
+                             [](std::int64_t v) { return v % 7 == 0; });
+  });
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(AlgoTest, FindFirst) {
+  xk::Runtime rt(cfg(GetParam()));
+  std::vector<std::int64_t> in(100000, 0);
+  in[70001] = 42;
+  in[90000] = 42;
+  std::int64_t got = -1;
+  rt.run([&] {
+    got = xk::algo::find_first(in.data(),
+                               static_cast<std::int64_t>(in.size()),
+                               [](std::int64_t v) { return v == 42; });
+  });
+  EXPECT_EQ(got, 70001);
+}
+
+TEST_P(AlgoTest, FindFirstAbsent) {
+  xk::Runtime rt(cfg(GetParam()));
+  std::vector<std::int64_t> in(5000, 1);
+  std::int64_t got = -1;
+  rt.run([&] {
+    got = xk::algo::find_first(in.data(),
+                               static_cast<std::int64_t>(in.size()),
+                               [](std::int64_t v) { return v == 42; });
+  });
+  EXPECT_EQ(got, 5000);
+}
+
+TEST_P(AlgoTest, PrefixSumExclusive) {
+  xk::Runtime rt(cfg(GetParam()));
+  const auto in = random_values(65537, 4);  // non power of two
+  std::vector<std::int64_t> out(in.size());
+  rt.run([&] {
+    xk::algo::prefix_sum_exclusive(in.data(), out.data(),
+                                   static_cast<std::int64_t>(in.size()));
+  });
+  std::int64_t run = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    ASSERT_EQ(out[i], run) << i;
+    run += in[i];
+  }
+}
+
+TEST_P(AlgoTest, Sort) {
+  xk::Runtime rt(cfg(GetParam()));
+  auto v = random_values(200000, 5);
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  rt.run([&] {
+    xk::algo::sort(v.data(), static_cast<std::int64_t>(v.size()));
+  });
+  EXPECT_EQ(v, expected);
+}
+
+TEST_P(AlgoTest, SortDescendingComparator) {
+  xk::Runtime rt(cfg(GetParam()));
+  auto v = random_values(50000, 6);
+  auto expected = v;
+  std::sort(expected.begin(), expected.end(), std::greater<>());
+  rt.run([&] {
+    xk::algo::sort(v.data(), static_cast<std::int64_t>(v.size()),
+                   std::greater<>());
+  });
+  EXPECT_EQ(v, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, AlgoTest, ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(AlgoEdge, EmptyInputs) {
+  xk::Runtime rt(cfg(2));
+  rt.run([&] {
+    std::vector<int> v;
+    xk::algo::sort(v.data(), 0);
+    int x = 5;
+    xk::algo::prefix_sum_exclusive(&x, &x, 0);
+    EXPECT_EQ(xk::algo::count_if(v.data(), 0, [](int) { return true; }), 0);
+    EXPECT_EQ(xk::algo::find_first(v.data(), 0, [](int) { return true; }), 0);
+  });
+}
+
+TEST(AlgoEdge, WorksOutsideRuntime) {
+  std::vector<std::int64_t> in{3, 1, 2};
+  std::vector<std::int64_t> out(3);
+  xk::algo::prefix_sum_exclusive(in.data(), out.data(), 3);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 3);
+  EXPECT_EQ(out[2], 4);
+  xk::algo::sort(in.data(), 3);
+  EXPECT_TRUE(std::is_sorted(in.begin(), in.end()));
+}
+
+}  // namespace

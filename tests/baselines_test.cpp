@@ -1,0 +1,254 @@
+// Baseline runtimes: central queue dataflow, GOMP-like pool (+throttle),
+// classic work stealing, loop schedulers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "baselines/central_queue.hpp"
+#include "baselines/gomp_pool.hpp"
+#include "baselines/loop_schedulers.hpp"
+#include "baselines/ws_classic.hpp"
+
+namespace {
+
+using namespace xk::baseline;
+
+// ---------------------------------------------------------------------------
+// CentralQueueRuntime
+// ---------------------------------------------------------------------------
+
+TEST(CentralQueue, IndependentTasksAllRun) {
+  CentralQueueRuntime rt(4);
+  std::atomic<int> hits{0};
+  for (int i = 0; i < 500; ++i) rt.insert([&] { hits.fetch_add(1); });
+  rt.barrier();
+  EXPECT_EQ(hits.load(), 500);
+  EXPECT_EQ(rt.executed(), 500u);
+}
+
+TEST(CentralQueue, RawChainSerializes) {
+  CentralQueueRuntime rt(4);
+  int value = 0;
+  const xk::MemRegion region = xk::MemRegion::contiguous(&value, sizeof(value));
+  for (int i = 0; i < 200; ++i) {
+    rt.insert([&value] { ++value; },
+              {CqAccess{region, xk::AccessMode::kReadWrite}});
+  }
+  rt.barrier();
+  EXPECT_EQ(value, 200);
+}
+
+TEST(CentralQueue, ProducerConsumer) {
+  CentralQueueRuntime rt(4);
+  for (int rep = 0; rep < 10; ++rep) {
+    std::vector<double> a(128, 0.0);
+    double sum = 0.0;
+    rt.insert(
+        [&a] {
+          for (std::size_t i = 0; i < a.size(); ++i) a[i] = 1.0;
+        },
+        {CqAccess{xk::MemRegion::contiguous(a.data(), a.size() * 8),
+                  xk::AccessMode::kWrite}});
+    rt.insert(
+        [&a, &sum] { sum = std::accumulate(a.begin(), a.end(), 0.0); },
+        {CqAccess{xk::MemRegion::contiguous(a.data(), a.size() * 8),
+                  xk::AccessMode::kRead},
+         CqAccess{xk::MemRegion::contiguous(&sum, 8), xk::AccessMode::kWrite}});
+    rt.barrier();
+    EXPECT_DOUBLE_EQ(sum, 128.0);
+  }
+}
+
+TEST(CentralQueue, BarrierReusable) {
+  CentralQueueRuntime rt(2);
+  std::atomic<int> phase_sum{0};
+  for (int phase = 0; phase < 5; ++phase) {
+    for (int i = 0; i < 50; ++i) rt.insert([&] { phase_sum.fetch_add(1); });
+    rt.barrier();
+    EXPECT_EQ(phase_sum.load(), (phase + 1) * 50);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GompLikePool
+// ---------------------------------------------------------------------------
+
+std::uint64_t fib_seq(int n) {
+  return n < 2 ? static_cast<std::uint64_t>(n)
+               : fib_seq(n - 1) + fib_seq(n - 2);
+}
+
+void gomp_fib(GompLikePool& pool, std::uint64_t* r, int n) {
+  if (n < 2) {
+    *r = static_cast<std::uint64_t>(n);
+    return;
+  }
+  std::uint64_t r1 = 0, r2 = 0;
+  pool.spawn([&pool, &r1, n] { gomp_fib(pool, &r1, n - 1); });
+  gomp_fib(pool, &r2, n - 2);
+  pool.taskwait();
+  *r = r1 + r2;
+}
+
+TEST(GompPool, FibCorrect) {
+  GompLikePool pool(4);
+  std::uint64_t r = 0;
+  pool.parallel([&] { gomp_fib(pool, &r, 16); });
+  EXPECT_EQ(r, fib_seq(16));
+}
+
+TEST(GompPool, ThrottleLimitsQueueAndStaysCorrect) {
+  GompLikePool::Options opt;
+  opt.throttle = true;
+  opt.throttle_factor = 4;
+  GompLikePool pool(2, opt);
+  std::uint64_t r = 0;
+  pool.parallel([&] { gomp_fib(pool, &r, 18); });
+  EXPECT_EQ(r, fib_seq(18));
+}
+
+TEST(GompPool, TaskwaitWaitsDirectChildren) {
+  GompLikePool pool(4);
+  pool.parallel([&] {
+    std::atomic<int> done{0};
+    for (int i = 0; i < 20; ++i) {
+      pool.spawn([&done] {
+        volatile int x = 0;
+        for (int j = 0; j < 10000; ++j) x = x + j;
+        done.fetch_add(1);
+      });
+    }
+    pool.taskwait();
+    EXPECT_EQ(done.load(), 20);
+  });
+}
+
+TEST(GompPool, ImplicitBarrierAtRegionEnd) {
+  GompLikePool pool(4);
+  std::atomic<int> done{0};
+  pool.parallel([&] {
+    for (int i = 0; i < 100; ++i) pool.spawn([&done] { done.fetch_add(1); });
+    // no taskwait: the region's implicit barrier must drain everything
+  });
+  EXPECT_EQ(done.load(), 100);
+}
+
+// ---------------------------------------------------------------------------
+// ClassicWS
+// ---------------------------------------------------------------------------
+
+void ws_fib(ClassicWS& ws, std::uint64_t* r, int n) {
+  if (n < 2) {
+    *r = static_cast<std::uint64_t>(n);
+    return;
+  }
+  std::uint64_t r1 = 0, r2 = 0;
+  ws.spawn([&ws, &r1, n] { ws_fib(ws, &r1, n - 1); });
+  ws_fib(ws, &r2, n - 2);
+  ws.taskwait();
+  *r = r1 + r2;
+}
+
+TEST(ClassicWsTest, FibCorrectPooled) {
+  ClassicWS ws(4);
+  std::uint64_t r = 0;
+  ws.parallel([&] { ws_fib(ws, &r, 18); });
+  EXPECT_EQ(r, fib_seq(18));
+}
+
+TEST(ClassicWsTest, FibCorrectHeap) {
+  WsOptions opt;
+  opt.pooled_tasks = false;
+  ClassicWS ws(4, opt);
+  std::uint64_t r = 0;
+  ws.parallel([&] { ws_fib(ws, &r, 16); });
+  EXPECT_EQ(r, fib_seq(16));
+}
+
+TEST(ClassicWsTest, ManyRegions) {
+  ClassicWS ws(2);
+  for (int rep = 0; rep < 10; ++rep) {
+    std::atomic<int> hits{0};
+    ws.parallel([&] {
+      for (int i = 0; i < 100; ++i) ws.spawn([&hits] { hits.fetch_add(1); });
+    });
+    EXPECT_EQ(hits.load(), 100);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LoopTeam
+// ---------------------------------------------------------------------------
+
+class LoopSchedulerTest
+    : public ::testing::TestWithParam<std::tuple<LoopSchedule, unsigned>> {};
+
+TEST_P(LoopSchedulerTest, EveryIndexExactlyOnce) {
+  const auto [sched, threads] = GetParam();
+  LoopTeam team(threads);
+  constexpr std::int64_t kN = 100000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  team.run(0, kN, sched, 64,
+           [&](std::int64_t lo, std::int64_t hi, unsigned) {
+             for (std::int64_t i = lo; i < hi; ++i) {
+               hits[static_cast<std::size_t>(i)].fetch_add(
+                   1, std::memory_order_relaxed);
+             }
+           });
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LoopSchedulerTest,
+    ::testing::Combine(::testing::Values(LoopSchedule::kStatic,
+                                         LoopSchedule::kDynamic,
+                                         LoopSchedule::kGuided),
+                       ::testing::Values(1u, 2u, 4u, 8u)));
+
+TEST(LoopTeamTest, MemberIdsInRange) {
+  LoopTeam team(4);
+  std::atomic<bool> bad{false};
+  team.run(0, 10000, LoopSchedule::kDynamic, 16,
+           [&](std::int64_t, std::int64_t, unsigned member) {
+             if (member >= 4) bad.store(true);
+           });
+  EXPECT_FALSE(bad.load());
+}
+
+TEST(LoopTeamTest, ConsecutiveLoopsAndEmptyRange) {
+  LoopTeam team(3);
+  std::atomic<std::int64_t> total{0};
+  for (int pass = 0; pass < 8; ++pass) {
+    team.run(0, 1000, LoopSchedule::kGuided, 8,
+             [&](std::int64_t lo, std::int64_t hi, unsigned) {
+               total.fetch_add(hi - lo);
+             });
+  }
+  team.run(5, 5, LoopSchedule::kStatic, 1,
+           [&](std::int64_t, std::int64_t, unsigned) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 8000);
+}
+
+TEST(LoopTeamTest, StaticBlocksAreContiguousAndBalanced) {
+  LoopTeam team(4);
+  std::vector<std::pair<std::int64_t, std::int64_t>> ranges(4);
+  team.run(0, 103, LoopSchedule::kStatic, 0,
+           [&](std::int64_t lo, std::int64_t hi, unsigned member) {
+             ranges[member] = {lo, hi};
+           });
+  std::int64_t covered = 0;
+  for (const auto& [lo, hi] : ranges) {
+    EXPECT_LE(hi - lo, 26);
+    EXPECT_GE(hi - lo, 25);
+    covered += hi - lo;
+  }
+  EXPECT_EQ(covered, 103);
+}
+
+}  // namespace

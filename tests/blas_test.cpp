@@ -1,0 +1,170 @@
+// Kernel tests: optimized BLAS-like kernels against naive references over a
+// parameterized size sweep, plus algebraic identities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/blas.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace xk::linalg;
+
+std::vector<double> random_matrix(int rows, int cols, std::uint64_t seed) {
+  xk::Rng rng(seed);
+  std::vector<double> m(static_cast<std::size_t>(rows) * cols);
+  for (double& v : m) v = rng.next_double(-1.0, 1.0);
+  return m;
+}
+
+std::vector<double> random_spd(int n, std::uint64_t seed) {
+  auto m = random_matrix(n, n, seed);
+  // Symmetrize + diagonal dominance.
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < j; ++i) {
+      m[static_cast<std::size_t>(i) + static_cast<std::size_t>(j) * n] =
+          m[static_cast<std::size_t>(j) + static_cast<std::size_t>(i) * n];
+    }
+    m[static_cast<std::size_t>(j) * (n + 1)] += n;
+  }
+  return m;
+}
+
+void expect_near_all(const std::vector<double>& a, const std::vector<double>& b,
+                     double tol) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a[i], b[i], tol) << "at index " << i;
+  }
+}
+
+class KernelSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelSizes, PotrfMatchesReference) {
+  const int n = GetParam();
+  auto a = random_spd(n, 11 + n);
+  auto b = a;
+  EXPECT_EQ(potrf_lower(n, a.data(), n), 0);
+  EXPECT_EQ(ref::potrf_lower(n, b.data(), n), 0);
+  // Compare lower triangles only (upper is untouched input).
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      ASSERT_NEAR(a[static_cast<std::size_t>(i) + static_cast<std::size_t>(j) * n],
+                  b[static_cast<std::size_t>(i) + static_cast<std::size_t>(j) * n],
+                  1e-9);
+    }
+  }
+}
+
+TEST_P(KernelSizes, TrsmMatchesReference) {
+  const int n = GetParam();
+  auto lfull = random_spd(n, 77 + n);
+  EXPECT_EQ(potrf_lower(n, lfull.data(), n), 0);
+  auto b1 = random_matrix(n, n, 123);
+  auto b2 = b1;
+  trsm_right_lower_trans(n, n, lfull.data(), n, b1.data(), n);
+  ref::trsm_right_lower_trans(n, n, lfull.data(), n, b2.data(), n);
+  expect_near_all(b1, b2, 1e-9);
+}
+
+TEST_P(KernelSizes, SyrkMatchesReference) {
+  const int n = GetParam();
+  auto a = random_matrix(n, n, 5 + n);
+  auto c1 = random_spd(n, 6 + n);
+  auto c2 = c1;
+  syrk_lower(n, n, a.data(), n, c1.data(), n);
+  ref::syrk_lower(n, n, a.data(), n, c2.data(), n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      ASSERT_NEAR(c1[static_cast<std::size_t>(i) + static_cast<std::size_t>(j) * n],
+                  c2[static_cast<std::size_t>(i) + static_cast<std::size_t>(j) * n],
+                  1e-9);
+    }
+  }
+}
+
+TEST_P(KernelSizes, GemmMatchesReference) {
+  const int n = GetParam();
+  auto a = random_matrix(n, n, 31 + n);
+  auto b = random_matrix(n, n, 32 + n);
+  auto c1 = random_matrix(n, n, 33 + n);
+  auto c2 = c1;
+  gemm_nt(n, n, n, a.data(), n, b.data(), n, c1.data(), n);
+  ref::gemm_nt(n, n, n, a.data(), n, b.data(), n, c2.data(), n);
+  expect_near_all(c1, c2, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KernelSizes,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 31, 64));
+
+TEST(Kernels, PotrfDetectsNonSpd) {
+  std::vector<double> a = {1.0, 2.0, 2.0, 1.0};  // indefinite 2x2
+  EXPECT_NE(potrf_lower(2, a.data(), 2), 0);
+}
+
+TEST(Kernels, PotrfReconstructs) {
+  const int n = 24;
+  auto a0 = random_spd(n, 99);
+  auto a = a0;
+  ASSERT_EQ(potrf_lower(n, a.data(), n), 0);
+  // L L^T == A0 (lower triangle check).
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      double s = 0.0;
+      for (int k = 0; k <= j; ++k) {
+        s += a[static_cast<std::size_t>(i) + static_cast<std::size_t>(k) * n] *
+             a[static_cast<std::size_t>(j) + static_cast<std::size_t>(k) * n];
+      }
+      ASSERT_NEAR(
+          s, a0[static_cast<std::size_t>(i) + static_cast<std::size_t>(j) * n],
+          1e-8);
+    }
+  }
+}
+
+TEST(Kernels, TrsvRoundTrip) {
+  const int n = 16;
+  auto l = random_spd(n, 13);
+  ASSERT_EQ(potrf_lower(n, l.data(), n), 0);
+  xk::Rng rng(4);
+  std::vector<double> x0(n), b(n, 0.0);
+  for (double& v : x0) v = rng.next_double(-1.0, 1.0);
+  // b = L L^T x0, then solve both sweeps and compare.
+  std::vector<double> t(n, 0.0);
+  for (int j = 0; j < n; ++j) {  // t = L^T x0
+    for (int i = j; i < n; ++i) {
+      t[j] += l[static_cast<std::size_t>(i) + static_cast<std::size_t>(j) * n] * x0[static_cast<std::size_t>(i)];
+    }
+  }
+  for (int i = 0; i < n; ++i) {  // b = L t
+    for (int j = 0; j <= i; ++j) {
+      b[static_cast<std::size_t>(i)] += l[static_cast<std::size_t>(i) + static_cast<std::size_t>(j) * n] * t[static_cast<std::size_t>(j)];
+    }
+  }
+  trsv_lower_notrans(n, l.data(), n, b.data());
+  trsv_lower_trans(n, l.data(), n, b.data());
+  for (int i = 0; i < n; ++i) ASSERT_NEAR(b[static_cast<std::size_t>(i)], x0[static_cast<std::size_t>(i)], 1e-8);
+}
+
+TEST(Kernels, GemvMinusBothShapes) {
+  const int m = 8, n = 5;
+  auto a = random_matrix(m, n, 21);
+  std::vector<double> x(n, 1.0), y(m, 0.0);
+  gemv_minus(m, n, a.data(), m, x.data(), y.data());
+  for (int i = 0; i < m; ++i) {
+    double s = 0.0;
+    for (int j = 0; j < n; ++j) s += a[static_cast<std::size_t>(i) + static_cast<std::size_t>(j) * m];
+    ASSERT_NEAR(y[static_cast<std::size_t>(i)], -s, 1e-12);
+  }
+  std::vector<double> xm(m, 1.0), yn(n, 0.0);
+  gemv_minus_trans(m, n, a.data(), m, xm.data(), yn.data());
+  for (int j = 0; j < n; ++j) {
+    double s = 0.0;
+    for (int i = 0; i < m; ++i) s += a[static_cast<std::size_t>(i) + static_cast<std::size_t>(j) * m];
+    ASSERT_NEAR(yn[static_cast<std::size_t>(j)], -s, 1e-12);
+  }
+}
+
+}  // namespace

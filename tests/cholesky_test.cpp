@@ -1,0 +1,137 @@
+// Tiled Cholesky: all four scheduling variants must agree with each other
+// and reconstruct the input (residual check) across size/tile sweeps.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/xkaapi.hpp"
+#include "linalg/cholesky.hpp"
+#include "quark/quark.h"
+
+namespace {
+
+using namespace xk::linalg;
+
+struct CholParams {
+  int n;
+  int nb;
+  unsigned workers;
+};
+
+class TiledCholesky : public ::testing::TestWithParam<CholParams> {};
+
+constexpr double kTol = 1e-10;
+
+TEST_P(TiledCholesky, SequentialResidual) {
+  const auto p = GetParam();
+  TiledMatrix a(p.n, p.nb);
+  a.fill_spd(42);
+  const auto dense0 = a.to_dense_symmetric();
+  ASSERT_EQ(cholesky_sequential(a), 0);
+  EXPECT_LT(cholesky_residual(a, dense0), kTol);
+}
+
+TEST_P(TiledCholesky, XkaapiResidual) {
+  const auto p = GetParam();
+  xk::Config cfg;
+  cfg.nworkers = p.workers;
+  cfg.bind_threads = false;
+  xk::Runtime rt(cfg);
+  TiledMatrix a(p.n, p.nb);
+  a.fill_spd(42);
+  const auto dense0 = a.to_dense_symmetric();
+  ASSERT_EQ(cholesky_xkaapi(a, rt), 0);
+  EXPECT_LT(cholesky_residual(a, dense0), kTol);
+}
+
+TEST_P(TiledCholesky, QuarkCentralResidual) {
+  const auto p = GetParam();
+  Quark* q = QUARK_New_Backend(static_cast<int>(p.workers),
+                               QUARK_BACKEND_CENTRAL);
+  TiledMatrix a(p.n, p.nb);
+  a.fill_spd(42);
+  const auto dense0 = a.to_dense_symmetric();
+  ASSERT_EQ(cholesky_quark(a, q), 0);
+  QUARK_Delete(q);
+  EXPECT_LT(cholesky_residual(a, dense0), kTol);
+}
+
+TEST_P(TiledCholesky, QuarkXkaapiResidual) {
+  const auto p = GetParam();
+  Quark* q = QUARK_New_Backend(static_cast<int>(p.workers),
+                               QUARK_BACKEND_XKAAPI);
+  TiledMatrix a(p.n, p.nb);
+  a.fill_spd(42);
+  const auto dense0 = a.to_dense_symmetric();
+  ASSERT_EQ(cholesky_quark(a, q), 0);
+  QUARK_Delete(q);
+  EXPECT_LT(cholesky_residual(a, dense0), kTol);
+}
+
+TEST_P(TiledCholesky, StaticResidual) {
+  const auto p = GetParam();
+  TiledMatrix a(p.n, p.nb);
+  a.fill_spd(42);
+  const auto dense0 = a.to_dense_symmetric();
+  ASSERT_EQ(cholesky_static(a, p.workers), 0);
+  EXPECT_LT(cholesky_residual(a, dense0), kTol);
+}
+
+TEST_P(TiledCholesky, VariantsBitwiseAgree) {
+  // Same kernel sequence per tile => identical floating-point results.
+  const auto p = GetParam();
+  TiledMatrix a_seq(p.n, p.nb), a_par(p.n, p.nb);
+  a_seq.fill_spd(7);
+  a_par.fill_spd(7);
+  ASSERT_EQ(cholesky_sequential(a_seq), 0);
+  xk::Config cfg;
+  cfg.nworkers = p.workers;
+  cfg.bind_threads = false;
+  xk::Runtime rt(cfg);
+  ASSERT_EQ(cholesky_xkaapi(a_par, rt), 0);
+  for (int j = 0; j < p.n; ++j) {
+    for (int i = j; i < p.n; ++i) {
+      ASSERT_EQ(a_seq.get(i, j), a_par.get(i, j))
+          << "tile mismatch at (" << i << "," << j << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TiledCholesky,
+    ::testing::Values(CholParams{16, 4, 2}, CholParams{64, 16, 2},
+                      CholParams{96, 32, 4}, CholParams{100, 32, 4},
+                      CholParams{128, 16, 4}, CholParams{200, 64, 3},
+                      CholParams{256, 32, 8}));
+
+TEST(TiledCholesky, NonSpdDetected) {
+  TiledMatrix a(32, 8);
+  a.fill_spd(1);
+  a.set(5, 5, -100.0);  // break positive definiteness
+  EXPECT_NE(cholesky_sequential(a), 0);
+}
+
+TEST(TiledCholesky, FlopsFormula) {
+  EXPECT_NEAR(cholesky_flops(1), 1.0, 1e-12);
+  EXPECT_GT(cholesky_flops(1000), 1e9 / 3.0);
+}
+
+TEST(TiledMatrixTest, GetSetRoundTrip) {
+  TiledMatrix a(50, 16);
+  a.set(49, 3, 2.5);
+  EXPECT_DOUBLE_EQ(a.get(49, 3), 2.5);
+  EXPECT_EQ(a.nt(), 4);
+  EXPECT_EQ(a.tile_elems(), 256u);
+}
+
+TEST(TiledMatrixTest, SpdFillIsSymmetric) {
+  TiledMatrix a(40, 8);
+  a.fill_spd(3);
+  for (int i = 0; i < 40; ++i) {
+    for (int j = 0; j < 40; ++j) {
+      ASSERT_EQ(a.get(i, j), a.get(j, i));
+    }
+  }
+}
+
+}  // namespace

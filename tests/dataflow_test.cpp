@@ -1,0 +1,310 @@
+// Dataflow task tests: RAW/WAR/WAW ordering under concurrency, reductions,
+// renaming, random-DAG equivalence with sequential execution, ready-list
+// behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/xkaapi.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+xk::Config cfg(unsigned n) {
+  xk::Config c;
+  c.nworkers = n;
+  c.bind_threads = false;
+  return c;
+}
+
+// Busy work to widen race windows.
+void spin(int iters) {
+  volatile int x = 0;
+  for (int i = 0; i < iters; ++i) x = x + i;
+}
+
+TEST(Dataflow, RawChainExecutesInOrder) {
+  xk::Runtime rt(cfg(4));
+  for (int rep = 0; rep < 20; ++rep) {
+    int value = 0;
+    rt.run([&] {
+      for (int i = 0; i < 50; ++i) {
+        xk::spawn(
+            [](int* v) {
+              spin(200);
+              *v = *v + 1;
+            },
+            xk::rw(&value));
+      }
+      xk::sync();
+    });
+    EXPECT_EQ(value, 50);
+  }
+}
+
+TEST(Dataflow, ProducerConsumerRaw) {
+  xk::Runtime rt(cfg(4));
+  for (int rep = 0; rep < 20; ++rep) {
+    std::vector<double> a(64, 0.0), b(64, 0.0);
+    rt.run([&] {
+      xk::spawn(
+          [](double* out) {
+            spin(500);
+            for (int i = 0; i < 64; ++i) out[i] = i;
+          },
+          xk::write(a.data(), a.size()));
+      xk::spawn(
+          [](const double* in, double* out) {
+            for (int i = 0; i < 64; ++i) out[i] = 2 * in[i];
+          },
+          xk::read(a.data(), a.size()), xk::write(b.data(), b.size()));
+      xk::sync();
+    });
+    for (int i = 0; i < 64; ++i) EXPECT_DOUBLE_EQ(b[i], 2.0 * i);
+  }
+}
+
+TEST(Dataflow, IndependentWritersRunAnyOrder) {
+  xk::Runtime rt(cfg(4));
+  std::vector<int> data(256, 0);
+  rt.run([&] {
+    for (int i = 0; i < 256; ++i) {
+      xk::spawn([](int* slot, int v) { *slot = v; }, xk::write(&data[i]), i);
+    }
+    xk::sync();
+  });
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(data[i], i);
+}
+
+TEST(Dataflow, DiamondDependency) {
+  // a -> (b, c) -> d ; b and c may run concurrently, d sees both.
+  xk::Runtime rt(cfg(4));
+  for (int rep = 0; rep < 50; ++rep) {
+    int a = 0, b = 0, c = 0, d = 0;
+    rt.run([&] {
+      xk::spawn(
+          [](int* pa) {
+            spin(300);
+            *pa = 1;
+          },
+          xk::write(&a));
+      xk::spawn(
+          [](const int* pa, int* pb) {
+            spin(100);
+            *pb = *pa + 10;
+          },
+          xk::read(&a), xk::write(&b));
+      xk::spawn(
+          [](const int* pa, int* pc) { *pc = *pa + 20; }, xk::read(&a),
+          xk::write(&c));
+      xk::spawn(
+          [](const int* pb, const int* pc, int* pd) { *pd = *pb + *pc; },
+          xk::read(&b), xk::read(&c), xk::write(&d));
+      xk::sync();
+    });
+    EXPECT_EQ(d, 32);
+  }
+}
+
+TEST(Dataflow, CumulativeWritesAccumulateExactly) {
+  xk::Runtime rt(cfg(4));
+  long total = 0;
+  rt.run([&] {
+    for (int i = 0; i < 200; ++i) {
+      // CW tasks are mutually independent; the runtime serializes bodies.
+      xk::spawn([](long* t, int v) { *t += v; }, xk::cw(&total), i);
+    }
+    // A reader after the CW group must see the full sum (CW vs R conflicts).
+    long snapshot = -1;
+    xk::spawn([](const long* t, long* s) { *s = *t; }, xk::read(&total),
+              xk::write(&snapshot));
+    xk::sync();
+    EXPECT_EQ(snapshot, 19900);
+  });
+  EXPECT_EQ(total, 19900);
+}
+
+TEST(Dataflow, ScratchDoesNotOrder) {
+  xk::Runtime rt(cfg(2));
+  std::vector<double> tmp(32);
+  std::atomic<int> ran{0};
+  rt.run([&] {
+    for (int i = 0; i < 16; ++i) {
+      xk::spawn(
+          [&ran](double* t) {
+            t[0] = 1.0;
+            ran.fetch_add(1);
+          },
+          xk::scratch(tmp.data(), tmp.size()));
+    }
+    xk::sync();
+  });
+  EXPECT_EQ(ran.load(), 16);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: random dataflow DAGs over a small variable set must produce
+// exactly the sequential result, for any worker count / feature flags.
+// ---------------------------------------------------------------------------
+
+struct DagParams {
+  unsigned workers;
+  bool renaming;
+  std::size_t readylist_threshold;
+};
+
+class RandomDagTest : public ::testing::TestWithParam<DagParams> {};
+
+// One step: out = f(in1, in2) with a cheap deterministic mix.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t z = a * 0x9e3779b97f4a7c15ULL + (b ^ 0xda942042e4dd58b5ULL);
+  z ^= z >> 29;
+  return z * 0xbf58476d1ce4e5b9ULL;
+}
+
+TEST_P(RandomDagTest, MatchesSequentialExecution) {
+  const DagParams p = GetParam();
+  xk::Config c = cfg(p.workers);
+  c.renaming = p.renaming;
+  c.ready_list_threshold = p.readylist_threshold;
+
+  constexpr int kVars = 12;
+  constexpr int kTasks = 300;
+  xk::Rng rng(2024);
+
+  struct Step {
+    int in1, in2, out;
+  };
+  std::vector<Step> steps;
+  steps.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    Step s{};
+    s.in1 = static_cast<int>(rng.next_below(kVars));
+    s.in2 = static_cast<int>(rng.next_below(kVars));
+    s.out = static_cast<int>(rng.next_below(kVars));
+    steps.push_back(s);
+  }
+
+  // Sequential reference.
+  std::vector<std::uint64_t> ref(kVars);
+  std::iota(ref.begin(), ref.end(), 1);
+  for (const Step& s : steps) {
+    ref[static_cast<std::size_t>(s.out)] =
+        mix(ref[static_cast<std::size_t>(s.in1)],
+            ref[static_cast<std::size_t>(s.in2)]);
+  }
+
+  // Parallel dataflow execution.
+  std::vector<std::uint64_t> vars(kVars);
+  std::iota(vars.begin(), vars.end(), 1);
+  {
+    xk::Runtime rt(c);
+    rt.run([&] {
+      for (const Step& s : steps) {
+        // NOTE: out may alias in1/in2; declare out as rw to keep the body
+        // read of inputs ordered even when renaming is on (renaming applies
+        // to kWrite only).
+        xk::spawn(
+            [](const std::uint64_t* a, const std::uint64_t* b,
+               std::uint64_t* o) {
+              spin(50);
+              *o = mix(*a, *b);
+            },
+            xk::read(&vars[static_cast<std::size_t>(s.in1)]),
+            xk::read(&vars[static_cast<std::size_t>(s.in2)]),
+            xk::rw(&vars[static_cast<std::size_t>(s.out)]));
+      }
+      xk::sync();
+    });
+  }
+  EXPECT_EQ(vars, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomDagTest,
+    ::testing::Values(DagParams{1, false, 256}, DagParams{2, false, 256},
+                      DagParams{4, false, 256}, DagParams{4, true, 256},
+                      DagParams{4, false, 8},   // force ready-list attach
+                      DagParams{8, true, 8}));
+
+// ---------------------------------------------------------------------------
+// Renaming: WAW chains over the same variable must still produce the last
+// value, and renaming must actually trigger.
+// ---------------------------------------------------------------------------
+
+TEST(Renaming, WawChainCorrectUnderRenaming) {
+  xk::Config c = cfg(4);
+  c.renaming = true;
+  xk::Runtime rt(c);
+  rt.reset_stats();
+  int slot = -1;
+  int observed = -1;
+  rt.run([&] {
+    for (int i = 0; i < 64; ++i) {
+      xk::spawn(
+          [](int* s, int v) {
+            spin(200);
+            *s = v;
+          },
+          xk::write(&slot), i);
+    }
+    xk::spawn([](const int* s, int* o) { *o = *s; }, xk::read(&slot),
+              xk::write(&observed));
+    xk::sync();
+  });
+  EXPECT_EQ(slot, 63);      // program order: last writer wins
+  EXPECT_EQ(observed, 63);  // reader is ordered after all writers
+}
+
+TEST(Dataflow, ReadyListAttachesOnBlockedScans) {
+  xk::Config c = cfg(4);
+  c.ready_list_threshold = 4;  // attach quickly
+  xk::Runtime rt(c);
+  rt.reset_stats();
+  int chain = 0;
+  rt.run([&] {
+    for (int i = 0; i < 400; ++i) {
+      xk::spawn(
+          [](int* v) {
+            spin(100);
+            *v = *v + 1;
+          },
+          xk::rw(&chain));
+    }
+    xk::sync();
+  });
+  EXPECT_EQ(chain, 400);
+  // With several thieves hammering a serial chain the accelerating structure
+  // should engage (not guaranteed on a 1-core box, so this is a soft check).
+  SUCCEED() << "readylist attaches=" << rt.stats_snapshot().readylist_attach;
+}
+
+TEST(Dataflow, MixedForkJoinAndDataflow) {
+  // The multi-paradigm claim: recursive fork-join children spawning dataflow
+  // tasks on disjoint slots, all under one runtime.
+  xk::Runtime rt(cfg(4));
+  std::vector<long> slots(64, 0);
+  std::function<void(int, int)> recurse = [&](int lo, int hi) {
+    if (hi - lo <= 8) {
+      for (int i = lo; i < hi; ++i) {
+        xk::spawn([](long* s) { *s += 7; }, xk::rw(&slots[i]));
+      }
+      xk::sync();
+      return;
+    }
+    const int mid = (lo + hi) / 2;
+    xk::spawn([&recurse, lo, mid] { recurse(lo, mid); });
+    xk::spawn([&recurse, mid, hi] { recurse(mid, hi); });
+    xk::sync();
+  };
+  rt.run([&] {
+    recurse(0, 64);
+    xk::sync();
+  });
+  for (long v : slots) EXPECT_EQ(v, 7);
+}
+
+}  // namespace

@@ -1,0 +1,286 @@
+// EPX mini-app tests: mesh construction, material model invariants, kernel
+// determinism across loop backends, condensed-system algebra, and the
+// integration property that a parallel simulation reproduces the sequential
+// trajectory exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/loop_schedulers.hpp"
+#include "core/xkaapi.hpp"
+#include "epx/simulation.hpp"
+#include "skyline/factor.hpp"
+
+namespace {
+
+using namespace xk::epx;
+
+TEST(EpxMesh, BoxCountsAndMass) {
+  Mesh m = make_box(4, 3, 2, 0.1, Vec3{}, 1000.0);
+  EXPECT_EQ(m.nelems(), 24);
+  EXPECT_EQ(m.nnodes(), 5 * 4 * 3);
+  double total = 0.0;
+  for (double mass : m.mass) total += mass;
+  // Total mass = density * volume.
+  EXPECT_NEAR(total, 1000.0 * 24 * 0.1 * 0.1 * 0.1, 1e-9);
+  // Interior nodes touch 8 elements, corners touch 1.
+  EXPECT_EQ(m.node_elems[0].size(), 1u);
+}
+
+TEST(EpxMesh, IncidenceIsConsistent) {
+  Mesh m = make_box(3, 3, 3, 0.1, Vec3{}, 1.0);
+  std::size_t total = 0;
+  for (const auto& list : m.node_elems) total += list.size();
+  EXPECT_EQ(total, static_cast<std::size_t>(m.nelems()) * 8u);
+  for (int n = 0; n < m.nnodes(); ++n) {
+    for (const auto& inc : m.node_elems[static_cast<std::size_t>(n)]) {
+      EXPECT_EQ(m.elems[static_cast<std::size_t>(inc.elem)]
+                       [static_cast<std::size_t>(inc.corner)],
+                n);
+    }
+  }
+}
+
+TEST(EpxMesh, ScenarioBuildersProduceContacts) {
+  Scenario meppen = make_meppen(1);
+  EXPECT_GT(meppen.mesh.nelems(), 100);
+  ASSERT_EQ(meppen.mesh.contacts.size(), 1u);
+  EXPECT_GT(meppen.mesh.contacts[0].slave_nodes.size(), 0u);
+  EXPECT_GT(meppen.dt, 0.0);
+
+  Scenario maxplane = make_maxplane(1, 4);
+  EXPECT_EQ(maxplane.mesh.contacts.size(), 3u);  // plies-1 interfaces
+  EXPECT_GT(maxplane.mesh.nelems(), 300);
+}
+
+TEST(EpxMaterial, ElasticBelowYield) {
+  ElemState s;
+  const Material& mat = material(0);
+  const double vm = material_update(mat, s, {1e-6, 0, 0, 0, 0, 0}, 4);
+  EXPECT_GT(vm, 0.0);
+  EXPECT_EQ(s.eps_plastic, 0.0);  // tiny strain: stays elastic
+}
+
+TEST(EpxMaterial, PlasticFlowAboveYield) {
+  ElemState s;
+  const Material& mat = material(0);
+  // Large deviatoric strain drives the stress past yield.
+  material_update(mat, s, {5e-3, -2e-3, -2e-3, 0, 0, 0}, 8);
+  EXPECT_GT(s.eps_plastic, 0.0);
+  // After return mapping the stress sits near the hardened yield surface.
+  const double p = (s.stress[0] + s.stress[1] + s.stress[2]) / 3.0;
+  double j2 = 0.0;
+  for (int c = 0; c < 3; ++c) {
+    j2 += (s.stress[static_cast<std::size_t>(c)] - p) *
+          (s.stress[static_cast<std::size_t>(c)] - p);
+  }
+  for (int c = 3; c < 6; ++c) {
+    j2 += 2.0 * s.stress[static_cast<std::size_t>(c)] *
+          s.stress[static_cast<std::size_t>(c)];
+  }
+  const double vm = std::sqrt(1.5 * j2);
+  const double yield_now = mat.yield0 + mat.hardening * s.eps_plastic;
+  EXPECT_NEAR(vm, yield_now, 0.02 * yield_now);
+}
+
+TEST(EpxMaterial, DeterministicUpdate) {
+  ElemState a, b;
+  const Material& mat = material(1);
+  for (int i = 0; i < 50; ++i) {
+    const double e = 1e-4 * (i % 7);
+    material_update(mat, a, {e, -e / 2, 0, e / 3, 0, 0}, 3);
+    material_update(mat, b, {e, -e / 2, 0, e / 3, 0, 0}, 3);
+  }
+  EXPECT_EQ(a.stress, b.stress);
+  EXPECT_EQ(a.eps_plastic, b.eps_plastic);
+}
+
+TEST(EpxLoopelm, EquilibriumAtRest) {
+  // No motion => no strain increment => zero internal forces.
+  Scenario s = make_meppen(1);
+  for (Vec3& v : s.mesh.v) v = Vec3{};
+  LoopelmState st;
+  st.resize(s.mesh.nelems());
+  loopelm(s.mesh, st, s.dt, s.material_iters, seq_runner());
+  for (const Vec3& f : s.mesh.f_int) {
+    EXPECT_EQ(f.x, 0.0);
+    EXPECT_EQ(f.y, 0.0);
+    EXPECT_EQ(f.z, 0.0);
+  }
+}
+
+TEST(EpxLoopelm, UniformCompressionBalances) {
+  // Uniform compression along x: internal forces on interior nodes cancel.
+  Scenario s = make_meppen(1);
+  for (std::size_t n = 0; n < s.mesh.v.size(); ++n) {
+    s.mesh.v[n] = Vec3{-s.mesh.x0[n].x, 0.0, 0.0};  // linear field
+  }
+  LoopelmState st;
+  st.resize(s.mesh.nelems());
+  loopelm(s.mesh, st, s.dt, s.material_iters, seq_runner());
+  // Total internal force must vanish (action = reaction within the mesh).
+  Vec3 total{};
+  for (const Vec3& f : s.mesh.f_int) {
+    total.x += f.x;
+    total.y += f.y;
+    total.z += f.z;
+  }
+  EXPECT_NEAR(total.x, 0.0, 1e-6);
+  EXPECT_NEAR(total.y, 0.0, 1e-6);
+  EXPECT_NEAR(total.z, 0.0, 1e-6);
+}
+
+TEST(EpxKernels, ParallelMatchesSequentialBitwise) {
+  Scenario s_seq = make_meppen(1);
+  Scenario s_par = make_meppen(1);
+  LoopelmState e1, e2;
+  e1.resize(s_seq.mesh.nelems());
+  e2.resize(s_par.mesh.nelems());
+
+  xk::Config cfg;
+  cfg.nworkers = 4;
+  cfg.bind_threads = false;
+  xk::Runtime rt(cfg);
+
+  loopelm(s_seq.mesh, e1, s_seq.dt, s_seq.material_iters, seq_runner());
+  rt.run([&] {
+    loopelm(s_par.mesh, e2, s_par.dt, s_par.material_iters, xkaapi_runner());
+  });
+  for (int n = 0; n < s_seq.mesh.nnodes(); ++n) {
+    const auto i = static_cast<std::size_t>(n);
+    ASSERT_EQ(s_seq.mesh.f_int[i].x, s_par.mesh.f_int[i].x) << n;
+    ASSERT_EQ(s_seq.mesh.f_int[i].y, s_par.mesh.f_int[i].y) << n;
+    ASSERT_EQ(s_seq.mesh.f_int[i].z, s_par.mesh.f_int[i].z) << n;
+  }
+}
+
+TEST(EpxRepera, FindsWallCandidatesOnlyWhenClose) {
+  Scenario s = make_meppen(1);
+  ReperaState rep;
+  repera(s.mesh, rep, seq_runner());
+  // Missile starts 0.2 m from the wall with gap tolerance 0.1: gaps close
+  // enough to produce candidates exist but no penetration yet.
+  const auto constraints0 = select_constraints(s.mesh, rep);
+  // Move the missile into the wall and search again.
+  for (Vec3& p : s.mesh.x) p.x -= 0.25;
+  ReperaState rep2;
+  repera(s.mesh, rep2, seq_runner());
+  const auto constraints1 = select_constraints(s.mesh, rep2);
+  EXPECT_GT(constraints1.size(), constraints0.size());
+  EXPECT_GT(rep2.total, 0u);
+}
+
+TEST(EpxRepera, CandidatesSortedByDistance) {
+  Scenario s = make_maxplane(1, 2);
+  ReperaState rep;
+  repera(s.mesh, rep, seq_runner());
+  for (const auto& list : rep.candidates) {
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      ASSERT_LE(list[i - 1].distance, list[i].distance);
+    }
+  }
+}
+
+TEST(EpxRepera, ParallelMatchesSequential) {
+  Scenario s = make_maxplane(1, 3);
+  ReperaState r1, r2;
+  repera(s.mesh, r1, seq_runner());
+  xk::Config cfg;
+  cfg.nworkers = 4;
+  cfg.bind_threads = false;
+  xk::Runtime rt(cfg);
+  rt.run([&] { repera(s.mesh, r2, xkaapi_runner()); });
+  ASSERT_EQ(r1.total, r2.total);
+  ASSERT_EQ(r1.candidates.size(), r2.candidates.size());
+  for (std::size_t i = 0; i < r1.candidates.size(); ++i) {
+    ASSERT_EQ(r1.candidates[i].size(), r2.candidates[i].size());
+    for (std::size_t k = 0; k < r1.candidates[i].size(); ++k) {
+      ASSERT_EQ(r1.candidates[i][k].facet, r2.candidates[i][k].facet);
+      ASSERT_EQ(r1.candidates[i][k].distance, r2.candidates[i][k].distance);
+    }
+  }
+}
+
+TEST(EpxHmatrix, CondensedSystemIsSpdAndSolvable) {
+  Scenario s = make_maxplane(1, 3);
+  // Drive the plies together so constraints activate.
+  for (int step = 0; step < 3; ++step) {
+    for (std::size_t n = 0; n < s.mesh.x.size(); ++n) {
+      s.mesh.x[n].z += s.dt * s.mesh.v[n].z;
+    }
+  }
+  ReperaState rep;
+  repera(s.mesh, rep, seq_runner());
+  auto constraints = select_constraints(s.mesh, rep);
+  ASSERT_GT(constraints.size(), 0u);
+  CondensedSystem sys =
+      build_condensed_system(s.mesh, constraints, 8, s.dt);
+  const int info = xk::skyline::factor_sequential(sys.h);
+  EXPECT_EQ(info, 0);
+  std::vector<double> lambda(sys.rhs.size(), 0.0);
+  xk::skyline::solve_factored(sys.h, sys.rhs.data(), lambda.data());
+  for (double l : lambda) EXPECT_TRUE(std::isfinite(l));
+}
+
+// ---------------------------------------------------------------------------
+// Integration: full simulation determinism across backends.
+// ---------------------------------------------------------------------------
+
+class EpxSimDeterminism : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EpxSimDeterminism, ParallelTrajectoryMatchesSequential) {
+  const bool meppen = std::string(GetParam()) == "meppen";
+  Scenario s_seq = meppen ? make_meppen(1) : make_maxplane(1, 3);
+  Scenario s_par = meppen ? make_meppen(1) : make_maxplane(1, 3);
+  const int steps = 10;
+
+  SimOptions seq_opt;  // defaults: serial everything
+  const PhaseTimes t_seq = simulate(s_seq, steps, seq_opt);
+
+  xk::Config cfg;
+  cfg.nworkers = 4;
+  cfg.bind_threads = false;
+  xk::Runtime rt(cfg);
+  SimOptions par_opt;
+  par_opt.loop = xkaapi_runner();
+  par_opt.rt = &rt;
+  const PhaseTimes t_par = simulate(s_par, steps, par_opt);
+
+  EXPECT_EQ(t_seq.steps, t_par.steps);
+  EXPECT_EQ(t_seq.factorizations, t_par.factorizations);
+  EXPECT_EQ(t_seq.constraints_total, t_par.constraints_total);
+  EXPECT_EQ(state_checksum(s_seq.mesh), state_checksum(s_par.mesh));
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, EpxSimDeterminism,
+                         ::testing::Values("meppen", "maxplane"));
+
+TEST(EpxSim, MeppenImpactsAndDissipates) {
+  Scenario s = make_meppen(1);
+  SimOptions opt;
+  const double v0 = s.mesh.v[0].x;
+  const PhaseTimes t = simulate(s, 40, opt);
+  EXPECT_EQ(t.steps, 40);
+  EXPECT_GT(t.loopelm, 0.0);
+  EXPECT_GT(t.repera, 0.0);
+  // The missile must have been decelerated by wall contact at some point.
+  EXPECT_GT(t.factorizations, 0);
+  double max_vx = -1e300;
+  for (const Vec3& v : s.mesh.v) max_vx = std::max(max_vx, v.x);
+  EXPECT_GT(max_vx, v0);  // some nodes bounced back / slowed down
+}
+
+TEST(EpxSim, MaxplaneCholeskyShareDominatesMeppen) {
+  // The defining contrast of §IV: MAXPLANE's time is dominated by the
+  // condensed solve, MEPPEN's by the loops.
+  Scenario meppen = make_meppen(1);
+  Scenario maxplane = make_maxplane(1, 4);
+  SimOptions opt;
+  const PhaseTimes tm = simulate(meppen, 20, opt);
+  const PhaseTimes tx = simulate(maxplane, 20, opt);
+  const double share_meppen = tm.cholesky / tm.total();
+  const double share_maxplane = tx.cholesky / tx.total();
+  EXPECT_GT(share_maxplane, share_meppen);
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+// QUARK ABI layer: argument packing/unpacking, dependency semantics on both
+// backends, barrier, scratch arguments.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "quark/quark.h"
+
+namespace {
+
+struct Payload {
+  std::atomic<int>* counter;
+};
+
+void count_task(Quark* q) {
+  std::atomic<int>* counter = nullptr;
+  quark_unpack_args_1(q, counter);
+  counter->fetch_add(1);
+}
+
+void value_echo_task(Quark* q) {
+  int v = 0;
+  double d = 0.0;
+  double* out = nullptr;
+  quark_unpack_args_3(q, v, d, out);
+  out[0] = v + d;
+}
+
+void chain_task(Quark* q) {
+  int inc = 0;
+  long* slot = nullptr;
+  quark_unpack_args_2(q, inc, slot);
+  *slot = *slot * 10 + inc;
+}
+
+void scratch_task(Quark* q) {
+  double* scratch = nullptr;
+  double* out = nullptr;
+  int n = 0;
+  quark_unpack_args_3(q, n, scratch, out);
+  for (int i = 0; i < n; ++i) scratch[i] = i + 1.0;
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) s += scratch[i];
+  *out = s;
+}
+
+class QuarkBothBackends : public ::testing::TestWithParam<QuarkBackend> {};
+
+TEST_P(QuarkBothBackends, IndependentTasks) {
+  Quark* q = QUARK_New_Backend(3, GetParam());
+  std::atomic<int> counter{0};
+  std::atomic<int>* cptr = &counter;
+  const Quark_Task_Flags flags;
+  for (int i = 0; i < 100; ++i) {
+    QUARK_Insert_Task(q, count_task, &flags,
+                      sizeof(cptr), &cptr, QUARK_VALUE,
+                      std::size_t{0});
+  }
+  QUARK_Barrier(q);
+  EXPECT_EQ(counter.load(), 100);
+  QUARK_Delete(q);
+}
+
+TEST_P(QuarkBothBackends, ValueArgumentsCopied) {
+  Quark* q = QUARK_New_Backend(2, GetParam());
+  const Quark_Task_Flags flags;
+  double out = 0.0;
+  int v = 40;
+  double d = 2.5;
+  QUARK_Insert_Task(q, value_echo_task, &flags,
+                    sizeof(int), &v, QUARK_VALUE,
+                    sizeof(double), &d, QUARK_VALUE,
+                    sizeof(double), &out, QUARK_INOUT,
+                    std::size_t{0});
+  v = -1;   // mutated after insert: the task must have its own copies
+  d = -1.0;
+  QUARK_Barrier(q);
+  EXPECT_DOUBLE_EQ(out, 42.5);
+  QUARK_Delete(q);
+}
+
+TEST_P(QuarkBothBackends, InoutChainPreservesOrder) {
+  Quark* q = QUARK_New_Backend(4, GetParam());
+  const Quark_Task_Flags flags;
+  long slot = 0;
+  for (int i = 1; i <= 6; ++i) {
+    QUARK_Insert_Task(q, chain_task, &flags,
+                      sizeof(int), &i, QUARK_VALUE,
+                      sizeof(long), &slot, QUARK_INOUT,
+                      std::size_t{0});
+  }
+  QUARK_Barrier(q);
+  EXPECT_EQ(slot, 123456L);  // digits in insertion order
+  QUARK_Delete(q);
+}
+
+TEST_P(QuarkBothBackends, ScratchBufferProvided) {
+  Quark* q = QUARK_New_Backend(2, GetParam());
+  const Quark_Task_Flags flags;
+  double out = 0.0;
+  int n = 10;
+  QUARK_Insert_Task(q, scratch_task, &flags,
+                    sizeof(int), &n, QUARK_VALUE,
+                    sizeof(double) * 10, nullptr, QUARK_SCRATCH,
+                    sizeof(double), &out, QUARK_OUTPUT,
+                    std::size_t{0});
+  QUARK_Barrier(q);
+  EXPECT_DOUBLE_EQ(out, 55.0);
+  QUARK_Delete(q);
+}
+
+TEST_P(QuarkBothBackends, BarrierReusable) {
+  Quark* q = QUARK_New_Backend(2, GetParam());
+  const Quark_Task_Flags flags;
+  std::atomic<int> counter{0};
+  std::atomic<int>* cptr = &counter;
+  for (int phase = 0; phase < 4; ++phase) {
+    for (int i = 0; i < 25; ++i) {
+      QUARK_Insert_Task(q, count_task, &flags,
+                        sizeof(cptr), &cptr, QUARK_VALUE,
+                        std::size_t{0});
+    }
+    QUARK_Barrier(q);
+    EXPECT_EQ(counter.load(), (phase + 1) * 25);
+  }
+  QUARK_Delete(q);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, QuarkBothBackends,
+                         ::testing::Values(QUARK_BACKEND_XKAAPI,
+                                           QUARK_BACKEND_CENTRAL));
+
+TEST(QuarkApi, ThreadCount) {
+  Quark* q = QUARK_New_Backend(3, QUARK_BACKEND_CENTRAL);
+  EXPECT_EQ(QUARK_Thread_Count(q), 3);
+  QUARK_Delete(q);
+}
+
+TEST(QuarkApi, EnvBackendSelection) {
+  ::setenv("XK_QUARK_BACKEND", "central", 1);
+  Quark* q = QUARK_New(2);
+  ASSERT_NE(q, nullptr);
+  QUARK_Delete(q);
+  ::unsetenv("XK_QUARK_BACKEND");
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+// Runtime lifecycle tests: pool creation, sections, nesting rules, stats.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/xkaapi.hpp"
+
+namespace {
+
+xk::Config cfg(unsigned n) {
+  xk::Config c;
+  c.nworkers = n;
+  c.bind_threads = false;
+  return c;
+}
+
+TEST(Runtime, CreateDestroyVariousSizes) {
+  for (unsigned n : {1u, 2u, 4u, 8u}) {
+    xk::Runtime rt(cfg(n));
+    EXPECT_EQ(rt.nworkers(), n);
+  }
+}
+
+TEST(Runtime, RunExecutesOnCallerThread) {
+  xk::Runtime rt(cfg(2));
+  const auto caller = std::this_thread::get_id();
+  std::thread::id inside;
+  rt.run([&] { inside = std::this_thread::get_id(); });
+  EXPECT_EQ(inside, caller);
+}
+
+TEST(Runtime, SequentialSections) {
+  xk::Runtime rt(cfg(3));
+  int sum = 0;
+  for (int i = 0; i < 10; ++i) rt.run([&] { sum += i; });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(Runtime, BeginEndStyle) {
+  xk::Runtime rt(cfg(2));
+  rt.begin();
+  EXPECT_TRUE(rt.in_section());
+  std::atomic<int> hits{0};
+  for (int i = 0; i < 100; ++i) {
+    xk::spawn([&hits] { hits.fetch_add(1, std::memory_order_relaxed); });
+  }
+  xk::sync();
+  EXPECT_EQ(hits.load(), 100);
+  rt.end();
+  EXPECT_FALSE(rt.in_section());
+}
+
+TEST(Runtime, NestedBeginThrows) {
+  xk::Runtime rt(cfg(2));
+  rt.begin();
+  EXPECT_THROW(rt.begin(), std::logic_error);
+  rt.end();
+}
+
+TEST(Runtime, EndWithoutBeginThrows) {
+  xk::Runtime rt(cfg(2));
+  EXPECT_THROW(rt.end(), std::logic_error);
+}
+
+TEST(Runtime, ThisWorkerBinding) {
+  xk::Runtime rt(cfg(2));
+  EXPECT_EQ(xk::this_worker(), nullptr);
+  rt.run([&] {
+    ASSERT_NE(xk::this_worker(), nullptr);
+    EXPECT_EQ(xk::this_worker()->id(), 0u);
+  });
+  EXPECT_EQ(xk::this_worker(), nullptr);
+}
+
+TEST(Runtime, StatsCountSpawnedTasks) {
+  xk::Runtime rt(cfg(2));
+  rt.reset_stats();
+  rt.run([&] {
+    for (int i = 0; i < 50; ++i) xk::spawn([] {});
+    xk::sync();
+  });
+  const auto s = rt.stats_snapshot();
+  EXPECT_EQ(s.tasks_spawned, 50u);
+  EXPECT_EQ(s.tasks_run_owner + s.tasks_run_thief, 50u);
+}
+
+TEST(Runtime, ExceptionFromRunPropagates) {
+  xk::Runtime rt(cfg(2));
+  EXPECT_THROW(rt.run([] { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  // The runtime remains usable afterwards.
+  int ok = 0;
+  rt.run([&] { ok = 1; });
+  EXPECT_EQ(ok, 1);
+}
+
+TEST(Runtime, SingleWorkerRuntimeWorks) {
+  xk::Runtime rt(cfg(1));
+  std::atomic<int> hits{0};
+  rt.run([&] {
+    for (int i = 0; i < 20; ++i) xk::spawn([&] { hits.fetch_add(1); });
+    xk::sync();
+  });
+  EXPECT_EQ(hits.load(), 20);
+}
+
+TEST(Runtime, SpawnOutsideSectionRunsInline) {
+  int x = 0;
+  xk::spawn([&] { x = 42; });
+  EXPECT_EQ(x, 42);
+  xk::sync();  // no-op
+  EXPECT_EQ(x, 42);
+}
+
+TEST(Runtime, ConfigFromEnvDefaults) {
+  const xk::Config c = xk::Config::from_env();
+  EXPECT_TRUE(c.workers() >= 1);
+}
+
+}  // namespace

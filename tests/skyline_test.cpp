@@ -1,0 +1,200 @@
+// Skyline storage + blocked factorization tests: profile algebra, density
+// calibration, all factorization variants vs dense reference, solves.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "baselines/gomp_pool.hpp"
+#include "core/xkaapi.hpp"
+#include "linalg/blas.hpp"
+#include "skyline/factor.hpp"
+#include "skyline/skyline.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using xk::skyline::BlockSkylineMatrix;
+using xk::skyline::make_fem_like;
+
+TEST(Skyline, StorageAndProfile) {
+  // 4 block rows, bandwidths 1,2,2,4 (bjmin = 0,0,1,0).
+  BlockSkylineMatrix a(16, 4, {0, 0, 1, 0});
+  EXPECT_EQ(a.nbk(), 4);
+  EXPECT_FALSE(a.is_empty(0, 0));
+  EXPECT_FALSE(a.is_empty(1, 0));
+  EXPECT_TRUE(a.is_empty(2, 0));
+  EXPECT_FALSE(a.is_empty(2, 1));
+  EXPECT_TRUE(a.is_empty(0, 1));  // upper triangle
+  EXPECT_EQ(a.stored_blocks(), 1u + 2u + 2u + 4u);
+}
+
+TEST(Skyline, RejectsBadProfile) {
+  EXPECT_THROW(BlockSkylineMatrix(16, 4, {0, 2}), std::invalid_argument);
+  EXPECT_THROW(BlockSkylineMatrix(64, 4, {0, 0}), std::invalid_argument);
+}
+
+TEST(Skyline, GetOutsideProfileIsZero) {
+  BlockSkylineMatrix a(16, 4, {0, 1, 2, 3});  // diagonal blocks only
+  a.fill_spd(5);
+  EXPECT_EQ(a.get(12, 0), 0.0);
+  EXPECT_NE(a.get(1, 1), 0.0);
+  EXPECT_EQ(a.get(0, 12), 0.0);  // symmetric query
+}
+
+TEST(Skyline, DensityCalibration) {
+  const auto a = make_fem_like(4000, 40, 0.036, 99);
+  // The random-walk profile should land near the target (loose band).
+  EXPECT_GT(a.density(), 0.018);
+  EXPECT_LT(a.density(), 0.072);
+}
+
+TEST(Skyline, MatvecMatchesDense) {
+  auto a = make_fem_like(200, 8, 0.2, 7);
+  a.fill_spd(3);
+  const auto dense = a.to_dense();
+  const int n = a.n();
+  xk::Rng rng(11);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (double& v : x) v = rng.next_double(-1.0, 1.0);
+  std::vector<double> y(static_cast<std::size_t>(n));
+  a.matvec(x.data(), y.data());
+  for (int i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (int j = 0; j < n; ++j) {
+      s += dense[static_cast<std::size_t>(i) + static_cast<std::size_t>(j) * n] *
+           x[static_cast<std::size_t>(j)];
+    }
+    ASSERT_NEAR(y[static_cast<std::size_t>(i)], s, 1e-9);
+  }
+}
+
+struct FactorParams {
+  int n;
+  int bs;
+  double density;
+  unsigned workers;
+};
+
+class SkylineFactor : public ::testing::TestWithParam<FactorParams> {};
+
+// Factor + solve + residual ||A x - b|| / ||b||.
+double factor_solve_residual(BlockSkylineMatrix& a, int variant,
+                             unsigned workers) {
+  auto a0 = a;  // keep the unfactored matrix for the residual matvec
+  int info = -1;
+  switch (variant) {
+    case 0:
+      info = xk::skyline::factor_sequential(a);
+      break;
+    case 1: {
+      xk::Config cfg;
+      cfg.nworkers = workers;
+      cfg.bind_threads = false;
+      xk::Runtime rt(cfg);
+      info = xk::skyline::factor_xkaapi(a, rt);
+      break;
+    }
+    case 2: {
+      xk::baseline::GompLikePool pool(workers);
+      info = xk::skyline::factor_gomp(a, pool);
+      break;
+    }
+    default:
+      break;
+  }
+  EXPECT_EQ(info, 0);
+  const int n = a.n();
+  xk::Rng rng(17);
+  std::vector<double> xref(static_cast<std::size_t>(n)), b(static_cast<std::size_t>(n));
+  for (double& v : xref) v = rng.next_double(-1.0, 1.0);
+  a0.matvec(xref.data(), b.data());
+  std::vector<double> x(static_cast<std::size_t>(n));
+  xk::skyline::solve_factored(a, b.data(), x.data());
+  double num = 0.0, den = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double d = x[static_cast<std::size_t>(i)] - xref[static_cast<std::size_t>(i)];
+    num += d * d;
+    den += xref[static_cast<std::size_t>(i)] * xref[static_cast<std::size_t>(i)];
+  }
+  return std::sqrt(num / den);
+}
+
+TEST_P(SkylineFactor, SequentialFactorSolve) {
+  const auto p = GetParam();
+  auto a = make_fem_like(p.n, p.bs, p.density, 31);
+  a.fill_spd(8);
+  EXPECT_LT(factor_solve_residual(a, 0, p.workers), 1e-8);
+}
+
+TEST_P(SkylineFactor, XkaapiFactorSolve) {
+  const auto p = GetParam();
+  auto a = make_fem_like(p.n, p.bs, p.density, 31);
+  a.fill_spd(8);
+  EXPECT_LT(factor_solve_residual(a, 1, p.workers), 1e-8);
+}
+
+TEST_P(SkylineFactor, GompFactorSolve) {
+  const auto p = GetParam();
+  auto a = make_fem_like(p.n, p.bs, p.density, 31);
+  a.fill_spd(8);
+  EXPECT_LT(factor_solve_residual(a, 2, p.workers), 1e-8);
+}
+
+TEST_P(SkylineFactor, VariantsBitwiseAgree) {
+  const auto p = GetParam();
+  auto a_seq = make_fem_like(p.n, p.bs, p.density, 31);
+  a_seq.fill_spd(8);
+  auto a_xk = a_seq;
+  auto a_gomp = a_seq;
+  ASSERT_EQ(xk::skyline::factor_sequential(a_seq), 0);
+  {
+    xk::Config cfg;
+    cfg.nworkers = p.workers;
+    cfg.bind_threads = false;
+    xk::Runtime rt(cfg);
+    ASSERT_EQ(xk::skyline::factor_xkaapi(a_xk, rt), 0);
+  }
+  {
+    xk::baseline::GompLikePool pool(p.workers);
+    ASSERT_EQ(xk::skyline::factor_gomp(a_gomp, pool), 0);
+  }
+  for (int i = 0; i < p.n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      ASSERT_EQ(a_seq.get(i, j), a_xk.get(i, j)) << i << "," << j;
+      ASSERT_EQ(a_seq.get(i, j), a_gomp.get(i, j)) << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SkylineFactor,
+    ::testing::Values(FactorParams{64, 8, 0.5, 2},
+                      FactorParams{128, 16, 0.3, 4},
+                      FactorParams{200, 16, 0.2, 4},
+                      FactorParams{300, 24, 0.1, 3},
+                      FactorParams{333, 32, 0.15, 8}));
+
+TEST(SkylineFactor, FlopsPositiveAndMonotone) {
+  auto sparse = make_fem_like(400, 16, 0.05, 1);
+  auto denser = make_fem_like(400, 16, 0.4, 1);
+  EXPECT_GT(xk::skyline::factor_flops(sparse), 0.0);
+  EXPECT_GT(xk::skyline::factor_flops(denser),
+            xk::skyline::factor_flops(sparse));
+}
+
+TEST(SkylineFactor, DiagonalOnlyProfile) {
+  // Block-diagonal matrix: factorization reduces to independent potrfs.
+  BlockSkylineMatrix a(32, 8, {0, 1, 2, 3});
+  a.fill_spd(2);
+  auto a0 = a;
+  ASSERT_EQ(xk::skyline::factor_sequential(a), 0);
+  xk::Rng rng(5);
+  std::vector<double> xref(32), b(32), x(32);
+  for (double& v : xref) v = rng.next_double(-1.0, 1.0);
+  a0.matvec(xref.data(), b.data());
+  xk::skyline::solve_factored(a, b.data(), x.data());
+  for (int i = 0; i < 32; ++i) ASSERT_NEAR(x[static_cast<std::size_t>(i)], xref[static_cast<std::size_t>(i)], 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,217 @@
+// Stress and failure-injection suites: oversubscription, frame-chunk
+// boundaries, arena recycling across sections, mixed paradigms under churn,
+// exception storms, runtime reuse.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/xkaapi.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+xk::Config cfg(unsigned n) {
+  xk::Config c;
+  c.nworkers = n;
+  c.bind_threads = false;
+  return c;
+}
+
+TEST(Stress, ManySectionsReuseFrames) {
+  // Arena/frame recycling across many begin/end cycles must not leak or
+  // corrupt (the arena never runs destructors; trampolines must).
+  xk::Runtime rt(cfg(3));
+  for (int section = 0; section < 200; ++section) {
+    std::atomic<int> hits{0};
+    rt.run([&] {
+      for (int i = 0; i < 50; ++i) {
+        std::vector<int> payload(16, section);
+        xk::spawn([payload, &hits] {
+          hits.fetch_add(payload[0] >= 0 ? 1 : 0);
+        });
+      }
+      xk::sync();
+    });
+    ASSERT_EQ(hits.load(), 50);
+  }
+}
+
+TEST(Stress, FrameChunkBoundaries) {
+  // Spawn counts straddling the 128-task chunk size of Frame.
+  xk::Runtime rt(cfg(2));
+  for (int count : {127, 128, 129, 255, 256, 257, 1024}) {
+    std::atomic<int> hits{0};
+    rt.run([&] {
+      for (int i = 0; i < count; ++i) xk::spawn([&hits] { hits.fetch_add(1); });
+      xk::sync();
+    });
+    ASSERT_EQ(hits.load(), count) << "count=" << count;
+  }
+}
+
+TEST(Stress, HeavyOversubscription) {
+  // 24 workers on (likely) far fewer cores: progress + correctness only.
+  xk::Runtime rt(cfg(24));
+  std::atomic<std::int64_t> sum{0};
+  rt.run([&] {
+    xk::parallel_for(0, 100000, [&](std::int64_t lo, std::int64_t hi) {
+      std::int64_t local = 0;
+      for (std::int64_t i = lo; i < hi; ++i) local += i % 13;
+      sum.fetch_add(local);
+    });
+  });
+  std::int64_t expect = 0;
+  for (std::int64_t i = 0; i < 100000; ++i) expect += i % 13;
+  EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(Stress, MixedParadigmChurn) {
+  // Fork-join recursion + dataflow chains + loops, interleaved repeatedly.
+  xk::Runtime rt(cfg(4));
+  xk::Rng rng(77);
+  for (int round = 0; round < 10; ++round) {
+    long chain = 0;
+    std::atomic<long> loop_sum{0};
+    std::atomic<int> leaves{0};
+    rt.run([&] {
+      std::function<void(int)> tree = [&](int d) {
+        if (d == 0) {
+          leaves.fetch_add(1);
+          return;
+        }
+        xk::spawn([&tree, d] { tree(d - 1); });
+        xk::spawn([&tree, d] { tree(d - 1); });
+        xk::sync();
+      };
+      tree(6);
+      for (int i = 0; i < 32; ++i) {
+        xk::spawn([](long* c) { *c = *c * 3 + 1; }, xk::rw(&chain));
+      }
+      xk::parallel_for(0, 20000, [&](std::int64_t lo, std::int64_t hi) {
+        loop_sum.fetch_add(hi - lo);
+      });
+      xk::sync();
+    });
+    ASSERT_EQ(leaves.load(), 64);
+    ASSERT_EQ(loop_sum.load(), 20000);
+    long expect = 0;
+    for (int i = 0; i < 32; ++i) expect = expect * 3 + 1;
+    ASSERT_EQ(chain, expect);
+  }
+}
+
+TEST(Stress, ExceptionStorm) {
+  // Many failing tasks across many sections: the runtime must stay usable
+  // and never lose the first exception.
+  xk::Runtime rt(cfg(4));
+  for (int round = 0; round < 20; ++round) {
+    bool threw = false;
+    try {
+      rt.run([&] {
+        for (int i = 0; i < 100; ++i) {
+          xk::spawn([i] {
+            if (i % 3 == 0) throw std::runtime_error("storm");
+          });
+        }
+        xk::sync();
+      });
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+    ASSERT_TRUE(threw);
+  }
+  int ok = 0;
+  rt.run([&] { ok = 1; });
+  EXPECT_EQ(ok, 1);
+}
+
+TEST(Stress, ExceptionInsideNestedTask) {
+  xk::Runtime rt(cfg(3));
+  EXPECT_THROW(rt.run([&] {
+    xk::spawn([] {
+      xk::spawn([] {
+        xk::spawn([] { throw std::logic_error("deep"); });
+        xk::sync();
+      });
+      // implicit sync at body end propagates upward
+    });
+    xk::sync();
+  }),
+               std::logic_error);
+}
+
+TEST(Stress, RenamingUnderChurn) {
+  xk::Config c = cfg(4);
+  c.renaming = true;
+  xk::Runtime rt(c);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<int> slots(8, 0);
+    rt.run([&] {
+      // Interleaved independent WAW chains over few slots: heavy renaming
+      // opportunity; program order must still win per slot.
+      for (int step = 0; step < 50; ++step) {
+        for (std::size_t s = 0; s < slots.size(); ++s) {
+          xk::spawn(
+              [](int* p, int v) {
+                volatile int spin = 0;
+                for (int i = 0; i < 50; ++i) spin = spin + i;
+                *p = v;
+              },
+              xk::write(&slots[s]), step);
+        }
+      }
+      xk::sync();
+    });
+    for (int v : slots) ASSERT_EQ(v, 49);
+  }
+}
+
+TEST(Stress, TinyReadyListThreshold) {
+  // Threshold 1 forces the accelerating structure on nearly every blocked
+  // scan; correctness must be unaffected.
+  xk::Config c = cfg(4);
+  c.ready_list_threshold = 1;
+  xk::Runtime rt(c);
+  std::int64_t acc = 0;
+  rt.run([&] {
+    for (int i = 0; i < 500; ++i) {
+      xk::spawn(
+          [](std::int64_t* a) {
+            volatile int spin = 0;
+            for (int j = 0; j < 200; ++j) spin = spin + j;
+            *a += 1;
+          },
+          xk::rw(&acc));
+    }
+    xk::sync();
+  });
+  EXPECT_EQ(acc, 500);
+}
+
+TEST(Stress, LongDataflowPipelines) {
+  // Several long independent RW chains; checks steal-time readiness with
+  // many blocked candidates and scan-hint advancement.
+  xk::Runtime rt(cfg(4));
+  constexpr int kChains = 8, kLen = 300;
+  std::vector<std::uint64_t> lanes(kChains, 1);
+  rt.run([&] {
+    for (int step = 0; step < kLen; ++step) {
+      for (int c = 0; c < kChains; ++c) {
+        xk::spawn(
+            [](std::uint64_t* v) { *v = *v * 6364136223846793005ULL + 1; },
+            xk::rw(&lanes[static_cast<std::size_t>(c)]));
+      }
+    }
+    xk::sync();
+  });
+  std::uint64_t expect = 1;
+  for (int step = 0; step < kLen; ++step) {
+    expect = expect * 6364136223846793005ULL + 1;
+  }
+  for (auto v : lanes) ASSERT_EQ(v, expect);
+}
+
+}  // namespace
