@@ -26,6 +26,7 @@ inline double body_work(std::int64_t i) {
 }  // namespace
 
 int main() {
+  xkbench::json_begin("ablation_adaptive");
   xkbench::preamble("Ablation (adaptive loops)",
                     "adaptive foreach vs pre-split tasks vs loop team");
   const std::int64_t n = xk::env_int("XKREPRO_ABL_N", 1 << 20);
@@ -40,6 +41,7 @@ int main() {
     }
   };
 
+  xkbench::json_context("sequential", 1, static_cast<double>(n));
   const double t_seq = xkbench::time_best([&] { chunk_body(0, n); });
   std::printf("n=%ld, sequential: %.4fs\n\n", static_cast<long>(n), t_seq);
 
@@ -54,6 +56,8 @@ int main() {
       xk::Runtime rt(cfg);
       rt.reset_stats();
       double t = 0.0;
+      xkbench::json_context("adaptive-foreach/grain=" + std::to_string(grain),
+                            cores, static_cast<double>(n));
       rt.run([&] {
         t = xkbench::time_best([&] {
           xk::ForeachOptions opt;
@@ -73,6 +77,8 @@ int main() {
       xk::Runtime rt(cfg);
       rt.reset_stats();
       double t = 0.0;
+      xkbench::json_context("pre-split-tasks/grain=" + std::to_string(grain),
+                            cores, static_cast<double>(n));
       rt.run([&] {
         t = xkbench::time_best([&] {
           for (std::int64_t lo = 0; lo < n; lo += grain) {
@@ -89,6 +95,8 @@ int main() {
     // 3. OpenMP-model dynamic schedule at the same chunk size.
     {
       xk::baseline::LoopTeam team(cores);
+      xkbench::json_context("omp-dynamic/grain=" + std::to_string(grain),
+                            cores, static_cast<double>(n));
       const double t = xkbench::time_best([&] {
         team.run(0, n, xk::baseline::LoopSchedule::kDynamic, grain,
                  [&](std::int64_t lo, std::int64_t hi, unsigned) {

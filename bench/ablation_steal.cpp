@@ -55,6 +55,7 @@ struct Variant {
 }  // namespace
 
 int main() {
+  xkbench::json_begin("ablation_steal");
   xkbench::preamble("Ablation (steal path)",
                     "request aggregation and ready-list, isolated");
   const int fib_n = static_cast<int>(xk::env_int("XKREPRO_FIB_N", 25));
@@ -83,6 +84,7 @@ int main() {
     // Workload 1: fib.
     rt.reset_stats();
     std::uint64_t r = 0;
+    xkbench::json_context(std::string("fib/") + v.name, cores);
     const double t_fib = xkbench::time_best([&] {
       r = 0;
       rt.run([&] {
@@ -103,6 +105,7 @@ int main() {
     // Workload 2: dataflow grid.
     rt.reset_stats();
     std::vector<double> cells(64, 1.0);
+    xkbench::json_context(std::string("dataflow-grid/") + v.name, cores);
     const double t_grid = xkbench::time_best([&] {
       rt.run([&] { dataflow_grid(cells, 64, 40); });
     });

@@ -7,12 +7,18 @@
 //  * XKREPRO_CORES="1,2,4,8" selects the thread counts swept (the paper
 //    uses 1..48 on the 48-core Magny-Cours; counts beyond the visible
 //    cores oversubscribe, which is expected on small machines);
-//  * results print as fixed-width tables (XKREPRO_CSV=1 for CSV).
+//  * results print as fixed-width tables (XKREPRO_CSV=1 for CSV);
+//  * XKREPRO_JSON=<path> additionally writes a machine-readable report
+//    (see JsonReport below) — scripts/run_bench.sh uses this to produce
+//    the BENCH_fig*.json perf-trajectory files.
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "support/cpu.hpp"
@@ -54,23 +60,205 @@ inline std::vector<unsigned> core_counts() {
 }
 
 /// Repetitions per measurement (paper: averaged over 30 runs; default 3
-/// here — XKREPRO_REPS raises it).
+/// here — XKREPRO_REPS raises it, clamped to at least one sample).
 inline std::size_t reps() {
-  return static_cast<std::size_t>(xk::env_int("XKREPRO_REPS", 3));
+  return static_cast<std::size_t>(
+      std::max<std::int64_t>(1, xk::env_int("XKREPRO_REPS", 3)));
 }
 
-/// Best-of-N wall time of `fn` (min over reps; one warmup).
+// ---------------------------------------------------------------------------
+// JSON perf-trajectory emission.
+//
+// When XKREPRO_JSON names a file, every measurement taken after a
+// json_context() call is aggregated per (name, nworkers) and written on
+// exit as:
+//
+//   { "schema_version": 1,
+//     "benchmark": "<binary id, e.g. fig1_fib>",
+//     "results": [
+//       { "name": "<series, e.g. XKaapi or MEPPEN/LOOPELM>",
+//         "nworkers": <worker count>,
+//         "reps": <sample count>,
+//         "median_s": <median wall seconds>, "p95_s": <p95 wall seconds>,
+//         "min_s": ..., "mean_s": ...,
+//         "throughput": <items-per-rep / median_s; items defaults to 1,
+//                        so plain series report runs-per-second> } ] }
+//
+// The schema is the contract with scripts/run_bench.sh and the BENCH_*
+// trajectory files; bump schema_version on any incompatible change.
+// ---------------------------------------------------------------------------
+class JsonReport {
+ public:
+  static JsonReport& instance() {
+    static JsonReport report;
+    return report;
+  }
+
+  /// Names the report (once, from main) and latches XKREPRO_JSON.
+  void begin(std::string benchmark) {
+    benchmark_ = std::move(benchmark);
+    if (auto env = xk::env_string("XKREPRO_JSON")) path_ = *env;
+  }
+
+  bool active() const { return !path_.empty(); }
+
+  /// Subsequent record() calls account to (name, nworkers); `items` is the
+  /// work per repetition used for the throughput field.
+  void context(std::string name, unsigned nworkers, double items = 1.0) {
+    ctx_ = {std::move(name), nworkers, items};
+    have_ctx_ = true;
+  }
+
+  /// Appends wall-time samples (seconds) to the current context's series.
+  void record(const std::vector<double>& samples) {
+    if (!active() || !have_ctx_ || samples.empty()) return;
+    Entry* e = nullptr;
+    for (Entry& cand : entries_) {
+      if (cand.name == ctx_.name && cand.nworkers == ctx_.nworkers) {
+        e = &cand;
+        break;
+      }
+    }
+    if (!e) {
+      entries_.push_back({ctx_.name, ctx_.nworkers, ctx_.items, {}});
+      e = &entries_.back();
+    }
+    e->items = ctx_.items;
+    e->samples.insert(e->samples.end(), samples.begin(), samples.end());
+  }
+
+  void record_one(double seconds) { record(std::vector<double>{seconds}); }
+
+  /// Discards everything recorded against the current context — for runs
+  /// whose result turned out wrong, so their timings never enter the
+  /// trajectory as valid-looking data.
+  void drop_current() {
+    if (!have_ctx_) return;
+    std::erase_if(entries_, [&](const Entry& e) {
+      return e.name == ctx_.name && e.nworkers == ctx_.nworkers;
+    });
+  }
+
+  ~JsonReport() { write(); }
+
+ private:
+  struct Context {
+    std::string name;
+    unsigned nworkers = 1;
+    double items = 1.0;
+  };
+  struct Entry {
+    std::string name;
+    unsigned nworkers;
+    double items;
+    std::vector<double> samples;
+  };
+
+  JsonReport() = default;
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  /// Nearest-rank quantile of a sorted, non-empty sample vector.
+  static double quantile(const std::vector<double>& sorted, double q) {
+    const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+    const std::size_t idx =
+        rank < 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+    return sorted[std::min(idx, sorted.size() - 1)];
+  }
+
+  void write() const {
+    if (!active() || entries_.empty()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "JsonReport: cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f,
+                 "{\n  \"schema_version\": 1,\n  \"benchmark\": \"%s\",\n"
+                 "  \"results\": [\n",
+                 escape(benchmark_).c_str());
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::vector<double> sorted = e.samples;
+      std::sort(sorted.begin(), sorted.end());
+      const double median = quantile(sorted, 0.5);
+      const double p95 = quantile(sorted, 0.95);
+      double mean = 0.0;
+      for (double s : sorted) mean += s;
+      mean /= static_cast<double>(sorted.size());
+      const double throughput = median > 0.0 ? e.items / median : 0.0;
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"nworkers\": %u, \"reps\": %zu, "
+                   "\"median_s\": %.9g, \"p95_s\": %.9g, \"min_s\": %.9g, "
+                   "\"mean_s\": %.9g, \"throughput\": %.9g}%s\n",
+                   escape(e.name).c_str(), e.nworkers, sorted.size(), median,
+                   p95, sorted.front(), mean, throughput,
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+
+  std::string benchmark_ = "unnamed";
+  std::string path_;
+  Context ctx_;
+  bool have_ctx_ = false;
+  std::vector<Entry> entries_;
+};
+
+/// Names this binary's JSON report; call once at the top of main.
+inline void json_begin(const char* benchmark) {
+  JsonReport::instance().begin(benchmark);
+}
+
+/// Routes subsequent measurements to series `name` at `nworkers` workers.
+inline void json_context(std::string name, unsigned nworkers,
+                         double items = 1.0) {
+  JsonReport::instance().context(std::move(name), nworkers, items);
+}
+
+/// Records raw wall-time samples against the current context.
+inline void json_record(const std::vector<double>& samples) {
+  JsonReport::instance().record(samples);
+}
+
+inline void json_record_one(double seconds) {
+  JsonReport::instance().record_one(seconds);
+}
+
+/// Drops the current context's series (call when the run's result was wrong).
+inline void json_drop_current() { JsonReport::instance().drop_current(); }
+
+/// Per-repetition wall times of `fn` (after `warmups` unmeasured runs).
+template <typename Fn>
+std::vector<double> time_samples(Fn&& fn, std::size_t n = reps(),
+                                 std::size_t warmups = 1) {
+  return xk::time_samples(fn, n, warmups);
+}
+
+/// Best-of-N wall time of `fn` (min over reps; one warmup). Samples feed
+/// the JSON report when a context is active.
 template <typename Fn>
 double time_best(Fn&& fn, std::size_t n = reps()) {
-  const xk::RunStats stats = xk::time_repeated(fn, n, /*warmups=*/1);
-  return stats.min;
+  const std::vector<double> samples = time_samples(fn, n);
+  json_record(samples);
+  return xk::RunStats::from_samples(samples).min;
 }
 
 /// Mean-of-N wall time (for noisy long runs).
 template <typename Fn>
 double time_mean(Fn&& fn, std::size_t n = reps()) {
-  const xk::RunStats stats = xk::time_repeated(fn, n, /*warmups=*/1);
-  return stats.mean;
+  const std::vector<double> samples = time_samples(fn, n);
+  json_record(samples);
+  return xk::RunStats::from_samples(samples).mean;
 }
 
 inline void preamble(const char* figure, const char* description) {

@@ -72,11 +72,13 @@ void fib_gomp(xk::baseline::GompLikePool& pool, std::uint64_t* r, int n) {
 }  // namespace
 
 int main() {
+  xkbench::json_begin("fig1_fib");
   xkbench::preamble("Figure 1", "Fibonacci task-creation overhead");
   const int n = static_cast<int>(xk::env_int("XKREPRO_FIB_N", 27));
   const double timeout = xk::env_double("XKREPRO_TIMEOUT", 20.0);
   const std::uint64_t expect = fib_seq(n);
 
+  xkbench::json_context("sequential", 1);
   const double t_seq = xkbench::time_best([&] {
     volatile std::uint64_t r = fib_seq(n);
     (void)r;
@@ -163,9 +165,11 @@ int main() {
         table.add_row({e.name, std::to_string(cores), "(no time)", "", "", ""});
         continue;
       }
+      xkbench::json_context(e.name, cores);
       const double t = e.run(cores, n, expect);
       if (cores == 1) t1 = t;
       const bool ok = t >= 0.0;
+      if (!ok) xkbench::json_drop_current();
       table.add_row({e.name, std::to_string(cores),
                      ok ? xk::Table::num(t, 4) : "wrong-result",
                      cores == 1 && ok ? "x" + xk::Table::num(t / t_seq, 1) : "",

@@ -20,6 +20,7 @@
 #include "quark/quark.h"
 
 int main() {
+  xkbench::json_begin("fig2_cholesky_dense");
   xkbench::preamble("Figure 2",
                     "Tiled Cholesky GFlop/s vs matrix size (NB = fine/coarse)");
   const unsigned cores = static_cast<unsigned>(
@@ -45,12 +46,20 @@ int main() {
         xk::linalg::TiledMatrix a(n, nb);
         double t = 1e300;
         int info = 0;
+        const unsigned nworkers =
+            std::string(name) == "sequential" ? 1 : cores;
+        xkbench::json_context(std::string(name) + "/NB=" + std::to_string(nb) +
+                                  "/n=" + std::to_string(n),
+                              nworkers, flops);
         for (std::size_t rep = 0; rep < xkbench::reps(); ++rep) {
           a.fill_spd(7);
           xk::Timer timer;
           info = factor(a);
-          t = std::min(t, timer.seconds());
+          const double dt = timer.seconds();
+          xkbench::json_record_one(dt);
+          t = std::min(t, dt);
         }
+        if (info != 0) xkbench::json_drop_current();
         table.add_row({std::to_string(nb), std::to_string(n), name,
                        xk::Table::num(t, 4),
                        xk::Table::num(flops / t / 1e9, 2),

@@ -21,11 +21,12 @@ namespace {
 
 using namespace xk::epx;
 
+constexpr int kInner = 5;  // amplify the measured region above timer noise
+
 // One measured unit: both EPX loops back to back on a prepared state.
 double run_loops(Scenario& s, LoopelmState& elm, ReperaState& rep,
                  const LoopRunner& runner, std::size_t reps) {
-  constexpr int kInner = 5;  // amplify the measured region above timer noise
-  double best = 1e300;
+  std::vector<double> samples;
   for (std::size_t r = 0; r < reps + 1; ++r) {  // first is warmup
     xk::Timer t;
     for (int i = 0; i < kInner; ++i) {
@@ -33,14 +34,16 @@ double run_loops(Scenario& s, LoopelmState& elm, ReperaState& rep,
       repera(s.mesh, rep, runner);
     }
     const double dt = t.seconds();
-    if (r > 0) best = std::min(best, dt);
+    if (r > 0) samples.push_back(dt);
   }
-  return best;
+  xkbench::json_record(samples);
+  return *std::min_element(samples.begin(), samples.end());
 }
 
 }  // namespace
 
 int main() {
+  xkbench::json_begin("fig3_foreach");
   xkbench::preamble("Figure 3",
                     "EPX parallel loops: speedup vs cores, OpenMP-model "
                     "schedulers vs XKaapi foreach");
@@ -53,6 +56,14 @@ int main() {
               scale, s.mesh.nelems(), s.mesh.nnodes(),
               s.mesh.contacts[0].slave_nodes.size());
 
+  // One measured sample covers kInner runs of loopelm (nelems elements)
+  // plus repera (every contact surface's slave nodes).
+  std::size_t nslaves = 0;
+  for (const auto& cs : s.mesh.contacts) nslaves += cs.slave_nodes.size();
+  const double loop_items =
+      static_cast<double>(kInner) *
+      (static_cast<double>(s.mesh.nelems()) + static_cast<double>(nslaves));
+  xkbench::json_context("sequential", 1, loop_items);
   const double t_seq = run_loops(s, elm, rep, seq_runner(), xkbench::reps());
   std::printf("sequential loops time: %.4fs\n\n", t_seq);
 
@@ -67,6 +78,7 @@ int main() {
                    body(lo, hi);
                  });
       };
+      xkbench::json_context("OpenMP/static", cores, loop_items);
       const double t = run_loops(s, elm, rep, runner, xkbench::reps());
       table.add_row({"OpenMP/static", std::to_string(cores),
                      xk::Table::num(t, 4), xk::Table::num(t_seq / t, 2)});
@@ -79,6 +91,7 @@ int main() {
                    body(lo, hi);
                  });
       };
+      xkbench::json_context("OpenMP/dynamic", cores, loop_items);
       const double t = run_loops(s, elm, rep, runner, xkbench::reps());
       table.add_row({"OpenMP/dynamic", std::to_string(cores),
                      xk::Table::num(t, 4), xk::Table::num(t_seq / t, 2)});
@@ -88,6 +101,7 @@ int main() {
       cfg.nworkers = cores;
       xk::Runtime rt(cfg);
       double t = 0.0;
+      xkbench::json_context("XKaapi", cores, loop_items);
       rt.run([&] { t = run_loops(s, elm, rep, xkaapi_runner(), xkbench::reps()); });
       table.add_row({"XKaapi", std::to_string(cores), xk::Table::num(t, 4),
                      xk::Table::num(t_seq / t, 2)});

@@ -20,13 +20,14 @@ using namespace xk::epx;
 template <typename Kernel>
 double time_kernel(Kernel&& kernel, std::size_t reps) {
   constexpr int kInner = 5;  // amplify the measured region above timer noise
-  double best = 1e300;
+  std::vector<double> samples;
   for (std::size_t r = 0; r < reps + 1; ++r) {
     xk::Timer t;
     for (int i = 0; i < kInner; ++i) kernel();
-    if (r > 0) best = std::min(best, t.seconds());
+    if (r > 0) samples.push_back(t.seconds());
   }
-  return best;
+  xkbench::json_record(samples);
+  return *std::min_element(samples.begin(), samples.end());
 }
 
 void bench_scenario(const char* name, Scenario& s, xk::Table& table) {
@@ -34,9 +35,12 @@ void bench_scenario(const char* name, Scenario& s, xk::Table& table) {
   elm.resize(s.mesh.nelems());
   ReperaState rep;
 
+  const std::string prefix(name);
+  xkbench::json_context(prefix + "/LOOPELM/seq", 1);
   const double t_loopelm_seq = time_kernel(
       [&] { loopelm(s.mesh, elm, s.dt, s.material_iters, seq_runner()); },
       xkbench::reps());
+  xkbench::json_context(prefix + "/REPERA/seq", 1);
   const double t_repera_seq =
       time_kernel([&] { repera(s.mesh, rep, seq_runner()); }, xkbench::reps());
 
@@ -46,9 +50,11 @@ void bench_scenario(const char* name, Scenario& s, xk::Table& table) {
     xk::Runtime rt(cfg);
     double t_loopelm = 0.0, t_repera = 0.0;
     rt.run([&] {
+      xkbench::json_context(prefix + "/LOOPELM", cores);
       t_loopelm = time_kernel(
           [&] { loopelm(s.mesh, elm, s.dt, s.material_iters, xkaapi_runner()); },
           xkbench::reps());
+      xkbench::json_context(prefix + "/REPERA", cores);
       t_repera = time_kernel([&] { repera(s.mesh, rep, xkaapi_runner()); },
                              xkbench::reps());
     });
@@ -64,6 +70,7 @@ void bench_scenario(const char* name, Scenario& s, xk::Table& table) {
 }  // namespace
 
 int main() {
+  xkbench::json_begin("fig6_epx_loops");
   xkbench::preamble("Figure 6",
                     "LOOPELM / REPERA speedups on MEPPEN and MAXPLANE "
                     "(XKaapi foreach)");

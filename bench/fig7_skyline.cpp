@@ -84,6 +84,7 @@ void print_parallelism_analysis(const xk::skyline::BlockSkylineMatrix& a) {
 }  // namespace
 
 int main() {
+  xkbench::json_begin("fig7_skyline");
   xkbench::preamble("Figure 7",
                     "Blocked skyline Cholesky: XKaapi dataflow vs "
                     "OpenMP-taskwait model");
@@ -99,8 +100,10 @@ int main() {
   print_parallelism_analysis(profile);
 
   // Sequential reference.
+  const double flops = xk::skyline::factor_flops(profile);
   auto a = profile;
   double t_seq = 1e300;
+  xkbench::json_context("sequential", 1, flops);
   for (std::size_t r = 0; r < xkbench::reps(); ++r) {
     a.fill_spd(5);
     xk::Timer t;
@@ -109,7 +112,9 @@ int main() {
       std::printf("sequential factorization failed: %d\n", info);
       return 1;
     }
-    t_seq = std::min(t_seq, t.seconds());
+    const double dt = t.seconds();
+    xkbench::json_record_one(dt);
+    t_seq = std::min(t_seq, dt);
   }
   std::printf("sequential time: %.4fs (paper: 47.79s at full size)\n\n", t_seq);
 
@@ -120,11 +125,14 @@ int main() {
       cfg.nworkers = cores;
       xk::Runtime rt(cfg);
       double best = 1e300;
+      xkbench::json_context("XKaapi", cores, flops);
       for (std::size_t r = 0; r < xkbench::reps(); ++r) {
         a.fill_spd(5);
         xk::Timer t;
         xk::skyline::factor_xkaapi(a, rt);
-        best = std::min(best, t.seconds());
+        const double dt = t.seconds();
+        xkbench::json_record_one(dt);
+        best = std::min(best, dt);
       }
       table.add_row({"XKaapi", std::to_string(cores), xk::Table::num(best, 4),
                      xk::Table::num(t_seq / best, 2)});
@@ -132,11 +140,14 @@ int main() {
     {
       xk::baseline::GompLikePool pool(cores);
       double best = 1e300;
+      xkbench::json_context("OpenMP(taskwait)", cores, flops);
       for (std::size_t r = 0; r < xkbench::reps(); ++r) {
         a.fill_spd(5);
         xk::Timer t;
         xk::skyline::factor_gomp(a, pool);
-        best = std::min(best, t.seconds());
+        const double dt = t.seconds();
+        xkbench::json_record_one(dt);
+        best = std::min(best, dt);
       }
       table.add_row({"OpenMP(taskwait)", std::to_string(cores),
                      xk::Table::num(best, 4), xk::Table::num(t_seq / best, 2)});

@@ -27,11 +27,26 @@ void bench_scenario(const char* name, int scale, int plies, int steps,
                                          : make_maxplane(scale, plies);
   };
 
+  auto record_phases = [&](unsigned cores, const PhaseTimes& t) {
+    const std::string prefix(name);
+    xkbench::json_context(prefix + "/total", cores);
+    xkbench::json_record_one(t.total());
+    xkbench::json_context(prefix + "/repera", cores);
+    xkbench::json_record_one(t.repera);
+    xkbench::json_context(prefix + "/loopelm", cores);
+    xkbench::json_record_one(t.loopelm);
+    xkbench::json_context(prefix + "/cholesky", cores);
+    xkbench::json_record_one(t.cholesky);
+    xkbench::json_context(prefix + "/other", cores);
+    xkbench::json_record_one(t.other);
+  };
+
   // Sequential baseline.
   {
     Scenario s = fresh();
     SimOptions opt;
     const PhaseTimes t = simulate(s, steps, opt);
+    record_phases(1, t);
     table.add_row({name, "1(seq)", xk::Table::num(t.repera, 3),
                    xk::Table::num(t.loopelm, 3), xk::Table::num(t.cholesky, 3),
                    xk::Table::num(t.other, 3), xk::Table::num(t.total(), 3),
@@ -47,6 +62,7 @@ void bench_scenario(const char* name, int scale, int plies, int steps,
     opt.loop = xkaapi_runner();
     opt.rt = &rt;
     const PhaseTimes t = simulate(s, steps, opt);
+    record_phases(cores, t);
     table.add_row({name, std::to_string(cores), xk::Table::num(t.repera, 3),
                    xk::Table::num(t.loopelm, 3), xk::Table::num(t.cholesky, 3),
                    xk::Table::num(t.other, 3), xk::Table::num(t.total(), 3),
@@ -57,6 +73,7 @@ void bench_scenario(const char* name, int scale, int plies, int steps,
 }  // namespace
 
 int main() {
+  xkbench::json_begin("fig8_epx_overall");
   xkbench::preamble("Figure 8",
                     "EPX overall: per-phase time decomposition vs cores");
   const int scale = static_cast<int>(xk::env_int("XKREPRO_EPX_SCALE", 2));

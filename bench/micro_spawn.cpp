@@ -31,6 +31,7 @@ void BM_XkSpawnSyncBatch(benchmark::State& state) {
       xk::sync();
     });
   }
+  state.counters["nworkers"] = 1;
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_XkSpawnSyncBatch)->Arg(64)->Arg(1024);
@@ -52,6 +53,7 @@ void BM_XkSpawnDataflowBatch(benchmark::State& state) {
     });
   }
   benchmark::DoNotOptimize(slot);
+  state.counters["nworkers"] = 1;
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_XkSpawnDataflowBatch)->Arg(64)->Arg(1024);
@@ -69,6 +71,7 @@ void BM_GompSpawnBatch(benchmark::State& state) {
       pool.taskwait();
     });
   }
+  state.counters["nworkers"] = 1;
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_GompSpawnBatch)->Arg(64)->Arg(1024);
@@ -82,6 +85,7 @@ void BM_WsSpawnBatch(benchmark::State& state) {
       ws.taskwait();
     });
   }
+  state.counters["nworkers"] = 1;
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_WsSpawnBatch)->Arg(64)->Arg(1024);
@@ -95,6 +99,7 @@ void BM_CentralQueueInsertBatch(benchmark::State& state) {
     for (int i = 0; i < batch; ++i) rt.insert(noop_body);
     rt.barrier();
   }
+  state.counters["nworkers"] = 1;
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_CentralQueueInsertBatch)->Arg(64)->Arg(1024);
@@ -111,6 +116,7 @@ void BM_XkForeachEmpty(benchmark::State& state) {
     xk::parallel_for(0, n, [](std::int64_t, std::int64_t) {});
   }
   rt.end();
+  state.counters["nworkers"] = 2;
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_XkForeachEmpty)->Arg(1 << 12)->Arg(1 << 16);

@@ -1,0 +1,52 @@
+# Shared compile/link settings for every xk_* module, test, bench, and
+# example target. Applied through the xk::build_flags interface target so
+# per-directory lists stay declarative.
+
+include(CheckIPOSupported)
+
+add_library(xk_build_flags INTERFACE)
+add_library(xk::build_flags ALIAS xk_build_flags)
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  target_compile_options(xk_build_flags INTERFACE
+    -Wall -Wextra -Wshadow -Wnon-virtual-dtor)
+  if(XK_WERROR)
+    target_compile_options(xk_build_flags INTERFACE -Werror)
+  endif()
+  if(XK_NATIVE)
+    target_compile_options(xk_build_flags INTERFACE -march=native)
+  endif()
+endif()
+
+if(XK_SANITIZE)
+  if(NOT XK_SANITIZE MATCHES "^(address|thread|undefined)$")
+    message(FATAL_ERROR
+      "XK_SANITIZE must be one of: address, thread, undefined "
+      "(got '${XK_SANITIZE}')")
+  endif()
+  target_compile_options(xk_build_flags INTERFACE
+    -fsanitize=${XK_SANITIZE} -fno-omit-frame-pointer -g)
+  target_link_options(xk_build_flags INTERFACE -fsanitize=${XK_SANITIZE})
+endif()
+
+if(XK_LTO)
+  check_ipo_supported(RESULT xk_ipo_ok OUTPUT xk_ipo_msg LANGUAGES CXX)
+  if(xk_ipo_ok)
+    set(CMAKE_INTERPROCEDURAL_OPTIMIZATION ON)
+  else()
+    message(WARNING "XK_LTO requested but IPO is unsupported: ${xk_ipo_msg}")
+  endif()
+endif()
+
+find_package(Threads REQUIRED)
+target_link_libraries(xk_build_flags INTERFACE Threads::Threads)
+
+# Defines one static library per runtime module with the shared flags and
+# include layout. Usage: xk_add_module(<name> SOURCES ... DEPENDS ...)
+function(xk_add_module name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPENDS" ${ARGN})
+  add_library(${name} STATIC ${ARG_SOURCES})
+  add_library(xk::${name} ALIAS ${name})
+  target_include_directories(${name} PUBLIC "${XK_SRC_INCLUDE_DIR}")
+  target_link_libraries(${name} PUBLIC xk::build_flags ${ARG_DEPENDS})
+endfunction()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Converts google-benchmark JSON output to the BENCH_*.json schema (v1).
+
+Usage: gbench_to_json.py <gbench.json> <out.json>
+
+Groups per-repetition entries by run_name and reports median/p95/min/mean
+of real_time (converted to seconds) plus items_per_second as throughput —
+the same fields bench/common.hpp's JsonReport writes, so the perf
+trajectory treats table benches and google-benchmark benches uniformly.
+"""
+import json
+import math
+import sys
+
+TIME_UNIT_TO_S = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+def quantile(sorted_vals, q):
+    """Nearest-rank quantile of a sorted, non-empty list."""
+    rank = math.ceil(q * len(sorted_vals))
+    return sorted_vals[max(rank, 1) - 1]
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    with open(sys.argv[1]) as fh:
+        doc = json.load(fh)
+
+    series = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b["run_name"]
+        scale = TIME_UNIT_TO_S[b.get("time_unit", "ns")]
+        entry = series.setdefault(name, {"times": [], "items_per_s": [],
+                                         "nworkers": 1})
+        entry["times"].append(b["real_time"] * scale)
+        # Each benchmark reports its pinned worker count as a user counter.
+        if "nworkers" in b:
+            entry["nworkers"] = int(b["nworkers"])
+        if "items_per_second" in b:
+            entry["items_per_s"].append(b["items_per_second"])
+
+    results = []
+    for name, entry in series.items():
+        times = sorted(entry["times"])
+        median = quantile(times, 0.5)
+        if entry["items_per_s"]:
+            throughput = quantile(sorted(entry["items_per_s"]), 0.5)
+        else:
+            throughput = 1.0 / median if median > 0 else 0.0
+        results.append({
+            "name": name,
+            "nworkers": entry["nworkers"],
+            "reps": len(times),
+            "median_s": median,
+            "p95_s": quantile(times, 0.95),
+            "min_s": times[0],
+            "mean_s": sum(times) / len(times),
+            "throughput": throughput,
+        })
+
+    out = {"schema_version": 1, "benchmark": "micro_spawn",
+           "results": results}
+    with open(sys.argv[2], "w") as fh:
+        json.dump(out, fh, indent=2)
+        fh.write("\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# Runs the figure/ablation benchmarks and writes one schema-stable
+# BENCH_<benchmark>.json per binary (schema v1, documented in
+# bench/common.hpp): benchmark id + per-series {name, nworkers, reps,
+# median_s, p95_s, min_s, mean_s, throughput}.
+#
+# Usage:
+#   scripts/run_bench.sh [--smoke] [--build-dir DIR] [--out-dir DIR] [name...]
+#
+#   --smoke      tiny problem sizes, 2 cores, 2 reps: the CI bit-rot gate,
+#                finishes in well under a minute.
+#   --build-dir  where the bench binaries live (default: build).
+#   --out-dir    where BENCH_*.json land (default: repo root).
+#   name...      subset of benchmarks to run (default: all built ones).
+#
+# The google-benchmark binary (micro_spawn) emits its native JSON, which
+# scripts/gbench_to_json.py converts to the same schema.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="$repo_root/build"
+out_dir="$repo_root"
+smoke=0
+selected=()
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) smoke=1; shift ;;
+    --build-dir) build_dir="$2"; shift 2 ;;
+    --out-dir) out_dir="$2"; shift 2 ;;
+    -h|--help) sed -n '2,17p' "$0"; exit 0 ;;
+    *) selected+=("$1"); shift ;;
+  esac
+done
+
+bench_dir="$build_dir/bench"
+if [[ ! -d "$bench_dir" ]]; then
+  echo "error: $bench_dir not found — build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+mkdir -p "$out_dir"
+
+table_benches=(fig1_fib fig2_cholesky_dense fig3_foreach fig6_epx_loops
+               fig7_skyline fig8_epx_overall ablation_adaptive ablation_steal)
+
+if [[ $smoke -eq 1 ]]; then
+  # Tiny instances: prove the binaries run and the JSON contract holds.
+  export XKREPRO_CORES="1,2"
+  export XKREPRO_REPS=2
+  export XKREPRO_FIB_N=18
+  export XKREPRO_TIMEOUT=5
+  export XKREPRO_CHOL_MAX=256
+  export XKREPRO_NB_FINE=32
+  export XKREPRO_NB_COARSE=64
+  export XKREPRO_LOOP_SCALE=1
+  export XKREPRO_SKY_N=1024
+  export XKREPRO_SKY_BS=32
+  export XKREPRO_EPX_SCALE=1
+  export XKREPRO_EPX_STEPS=3
+  export XKREPRO_ABL_N=16384
+  export XKREPRO_ABL_CORES=2
+  gbench_flags=(--benchmark_repetitions=2 --benchmark_min_time=0.01)
+else
+  gbench_flags=(--benchmark_repetitions=5)
+fi
+
+want() {
+  [[ ${#selected[@]} -eq 0 ]] && return 0
+  local n
+  for n in "${selected[@]}"; do [[ "$n" == "$1" ]] && return 0; done
+  return 1
+}
+
+emitted=()
+
+for name in "${table_benches[@]}"; do
+  want "$name" || continue
+  bin="$bench_dir/$name"
+  if [[ ! -x "$bin" ]]; then
+    echo "-- skipping $name (not built)" >&2
+    continue
+  fi
+  out="$out_dir/BENCH_${name}.json"
+  echo "-- running $name -> $out"
+  XKREPRO_JSON="$out" "$bin" > "$out_dir/BENCH_${name}.log"
+  emitted+=("$out")
+done
+
+if want micro_spawn; then
+  bin="$bench_dir/micro_spawn"
+  if [[ -x "$bin" ]]; then
+    out="$out_dir/BENCH_micro_spawn.json"
+    raw="$out_dir/BENCH_micro_spawn.gbench.json"
+    echo "-- running micro_spawn -> $out"
+    "$bin" "${gbench_flags[@]}" \
+      --benchmark_out="$raw" --benchmark_out_format=json \
+      > "$out_dir/BENCH_micro_spawn.log"
+    python3 "$repo_root/scripts/gbench_to_json.py" "$raw" "$out"
+    rm -f "$raw"
+    emitted+=("$out")
+  else
+    echo "-- skipping micro_spawn (not built; needs google-benchmark)" >&2
+  fi
+fi
+
+if [[ ${#emitted[@]} -eq 0 ]]; then
+  echo "error: nothing ran" >&2
+  exit 1
+fi
+
+# Validate every emitted file against the schema contract.
+fail=0
+for f in "${emitted[@]}"; do
+  if python3 - "$f" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+assert doc["schema_version"] == 1, "schema_version"
+assert isinstance(doc["benchmark"], str) and doc["benchmark"], "benchmark"
+assert doc["results"], "empty results"
+for r in doc["results"]:
+    for key in ("name", "nworkers", "reps", "median_s", "p95_s",
+                "min_s", "mean_s", "throughput"):
+        assert key in r, f"missing {key}"
+    assert r["median_s"] >= 0 and r["p95_s"] >= r["median_s"] * 0.999
+EOF
+  then
+    echo "-- ok: $f"
+  else
+    echo "-- INVALID: $f" >&2
+    fail=1
+  fi
+done
+
+exit $fail

@@ -28,6 +28,11 @@ void GompLikePool::collect_garbage() {
   std::vector<TaskRec*> local;
   {
     std::lock_guard lock(mu_);
+    // Tasks run through taskwait's child scan are taken without being
+    // popped from queue_; drop those stale entries while holding mu_ so a
+    // concurrent try_run_queued can never pop a record freed below.
+    std::erase_if(queue_,
+                  [](TaskRec* t) { return t->taken.load(std::memory_order_acquire); });
     local.swap(garbage_);
   }
   for (TaskRec* t : local) delete t;

@@ -38,9 +38,11 @@ struct RunStats {
 };
 
 /// Runs `fn` `repeats` times (after `warmups` unmeasured runs) and returns
-/// wall-clock statistics. `fn` must be invocable with no arguments.
+/// the per-repetition wall-clock seconds. `fn` must be invocable with no
+/// arguments.
 template <typename Fn>
-RunStats time_repeated(Fn&& fn, std::size_t repeats, std::size_t warmups = 1) {
+std::vector<double> time_samples(Fn&& fn, std::size_t repeats,
+                                 std::size_t warmups = 1) {
   for (std::size_t i = 0; i < warmups; ++i) fn();
   std::vector<double> samples;
   samples.reserve(repeats);
@@ -49,7 +51,7 @@ RunStats time_repeated(Fn&& fn, std::size_t repeats, std::size_t warmups = 1) {
     fn();
     samples.push_back(t.seconds());
   }
-  return RunStats::from_samples(samples);
+  return samples;
 }
 
 }  // namespace xk
