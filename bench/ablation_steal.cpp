@@ -70,6 +70,22 @@ int main() {
       {"neither", false, 0},
   };
 
+  // Unrecorded process warmup: the first variant otherwise pays the cold
+  // start (page faults, thread spawn, frequency ramp) and the fixed variant
+  // order would bias the comparison against it.
+  {
+    xk::Config cfg;
+    cfg.nworkers = cores;
+    xk::Runtime rt(cfg);
+    std::uint64_t r = 0;
+    rt.run([&] {
+      fib_xk(&r, fib_n > 4 ? fib_n - 4 : fib_n);
+      xk::sync();
+    });
+    std::vector<double> cells(64, 1.0);
+    rt.run([&] { dataflow_grid(cells, 64, 10); });
+  }
+
   xk::Table table({"workload", "variant", "time(s)", "steal-attempts",
                    "steals-ok", "combiner-rounds", "aggregated-replies",
                    "rl-attach", "rl-pops", "scan-visited"});
@@ -93,6 +109,16 @@ int main() {
       });
     });
     auto s = rt.stats_snapshot();
+    xkbench::json_counters({{"steal_attempts", s.steal_attempts},
+                            {"steals_ok", s.steals_ok},
+                            {"steal_tasks", s.steal_tasks},
+                            {"combiner_rounds", s.combiner_rounds},
+                            {"requests_aggregated", s.requests_aggregated},
+                            {"scan_visited", s.scan_visited},
+                            {"scan_entries", s.scan_entries},
+                            {"readylist_pops", s.readylist_pops},
+                            {"parks", s.parks},
+                            {"park_wakes", s.park_wakes}});
     table.add_row({"fib", v.name, xk::Table::num(t_fib, 4),
                    std::to_string(s.steal_attempts),
                    std::to_string(s.steals_ok),
@@ -110,6 +136,16 @@ int main() {
       rt.run([&] { dataflow_grid(cells, 64, 40); });
     });
     s = rt.stats_snapshot();
+    xkbench::json_counters({{"steal_attempts", s.steal_attempts},
+                            {"steals_ok", s.steals_ok},
+                            {"steal_tasks", s.steal_tasks},
+                            {"combiner_rounds", s.combiner_rounds},
+                            {"requests_aggregated", s.requests_aggregated},
+                            {"scan_visited", s.scan_visited},
+                            {"scan_entries", s.scan_entries},
+                            {"readylist_pops", s.readylist_pops},
+                            {"parks", s.parks},
+                            {"park_wakes", s.park_wakes}});
     table.add_row({"dataflow-grid", v.name, xk::Table::num(t_grid, 4),
                    std::to_string(s.steal_attempts),
                    std::to_string(s.steals_ok),

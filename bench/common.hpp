@@ -82,7 +82,13 @@ inline std::size_t reps() {
 //         "median_s": <median wall seconds>, "p95_s": <p95 wall seconds>,
 //         "min_s": ..., "mean_s": ...,
 //         "throughput": <items-per-rep / median_s; items defaults to 1,
-//                        so plain series report runs-per-second> } ] }
+//                        so plain series report runs-per-second>,
+//         "counters": {"<name>": <integer>, ...}   // optional } ] }
+//
+// `counters` is an optional, additive field (schema still v1): scheduler
+// telemetry recorded via json_counters() — steal/combiner/park counts that
+// keep regressions like the aggregation-inversion diagnosable from the
+// committed trajectory files alone.
 //
 // The schema is the contract with scripts/run_bench.sh and the BENCH_*
 // trajectory files; bump schema_version on any incompatible change.
@@ -129,6 +135,20 @@ class JsonReport {
 
   void record_one(double seconds) { record(std::vector<double>{seconds}); }
 
+  /// Attaches (replacing any previous set) telemetry counters to the
+  /// current context's series; emitted as the optional "counters" object.
+  /// Counters without recorded samples are dropped: an entry with no
+  /// timings has no row to hang them on (and would corrupt the stats).
+  void counters(std::vector<std::pair<std::string, std::uint64_t>> kv) {
+    if (!active() || !have_ctx_) return;
+    for (Entry& cand : entries_) {
+      if (cand.name == ctx_.name && cand.nworkers == ctx_.nworkers) {
+        cand.counters = std::move(kv);
+        return;
+      }
+    }
+  }
+
   /// Discards everything recorded against the current context — for runs
   /// whose result turned out wrong, so their timings never enter the
   /// trajectory as valid-looking data.
@@ -152,6 +172,7 @@ class JsonReport {
     unsigned nworkers;
     double items;
     std::vector<double> samples;
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
   };
 
   JsonReport() = default;
@@ -187,6 +208,7 @@ class JsonReport {
                  escape(benchmark_).c_str());
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];
+      if (e.samples.empty()) continue;  // defensive: stats need >= 1 sample
       std::vector<double> sorted = e.samples;
       std::sort(sorted.begin(), sorted.end());
       const double median = quantile(sorted, 0.5);
@@ -198,10 +220,19 @@ class JsonReport {
       std::fprintf(f,
                    "    {\"name\": \"%s\", \"nworkers\": %u, \"reps\": %zu, "
                    "\"median_s\": %.9g, \"p95_s\": %.9g, \"min_s\": %.9g, "
-                   "\"mean_s\": %.9g, \"throughput\": %.9g}%s\n",
+                   "\"mean_s\": %.9g, \"throughput\": %.9g",
                    escape(e.name).c_str(), e.nworkers, sorted.size(), median,
-                   p95, sorted.front(), mean, throughput,
-                   i + 1 < entries_.size() ? "," : "");
+                   p95, sorted.front(), mean, throughput);
+      if (!e.counters.empty()) {
+        std::fprintf(f, ", \"counters\": {");
+        for (std::size_t c = 0; c < e.counters.size(); ++c) {
+          std::fprintf(f, "\"%s\": %llu%s", escape(e.counters[c].first).c_str(),
+                       static_cast<unsigned long long>(e.counters[c].second),
+                       c + 1 < e.counters.size() ? ", " : "");
+        }
+        std::fprintf(f, "}");
+      }
+      std::fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -236,6 +267,12 @@ inline void json_record_one(double seconds) {
 
 /// Drops the current context's series (call when the run's result was wrong).
 inline void json_drop_current() { JsonReport::instance().drop_current(); }
+
+/// Attaches telemetry counters to the current context's series.
+inline void json_counters(
+    std::vector<std::pair<std::string, std::uint64_t>> kv) {
+  JsonReport::instance().counters(std::move(kv));
+}
 
 /// Per-repetition wall times of `fn` (after `warmups` unmeasured runs).
 template <typename Fn>

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Scaling-smoke gate: fail when the multi-worker median is not faster.
+
+Reads a schema-v1 BENCH_*.json (see bench/common.hpp) and asserts that one
+series' median at `--fast` workers is below its median at `--slow` workers
+(optionally scaled by --max-ratio). Used by CI to guard against the fib
+scaling curve flattening again (the steal/idle path regressing to the point
+where extra workers stop paying for themselves).
+
+Exit codes: 0 ok, 1 scaling regression, 2 malformed/missing input.
+
+Example:
+  scripts/check_scaling.py BENCH_fig1_fib.json --series XKaapi \
+      --slow 1 --fast 8 --max-ratio 1.0
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("json_file", help="schema-v1 BENCH_*.json to check")
+    ap.add_argument("--series", default="XKaapi", help="series name")
+    ap.add_argument("--slow", type=int, default=1,
+                    help="baseline worker count (default 1)")
+    ap.add_argument("--fast", type=int, default=8,
+                    help="scaled worker count (default 8)")
+    ap.add_argument("--max-ratio", type=float, default=1.0,
+                    help="fail when median(fast)/median(slow) >= this "
+                         "(default 1.0: fast must be strictly faster)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.json_file) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {args.json_file}: {exc}", file=sys.stderr)
+        return 2
+    if doc.get("schema_version") != 1:
+        print("error: unexpected schema_version", file=sys.stderr)
+        return 2
+
+    medians = {}
+    for r in doc.get("results", []):
+        if r.get("name") == args.series:
+            medians[int(r["nworkers"])] = float(r["median_s"])
+    missing = [n for n in (args.slow, args.fast) if n not in medians]
+    if missing:
+        print(f"error: series '{args.series}' lacks worker counts {missing} "
+              f"(have {sorted(medians)})", file=sys.stderr)
+        return 2
+
+    slow_s, fast_s = medians[args.slow], medians[args.fast]
+    ratio = fast_s / slow_s if slow_s > 0 else float("inf")
+    verdict = "ok" if ratio < args.max_ratio else "REGRESSION"
+    print(f"{args.series}: median@{args.slow}w={slow_s * 1e3:.3f}ms "
+          f"median@{args.fast}w={fast_s * 1e3:.3f}ms ratio={ratio:.3f} "
+          f"(limit {args.max_ratio}) -> {verdict}")
+    if ratio >= args.max_ratio:
+        print(f"error: {args.fast}-worker median must stay below "
+              f"{args.max_ratio} x the {args.slow}-worker median — the "
+              "scaling curve re-flattened", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,7 +42,8 @@ fi
 mkdir -p "$out_dir"
 
 table_benches=(fig1_fib fig2_cholesky_dense fig3_foreach fig6_epx_loops
-               fig7_skyline fig8_epx_overall ablation_adaptive ablation_steal)
+               fig7_skyline fig8_epx_overall ablation_adaptive ablation_steal
+               micro_steal)
 
 if [[ $smoke -eq 1 ]]; then
   # Tiny instances: prove the binaries run and the JSON contract holds.
@@ -60,6 +61,10 @@ if [[ $smoke -eq 1 ]]; then
   export XKREPRO_EPX_STEPS=3
   export XKREPRO_ABL_N=16384
   export XKREPRO_ABL_CORES=2
+  export XKREPRO_STEAL_FIB_N=16
+  export XKREPRO_STEAL_ROWS=8
+  export XKREPRO_STEAL_STEPS=8
+  export XKREPRO_STEAL_WORK=50
   gbench_flags=(--benchmark_repetitions=2 --benchmark_min_time=0.01)
 else
   gbench_flags=(--benchmark_repetitions=5)

@@ -38,6 +38,16 @@ struct Config {
   /// Low values keep oversubscribed (threads > cores) runs healthy.
   int steal_backoff = 16;
 
+  /// Max tasks handed to one thief per steal reply when they come cheap
+  /// (ready-list pops). Amortizes the request/reply handshake; clamped to
+  /// [1, StealRequest::kMaxBatch]. 1 restores one-task-per-steal.
+  std::size_t steal_batch = 4;
+
+  /// Consecutive failed steal attempts before an idle worker parks on the
+  /// runtime's Parker (bounded exponential sleep, woken on task publication).
+  /// Must exceed steal_backoff; 0 disables parking (pure spin/yield).
+  int park_threshold = 128;
+
   /// Builds a config from XK_* environment variables layered over defaults.
   static Config from_env();
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "core/runtime.hpp"
+
 namespace xk::detail {
 
 int WorkInterval::split_tail(
@@ -92,7 +94,11 @@ struct PieceFn {
   void operator()(Worker& wk) {
     ForeachShared& sh = *work.shared;
     foreach_run(work, wk);
-    sh.outstanding.fetch_sub(1, std::memory_order_acq_rel);
+    if (sh.outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Possibly the last live body: the master may be parked on
+      // sh.finished() in foreach_execute — wake the parked set.
+      wk.runtime().notify_progress();
+    }
   }
 };
 
@@ -202,7 +208,9 @@ void foreach_execute(ForeachShared& sh, std::int64_t first, std::int64_t last) {
   t->body = [](void* a, Worker& self) {
     auto* rw = static_cast<ForeachWork*>(a);
     foreach_run(*rw, self);
-    rw->shared->outstanding.fetch_sub(1, std::memory_order_acq_rel);
+    if (rw->shared->outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      self.runtime().notify_progress();
+    }
   };
   t->args = &root;
   arm_splitter(*t, &foreach_splitter, &root);

@@ -29,7 +29,8 @@ void Frame::reset() {
   head_.next.store(nullptr, std::memory_order_relaxed);
   tail_ = &head_;
   ntasks_.store(0, std::memory_order_relaxed);
-  scan_hint_.store(0, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  steal_claimed_.store(false, std::memory_order_relaxed);
   exec_chunk_ = &head_;
   exec_index_ = 0;
   exec_slot_ = 0;

@@ -98,17 +98,14 @@ class Frame {
     return it.get();
   }
 
-  /// Lower bound for "first possibly non-Term index"; monotonically raised
-  /// by scanners so repeat scans skip the drained prefix.
-  std::uint32_t scan_hint() const {
-    return scan_hint_.load(std::memory_order_relaxed);
-  }
-  void raise_scan_hint(std::uint32_t v) {
-    std::uint32_t cur = scan_hint_.load(std::memory_order_relaxed);
-    while (cur < v && !scan_hint_.compare_exchange_weak(
-                          cur, v, std::memory_order_relaxed)) {
-    }
-  }
+  /// Incarnation counter: bumped by reset() so combiner-side scan caches
+  /// (FrameScanState in worker.hpp) self-invalidate when a frame is
+  /// recycled. Read only inside a scanning window, where the Dekker
+  /// handshake in Worker::pop_frame guarantees no concurrent reset; relaxed
+  /// suffices because the handshake already provides the happens-before
+  /// edge. (The per-scan "skip the Term prefix" hint this replaces lived
+  /// here as scan_hint; the persistent per-frame entry cache subsumes it.)
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
 
   /// Owner-only: recycles arena + counters. Precondition: all tasks Term and
   /// no active scanner (enforced by Worker::pop_frame).
@@ -117,6 +114,20 @@ class Frame {
   /// Ready-list accelerating structure (§II-C); attached by a combiner under
   /// the steal mutex, consulted by the Term path with a single acquire load.
   std::atomic<ReadyList*> ready_list{nullptr};
+
+  /// Set by a combiner (inside the scanning window) when it steal-claims a
+  /// task of this frame. The owner's pop_frame then drains in-flight reply
+  /// slots before recycling: with join-side reclaim a claimed task can
+  /// reach Term before the thief holding its reply ever looks at it, so
+  /// the reply may dangle into this frame past the last Term. Ordering is
+  /// covered by the Dekker handshake (the flag is written only while the
+  /// scan window is open).
+  void mark_steal_claimed() {
+    steal_claimed_.store(true, std::memory_order_relaxed);
+  }
+  bool steal_claimed() const {
+    return steal_claimed_.load(std::memory_order_relaxed);
+  }
 
   // Owner-private FIFO dispatch cursor. Kept as a (chunk, slot) position so
   // repeated syncs on a long-lived frame (e.g. a QUARK master inserting
@@ -147,7 +158,8 @@ class Frame {
   std::uint32_t exec_index_ = 0;
   std::uint32_t exec_slot_ = 0;
   std::atomic<std::uint32_t> ntasks_{0};
-  std::atomic<std::uint32_t> scan_hint_{0};
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<bool> steal_claimed_{false};
   bool has_heap_tasks_ = false;
 
   void delete_heap_tasks();

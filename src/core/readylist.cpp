@@ -40,6 +40,10 @@ void ReadyList::add_node_locked(Task* t) {
     early_completions_.erase(t);
     return;
   }
+  // Covered while already claimed: it may have loaded frame.ready_list
+  // before the attach and thus terminate without notifying — watch it so
+  // the lazy sweep folds the completion in.
+  if (s != TaskState::kInit) watch_.push_back(id);
 
   // Count conflicts against live (non-completed) predecessors' accesses.
   for (std::uint32_t a = 0; a < t->naccesses; ++a) {
@@ -106,32 +110,73 @@ void ReadyList::complete_node_locked(std::uint32_t id) {
 }
 
 Task* ReadyList::pop_ready_claimed() {
+  Task* t = nullptr;
+  return pop_ready_claimed_batch(&t, 1) == 1 ? t : nullptr;
+}
+
+std::size_t ReadyList::pop_ready_claimed_batch(Task** out, std::size_t max) {
   std::lock_guard lock(mu_);
-  for (int attempt = 0; attempt < 2; ++attempt) {
-    while (!ready_.empty()) {
-      const std::uint32_t id = ready_.front();
-      ready_.pop_front();
-      Task* t = nodes_[id].task;
-      if (t->try_claim(TaskState::kStolenClaim)) return t;
-      // Claimed elsewhere (victim FIFO or a previous pop); skip.
+  return pop_batch_locked(out, max);
+}
+
+std::size_t ReadyList::pop_batch_locked(Task** out, std::size_t max) {
+  std::size_t got = 0;
+  bool swept = false;
+  while (got < max) {
+    if (ready_.empty()) {
+      // One lazy catch-up pass over the watched (claimed-elsewhere) nodes
+      // per call: fold in completions whose notification raced the attach.
+      if (swept || !sweep_watch_locked()) break;
+      swept = true;
+      continue;
     }
-    if (attempt == 1 || nodes_.empty()) break;
-    // Catch-up sweep: a task that was already claimed when its node was
-    // added may have terminated before it could observe this list (its
-    // pre-Term load of frame.ready_list raced the attach). Walk a bounded
-    // rotating window of nodes and fold in completions the notifications
-    // missed, then retry the pop once.
-    const std::size_t window = std::min<std::size_t>(nodes_.size(), 4096);
-    for (std::size_t k = 0; k < window; ++k) {
-      if (sweep_cursor_ >= nodes_.size()) sweep_cursor_ = 0;
-      const auto id = static_cast<std::uint32_t>(sweep_cursor_++);
-      Node& node = nodes_[id];
-      if (!node.completed && node.task->load_state() == TaskState::kTerm) {
+    const std::uint32_t id = ready_.front();
+    ready_.pop_front();
+    Node& node = nodes_[id];
+    Task* t = node.task;
+    if (t->try_claim(TaskState::kStolenClaim)) {
+      // Watched as a safety net: the thief that runs a popped task re-reads
+      // frame.ready_list before Term, but watching costs one sweep visit
+      // and makes a silently-terminated claim impossible to strand.
+      watch_.push_back(id);
+      out[got++] = t;
+      continue;
+    }
+    // Claimed elsewhere (victim FIFO won the race). Fold a missed
+    // completion immediately — its successors enter ready_ now, ahead of
+    // younger releases, so oldest-ready order survives the contention —
+    // otherwise watch it for the lazy sweep.
+    if (!node.completed) {
+      if (t->load_state() == TaskState::kTerm) {
+        ++missed_folds_;
         complete_node_locked(id);
+      } else {
+        watch_.push_back(id);
       }
     }
   }
-  return nullptr;
+  return got;
+}
+
+/// Walks the watch deque once, dropping settled nodes and folding in
+/// terminations whose on_complete never arrived. Returns true when the
+/// fold released at least one task into ready_.
+bool ReadyList::sweep_watch_locked() {
+  bool released = false;
+  for (std::size_t n = watch_.size(); n > 0; --n) {
+    const std::uint32_t id = watch_.front();
+    watch_.pop_front();
+    Node& node = nodes_[id];
+    if (node.completed) continue;  // notified normally; settled
+    if (node.task->load_state() == TaskState::kTerm) {
+      ++missed_folds_;
+      complete_node_locked(id);
+      released = released || !ready_.empty();
+      continue;
+    }
+    watch_.push_back(id);  // still in flight; keep watching, FIFO order
+  }
+  return released;
 }
 
 std::size_t ReadyList::covered() const {
@@ -142,6 +187,16 @@ std::size_t ReadyList::covered() const {
 std::size_t ReadyList::ready_size() const {
   std::lock_guard lock(mu_);
   return ready_.size();
+}
+
+std::size_t ReadyList::watched_size() const {
+  std::lock_guard lock(mu_);
+  return watch_.size();
+}
+
+std::uint64_t ReadyList::missed_folds() const {
+  std::lock_guard lock(mu_);
+  return missed_folds_;
 }
 
 }  // namespace xk

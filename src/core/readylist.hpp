@@ -47,6 +47,12 @@ class ReadyList {
   /// Returns nullptr when no covered task is ready and unclaimed.
   Task* pop_ready_claimed();
 
+  /// Pops and claims up to `max` ready tasks under a single lock
+  /// acquisition (the batched-reply path: one combiner pass hands every
+  /// waiting thief work without re-taking the mutex per task). Returns the
+  /// number of tasks written to `out`, oldest-ready first.
+  std::size_t pop_ready_claimed_batch(Task** out, std::size_t max);
+
   /// Completion notification; must be invoked *before* the Term store by
   /// whoever finished the task. Unknown tasks (not yet covered) are recorded
   /// so a later extend() does not resurrect them.
@@ -55,6 +61,8 @@ class ReadyList {
   /// Diagnostics for tests.
   std::size_t covered() const;
   std::size_t ready_size() const;
+  std::size_t watched_size() const;
+  std::uint64_t missed_folds() const;
 
  private:
   struct Node {
@@ -72,6 +80,8 @@ class ReadyList {
 
   void add_node_locked(Task* t);
   void complete_node_locked(std::uint32_t id);
+  std::size_t pop_batch_locked(Task** out, std::size_t max);
+  bool sweep_watch_locked();
 
   Frame& frame_;
   mutable std::mutex mu_;
@@ -88,7 +98,15 @@ class ReadyList {
   std::vector<std::vector<std::multimap<std::uintptr_t, ChainEntry>::iterator>>
       live_refs_;  // per node: its live_ entries, erased at completion
   std::uintptr_t max_span_ = 0;
-  std::size_t sweep_cursor_ = 0;  // rotating catch-up sweep position
+
+  // Claimed-elsewhere nodes whose Term may race a notification (their
+  // pre-Term load of frame.ready_list can miss the attach): watched in FIFO
+  // order and lazily swept when the ready deque runs dry. This replaces the
+  // old rotating full-node catch-up sweep — O(claimed-in-flight), not
+  // O(covered), and oldest claims fold first so successor release order
+  // tracks the original ready order.
+  std::deque<std::uint32_t> watch_;
+  std::uint64_t missed_folds_ = 0;
 };
 
 }  // namespace xk

@@ -1,6 +1,5 @@
 #include "core/runtime.hpp"
 
-#include <chrono>
 #include <stdexcept>
 
 #include "support/cpu.hpp"
@@ -18,6 +17,10 @@ Config Config::from_env() {
               static_cast<std::int64_t>(cfg.ready_list_threshold)));
   cfg.renaming = env_bool("XK_RENAMING", false);
   cfg.steal_backoff = static_cast<int>(env_int("XK_BACKOFF", cfg.steal_backoff));
+  cfg.steal_batch = static_cast<std::size_t>(env_int(
+      "XK_STEAL_BATCH", static_cast<std::int64_t>(cfg.steal_batch)));
+  cfg.park_threshold =
+      static_cast<int>(env_int("XK_PARK_THRESHOLD", cfg.park_threshold));
   return cfg;
 }
 
@@ -51,24 +54,20 @@ void Runtime::worker_main(unsigned index) {
   for (;;) {
     {
       std::unique_lock lock(park_mutex_);
+      // Publish "between sections": stats_snapshot/reset_stats use this
+      // (and the mutex edge it implies) to read per-worker counters only
+      // after every worker's last unsynchronized write.
+      ++idle_workers_;
+      idle_cv_.notify_all();
       park_cv_.wait(lock, [&] { return shutdown_ || epoch_ > seen; });
+      --idle_workers_;
       if (shutdown_) break;
       seen = epoch_;
     }
-    int failures = 0;
-    while (section_active_.load(std::memory_order_acquire)) {
-      if (w.try_steal_once()) {
-        failures = 0;
-      } else if (++failures > cfg_.steal_backoff) {
-        // Oversubscription-friendly: yield first, then back off harder so
-        // idle thieves don't starve the workers that hold actual work.
-        if (failures > 256) {
-          std::this_thread::sleep_for(std::chrono::microseconds(50));
-        } else {
-          std::this_thread::yield();
-        }
-      }
-    }
+    // In-section idle loop: spin, yield, then park on the work parker
+    // (woken one at a time by push_task; section end notifies all).
+    w.steal_idle(
+        [&] { return !section_active_.load(std::memory_order_acquire); });
   }
   detail::set_this_worker(nullptr);
 }
@@ -105,6 +104,9 @@ void Runtime::end() {
     exc = std::current_exception();
   }
   section_active_.store(false, std::memory_order_release);
+  // Parked workers (both kinds) must observe the section close.
+  work_parker_.notify_all();
+  progress_parker_.notify_all();
   w0.pop_frame();
   section_open_ = false;
   detail::set_this_worker(nullptr);
@@ -120,13 +122,27 @@ void Runtime::end_silent() {
 }
 
 WorkerStats Runtime::stats_snapshot() const {
+  quiesce_pool();
   WorkerStats total;
   for (const auto& w : workers_) total += *w->stats_;
   return total;
 }
 
 void Runtime::reset_stats() {
+  quiesce_pool();
   for (auto& w : workers_) *w->stats_ = WorkerStats{};
+}
+
+void Runtime::quiesce_pool() const {
+  // Per-worker counters are plain (hot-path) fields; between sections we
+  // wait for every pool worker to re-enter the park_cv_ wait so the mutex
+  // provides the ordering edge that makes their final writes visible. With
+  // a section open the caller owns the raciness (documented in stats.hpp).
+  if (section_open_) return;
+  std::unique_lock lock(park_mutex_);
+  idle_cv_.wait(lock, [&] {
+    return idle_workers_ + 1 == workers_.size() || shutdown_;
+  });
 }
 
 }  // namespace xk

@@ -26,6 +26,7 @@
 #include "core/stats.hpp"
 #include "core/task.hpp"
 #include "core/worker.hpp"
+#include "support/parker.hpp"
 
 namespace xk {
 
@@ -85,11 +86,40 @@ class Runtime {
     return section_active_.load(std::memory_order_acquire);
   }
 
+  /// Eventcounts for in-section idle parking (see support/parker.hpp),
+  /// split by what the sleeper waits for so wakeups stay targeted:
+  ///  * work_parker — idle thieves waiting for anything stealable; woken
+  ///    one at a time by task publication (any of them can take it);
+  ///  * progress_parker — workers suspended on a predicate (a stolen
+  ///    child's completion, a foreach retiring, section end); these are
+  ///    few, so completion events can afford notify_all without waking the
+  ///    whole idle pool into a thundering herd.
+  Parker& work_parker() { return work_parker_; }
+  Parker& progress_parker() { return progress_parker_; }
+
+  /// New stealable work was published: wake one idle thief. Hot path — a
+  /// probe load (or two) when nobody sleeps.
+  void notify_work() {
+    if (work_parker_.has_waiters()) work_parker_.notify_one();
+  }
+
+  /// A waited-on progress event fired (stolen-task completion, foreach
+  /// retirement): wake every suspended waiter — waking the wrong single
+  /// worker would leave the right one asleep until its timeout.
+  void notify_progress() {
+    if (progress_parker_.has_waiters()) progress_parker_.notify_all();
+  }
+
+
  private:
   friend class Worker;
 
   void worker_main(unsigned index);
   void end_silent();  // end() that never throws (exception cleanup path)
+
+  /// Blocks until every pool worker is back in its between-sections wait
+  /// (no-op while a section is open). Gives counter reads a defined order.
+  void quiesce_pool() const;
 
   static constexpr std::size_t kCwLocks = 64;
 
@@ -97,9 +127,15 @@ class Runtime {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 
-  // Park/wake machinery.
-  std::mutex park_mutex_;
-  std::condition_variable park_cv_;
+  // Between-sections park/wake machinery (pool idle between begin/end
+  // pairs). In-section idle parking goes through the Parkers instead.
+  // Mutable: quiesce_pool() is conceptually const (stats readers).
+  mutable std::mutex park_mutex_;
+  mutable std::condition_variable park_cv_;
+  mutable std::condition_variable idle_cv_;
+  std::size_t idle_workers_ = 0;  ///< workers inside the park_cv_ wait
+  Parker work_parker_;
+  Parker progress_parker_;
   std::uint64_t epoch_ = 0;
   bool shutdown_ = false;
   std::atomic<bool> section_active_{false};

@@ -16,6 +16,8 @@ struct WorkerStats {
   std::uint64_t tasks_run_thief = 0;   ///< executed after a successful steal
   std::uint64_t steal_attempts = 0;    ///< requests posted
   std::uint64_t steals_ok = 0;         ///< requests answered with work
+  std::uint64_t steal_tasks = 0;       ///< tasks received across all replies
+  std::uint64_t steal_reclaims = 0;    ///< claimed-unstarted tasks taken back at a join
   std::uint64_t combiner_rounds = 0;   ///< times this worker was the combiner
   std::uint64_t requests_served = 0;   ///< replies produced as combiner
   std::uint64_t requests_aggregated = 0;  ///< replies produced for *others*
@@ -23,7 +25,12 @@ struct WorkerStats {
   std::uint64_t readylist_attach = 0;
   std::uint64_t readylist_pops = 0;
   std::uint64_t renames = 0;
-  std::uint64_t scan_visited = 0;      ///< tasks visited by readiness scans
+  std::uint64_t scan_visited = 0;      ///< candidates readiness-checked
+  std::uint64_t scan_entries = 0;      ///< live cache entries walked by scans
+  std::uint64_t scan_retired = 0;      ///< entries dropped as never-again relevant
+  std::uint64_t scan_rebuilds = 0;     ///< per-frame scan caches (re)built from scratch
+  std::uint64_t parks = 0;             ///< times this worker went to sleep idle
+  std::uint64_t park_wakes = 0;        ///< parks ended by a notification (rest timed out)
   std::uint64_t foreach_chunks = 0;
 
   WorkerStats& operator+=(const WorkerStats& o) {
@@ -32,6 +39,8 @@ struct WorkerStats {
     tasks_run_thief += o.tasks_run_thief;
     steal_attempts += o.steal_attempts;
     steals_ok += o.steals_ok;
+    steal_tasks += o.steal_tasks;
+    steal_reclaims += o.steal_reclaims;
     combiner_rounds += o.combiner_rounds;
     requests_served += o.requests_served;
     requests_aggregated += o.requests_aggregated;
@@ -40,6 +49,11 @@ struct WorkerStats {
     readylist_pops += o.readylist_pops;
     renames += o.renames;
     scan_visited += o.scan_visited;
+    scan_entries += o.scan_entries;
+    scan_retired += o.scan_retired;
+    scan_rebuilds += o.scan_rebuilds;
+    parks += o.parks;
+    park_wakes += o.park_wakes;
     foreach_chunks += o.foreach_chunks;
     return *this;
   }
@@ -51,7 +65,8 @@ inline std::ostream& operator<<(std::ostream& os, const WorkerStats& s) {
      << " attempts=" << s.steal_attempts << " combiner=" << s.combiner_rounds
      << " aggregated=" << s.requests_aggregated
      << " splits=" << s.splitter_calls << " rl_pops=" << s.readylist_pops
-     << " renames=" << s.renames;
+     << " renames=" << s.renames << " parks=" << s.parks
+     << " park_wakes=" << s.park_wakes;
   return os;
 }
 

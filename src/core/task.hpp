@@ -11,6 +11,15 @@
 //
 //   Init ──CAS(owner)──► RunOwner ──► BodyDoneOwner ──► Term
 //     └───CAS(combiner)► StolenClaim ──► RunThief ──► BodyDoneThief ──► Term
+//                              └──CAS(owner reclaim)──► RunOwner ──► ...
+//
+// StolenClaim is itself a second arbitration point: the receiving thief
+// must CAS StolenClaim -> RunThief before executing, and a frame owner
+// whose FIFO drain reaches a claimed-but-unstarted task may CAS
+// StolenClaim -> RunOwner to *reclaim* it and run it inline (the thief's
+// later CAS fails and it drops the reply). Reclaim keeps joins from
+// stalling on replies parked at thieves that are descheduled or busy —
+// the claimed task is exactly the one the owner is idle waiting for.
 //
 // "Owner" means: claimed by the thread whose frame stack holds the
 // descriptor, so the task's children are spawned onto the same stack and

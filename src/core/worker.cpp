@@ -1,6 +1,7 @@
 // Worker implementation: FIFO owner execution, the steal protocol with
-// request aggregation, steal-time readiness computation, renaming, and the
-// ready-list integration. See worker.hpp for the protocol overview.
+// request aggregation, incremental steal-time readiness computation,
+// batched replies, renaming, idle parking, and the ready-list integration.
+// See worker.hpp for the protocol overview.
 #include "core/worker.hpp"
 
 #include <algorithm>
@@ -28,9 +29,22 @@ Worker::Worker(Runtime& rt, unsigned id, unsigned nworkers)
     : rt_(rt),
       id_(id),
       backoff_limit_(rt.config().steal_backoff),
+      park_threshold_(rt.config().park_threshold),
+      steal_batch_(std::clamp<std::size_t>(rt.config().steal_batch, 1,
+                                           StealRequest::kMaxBatch)),
+      reclaim_enabled_(!rt.config().renaming),
+      work_parker_(&rt.work_parker()),
+      progress_parker_(&rt.progress_parker()),
       frames_(kMaxDepth),
       reqbox_(nworkers),
-      rng_(0x853c49e6748fea9bULL ^ (id * 0x9e3779b97f4a7c15ULL)) {}
+      scan_state_(kMaxDepth),
+      rng_(0x853c49e6748fea9bULL ^ (id * 0x9e3779b97f4a7c15ULL)) {
+  // Parking engages only after the yield phase; a threshold at or below the
+  // spin limit would park before ever yielding.
+  if (park_threshold_ > 0 && park_threshold_ <= backoff_limit_) {
+    park_threshold_ = backoff_limit_ + 1;
+  }
+}
 
 Worker::~Worker() = default;
 
@@ -42,20 +56,42 @@ Frame& Worker::push_frame() {
   const std::uint32_t d = depth_.load(std::memory_order_relaxed);
   if (d >= kMaxDepth) throw std::runtime_error("xk: frame stack overflow");
   Frame& f = frames_[d];
-  depth_.store(d + 1, std::memory_order_seq_cst);
+  // Release, not seq_cst: publishing a *larger* depth needs no Dekker
+  // round — a combiner that misses the new frame simply does not scan it,
+  // and one that sees it acquires the owner's prior writes (including the
+  // frame's last reset) through this store. Only the shrinking store in
+  // pop_frame arbitrates against scanners. This removes a full fence from
+  // the per-task execution path (run_task pushes a frame per task).
+  depth_.store(d + 1, std::memory_order_release);
   return f;
 }
 
 void Worker::pop_frame() {
   const std::uint32_t d = depth_.load(std::memory_order_relaxed);
   Frame& f = frames_[d - 1];
+  // seq_cst on both sides of the Dekker handshake (store-buffering litmus):
+  // a combiner sets scanning_ (seq_cst) before reading depth_ (seq_cst).
+  // Either it sees the decremented depth and never touches this frame, or
+  // we see scanning_ true here and wait the scan out before recycling the
+  // frame's memory. Neither store may be demoted: with plain release the
+  // combiner's depth load and our scanning_ load could both read the old
+  // values and the frame would be reset under a live scan.
   depth_.store(d - 1, std::memory_order_seq_cst);
-  // Dekker handshake: a combiner sets scanning_ (seq_cst) before reading
-  // depth_ (seq_cst). Either it sees the decremented depth and never touches
-  // this frame, or we see scanning_ true here and wait the scan out before
-  // recycling the frame's memory.
   while (scanning_.load(std::memory_order_seq_cst)) {
     std::this_thread::yield();
+  }
+  if (f.steal_claimed()) {
+    // Join-side reclaim can terminate a steal-claimed task before the
+    // thief holding its reply consumed it; drain in-flight replies so no
+    // stale pointer into this frame survives the reset. Bounded: a thief
+    // with a Served slot is spinning on exactly that slot, and replies
+    // produced after the Dekker handshake cannot reference this frame.
+    for (auto& slot : reqbox_) {
+      while (slot.value.status.load(std::memory_order_acquire) ==
+             StealRequest::kServed) {
+        std::this_thread::yield();
+      }
+    }
   }
   f.reset();
 }
@@ -108,7 +144,9 @@ class CwBodyGuard {
 
 void Worker::run_task(Task* t, Frame* src, bool stolen) {
   if (stolen) {
-    t->state.store(TaskState::kRunThief, std::memory_order_release);
+    // The caller already won the StolenClaim -> RunThief CAS (the second
+    // arbitration point against a frame owner's reclaim; see
+    // try_steal_once and wait_and_finalize).
     stats_->tasks_run_thief++;
   } else {
     stats_->tasks_run_owner++;
@@ -140,11 +178,14 @@ void Worker::run_task(Task* t, Frame* src, bool stolen) {
     // The body wrote into rename buffers; the frame owner commits them in
     // program order (wait_and_finalize) and publishes Term.
     t->state.store(TaskState::kCommitReady, std::memory_order_release);
+    // The owner may be parked waiting on this task (wait_and_finalize).
+    rt_.notify_progress();
     return;
   }
   if (!stolen && t->renames != nullptr) {
-    // Owner-claimed after a combiner renamed-but-lost the claim race can not
-    // happen (claim precedes renaming); renames imply the steal path.
+    // Reclaimed after the combiner applied renaming: the drain is in-order,
+    // so every program-order predecessor already terminated and the renamed
+    // writes can land immediately.
     commit_renames(t);
   }
   if (src != nullptr) {
@@ -153,6 +194,11 @@ void Worker::run_task(Task* t, Frame* src, bool stolen) {
     }
   }
   t->state.store(TaskState::kTerm, std::memory_order_release);
+  if (stolen) {
+    // A stolen subtree completing can flip a parked owner's wait predicate
+    // (suspended sync) — wake every parked worker so the right one rechecks.
+    rt_.notify_progress();
+  }
 }
 
 void Worker::drain_current_frame() {
@@ -179,25 +225,38 @@ void Worker::drain_current_frame() {
 }
 
 void Worker::wait_and_finalize(Task* t, Frame& f) {
-  int failures = 0;
-  for (;;) {
+  // Reclaim: if the steal side claimed this descriptor but no thief has
+  // started it (the reply may be parked at a busy or descheduled worker),
+  // take it back and run it inline — this is exactly the task the drain is
+  // idle waiting for, so running it here is optimal for the critical path.
+  // Disabled under renaming: a combiner applies renaming *after* winning
+  // the claim CAS, so a reclaim could start the body while the combiner is
+  // still rewriting the argument pointers; without renaming the descriptor
+  // is immutable once published and the reclaim is race-free.
+  TaskState s = t->load_state();
+  if (reclaim_enabled_ && s == TaskState::kStolenClaim &&
+      t->state.compare_exchange_strong(s, TaskState::kRunOwner,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+    stats_->steal_reclaims++;
+    run_task(t, &f, /*stolen=*/false);
+    return;
+  }
+  // Steal (and eventually park) until the thief parks the task in a final
+  // state. Both transitions below are terminal for the thief side, and both
+  // are followed by a notify_progress, so a parked wait wakes promptly.
+  steal_until([&] {
     const TaskState s = t->load_state();
-    if (s == TaskState::kTerm) return;
-    if (s == TaskState::kCommitReady) {
-      // All program-order predecessors terminated (the drain is in-order),
-      // so the renamed writes can land on their true targets.
-      commit_renames(t);
-      if (ReadyList* rl = f.ready_list.load(std::memory_order_acquire)) {
-        rl->on_complete(t);
-      }
-      t->state.store(TaskState::kTerm, std::memory_order_release);
-      return;
+    return s == TaskState::kTerm || s == TaskState::kCommitReady;
+  });
+  if (t->load_state() == TaskState::kCommitReady) {
+    // All program-order predecessors terminated (the drain is in-order),
+    // so the renamed writes can land on their true targets.
+    commit_renames(t);
+    if (ReadyList* rl = f.ready_list.load(std::memory_order_acquire)) {
+      rl->on_complete(t);
     }
-    if (try_steal_once()) {
-      failures = 0;
-    } else if (++failures >= backoff_limit_) {
-      std::this_thread::yield();
-    }
+    t->state.store(TaskState::kTerm, std::memory_order_release);
   }
 }
 
@@ -226,19 +285,54 @@ bool Worker::try_steal_once() {
   stats_->steal_attempts++;
 
   StealRequest& slot = victim->request_slot(id_);
-  slot.reply = nullptr;
-  slot.reply_frame = nullptr;
-  slot.status.store(StealRequest::kPosted, std::memory_order_seq_cst);
+  slot.nreplies = 0;
+  // Release suffices (down from seq_cst): the combiner's acquire load of
+  // the status sees the cleared reply fields, and a combiner that misses
+  // the post entirely is benign — the thief keeps spinning and, when the
+  // mutex frees up, elects itself and serves its own slot.
+  slot.status.store(StealRequest::kPosted, std::memory_order_release);
 
   int spins = 0;
   for (;;) {
     const int s = slot.status.load(std::memory_order_acquire);
     if (s == StealRequest::kServed) {
-      Task* t = slot.reply;
-      Frame* src = slot.reply_frame;
-      slot.status.store(StealRequest::kEmpty, std::memory_order_relaxed);
+      // Start-claim every reply (StolenClaim -> RunThief) *while the slot
+      // is still Served*: the victim's pop_frame treats a Served slot as a
+      // live reference into its frames, and a task we won cannot reach
+      // Term without us, pinning its frame past this point. A task whose
+      // CAS fails was reclaimed by the frame owner (wait_and_finalize) —
+      // drop it before the slot clears and never touch it again.
+      const std::uint32_t n = slot.nreplies;
+      Task* tasks[StealRequest::kMaxBatch];
+      Frame* frames[StealRequest::kMaxBatch];
+      std::uint32_t won = 0;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        Task* t = slot.reply[i];
+        Frame* fr = slot.reply_frame[i];
+        if (t->heap_owned && fr == nullptr) {
+          // Fresh splitter reply: unclaimed, exclusively ours.
+          tasks[won] = t;
+          frames[won] = nullptr;
+          ++won;
+          continue;
+        }
+        TaskState expected = TaskState::kStolenClaim;
+        if (t->state.compare_exchange_strong(expected, TaskState::kRunThief,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+          tasks[won] = t;
+          frames[won] = fr;
+          ++won;
+        }
+      }
+      // Release: the victim's pop_frame acquires this store when draining
+      // in-flight replies before a frame reset (stale-reply protection).
+      slot.status.store(StealRequest::kEmpty, std::memory_order_release);
       stats_->steals_ok++;
-      execute_reply(t, src);
+      stats_->steal_tasks += won;
+      for (std::uint32_t i = 0; i < won; ++i) {
+        execute_reply(tasks[i], frames[i]);
+      }
       return true;
     }
     if (s == StealRequest::kFailed) {
@@ -260,9 +354,13 @@ bool Worker::try_steal_once() {
 }
 
 void Worker::execute_reply(Task* t, Frame* src) {
-  if (t->heap_owned) {
-    // Splitter-produced task: host it in a fresh frame of this stack so it
-    // is visible to further steals/splits, then run it like a local child.
+  if (t->heap_owned && src == nullptr) {
+    // Splitter-produced task (fresh, unclaimed, owned by no frame yet):
+    // host it in a fresh frame of this stack so it is visible to further
+    // steals/splits, then run it like a local child. A heap task WITH a
+    // source frame is one stolen out of the frame already hosting it —
+    // re-hosting it would give it two owning frames (double delete at
+    // reset), so it runs below as a regular stolen descriptor instead.
     Frame& f = push_frame();
     f.push_task(t);
     try {
@@ -279,55 +377,6 @@ void Worker::execute_reply(Task* t, Frame* src) {
 }
 
 namespace {
-
-/// Snapshot of the cross-frame blockers used by readiness checks, built at
-/// most once per combiner round (lazily, on the first dataflow candidate).
-/// Sound under state monotonicity + the hierarchical-dataflow contract; see
-/// the readiness rules below.
-struct ScanSnapshot {
-  bool built = false;
-  // Per frame: descriptors whose state was on the thief side (their subtree
-  // runs on another stack) — these block candidates in *lower* scan frames.
-  std::vector<std::vector<const Task*>> thief_side;
-  // Per frame: descriptors in any successor-blocking state — these block
-  // candidates in *shallower* frames.
-  std::vector<std::vector<const Task*>> strong;
-
-  void build(Worker& victim, std::uint32_t depth) {
-    built = true;
-    thief_side.assign(depth, {});
-    strong.assign(depth, {});
-    for (std::uint32_t d = 0; d < depth; ++d) {
-      Frame& f = victim.frame_at(d);
-      const std::uint32_t n = f.size_acquire();
-      Frame::Iterator it(f);
-      const std::uint32_t from = std::min(f.scan_hint(), n);
-      it.seek(from);
-      for (std::uint32_t i = from; i < n; ++i, it.advance()) {
-        const Task* t = it.get();
-        if (t->naccesses == 0) continue;
-        switch (t->load_state()) {
-          case TaskState::kStolenClaim:
-          case TaskState::kRunThief:
-          case TaskState::kBodyDoneThief:
-          case TaskState::kCommitReady:
-            thief_side[d].push_back(t);
-            strong[d].push_back(t);
-            break;
-          case TaskState::kInit:
-          case TaskState::kRunOwner:
-            strong[d].push_back(t);
-            break;
-          case TaskState::kBodyDoneOwner:
-          case TaskState::kTerm:
-            break;
-        }
-      }
-    }
-  }
-};
-
-enum class Readiness { kReady, kBlocked, kFalseOnly };
 
 /// Conflict check of candidate `t` against one predecessor. Updates
 /// `false_only` (starts true): stays true only while every conflict is a
@@ -350,42 +399,6 @@ bool conflicts_with(const Task& pred, const Task& t, bool& false_only) {
   return any;
 }
 
-/// Readiness of candidate `t` at (frame `d`, index `idx`): scans all program-
-/// order predecessors still in flight (§II-C "traversal of the victim stack
-/// from the top most task (the oldest), to look all its predecessors have
-/// been completed").
-///
-/// Predecessor rules (see task.hpp for the state rationale):
-///   frames < d : only thief-side tasks precede the candidate (Init tasks
-///                there run after the whole subtree; RunOwner/BodyDoneOwner
-///                are its ancestors);
-///   frame == d : every earlier, still-blocking sibling precedes it;
-///   frames > d : every blocking task precedes it (descendants of an earlier
-///                sibling).
-Readiness check_ready(Worker& victim, std::uint32_t depth, std::uint32_t d,
-                      const std::vector<const Task*>& prefix_live,
-                      const Task& t, ScanSnapshot& snap) {
-  if (t.naccesses == 0) return Readiness::kReady;
-  if (!snap.built) snap.build(victim, depth);
-  bool blocked = false;
-  bool false_only = true;
-  for (std::uint32_t f = 0; f < d; ++f) {
-    for (const Task* p : snap.thief_side[f]) {
-      blocked |= conflicts_with(*p, t, false_only);
-    }
-  }
-  for (const Task* p : prefix_live) {
-    blocked |= conflicts_with(*p, t, false_only);
-  }
-  for (std::uint32_t f = d + 1; f < depth; ++f) {
-    for (const Task* p : snap.strong[f]) {
-      blocked |= conflicts_with(*p, t, false_only);
-    }
-  }
-  if (!blocked) return Readiness::kReady;
-  return false_only ? Readiness::kFalseOnly : Readiness::kBlocked;
-}
-
 /// Redirects every contiguous Write access of a claimed task to a fresh
 /// buffer; the frame owner commits the buffers in program order.
 void apply_renaming(Task& t) {
@@ -404,12 +417,197 @@ void apply_renaming(Task& t) {
   }
 }
 
+/// Is a claimed (non-Init) task still interesting to future scans? Pure
+/// fork-join descriptors stop mattering the moment their claim settles —
+/// they block nobody and can never be claimed again — unless a splitter may
+/// still be invoked on them.
+bool entry_retired(const Task& t, TaskState s) {
+  if (s == TaskState::kTerm || s == TaskState::kBodyDoneOwner) return true;
+  return s != TaskState::kInit && t.naccesses == 0 && !t.splittable();
+}
+
 }  // namespace
+
+void Worker::refresh_scan_state(FrameScanState& fs, Frame& f) {
+  const std::uint64_t fe = f.epoch();
+  if (fs.epoch != fe) {
+    // The frame was recycled since we last saw it (or never seen): every
+    // cached pointer is stale. Restart from index 0 of this incarnation.
+    fs.epoch = fe;
+    fs.ingested = 0;
+    fs.listed_round = 0;
+    fs.entries.clear();
+    stats_->scan_rebuilds++;
+  }
+  const std::uint32_t published = f.size_acquire();
+  if (fs.ingested >= published) return;
+  Frame::Iterator it(f);
+  it.seek(fs.ingested);
+  for (std::uint32_t i = fs.ingested; i < published; ++i, it.advance()) {
+    Task* t = it.get();
+    // Ingest-time filter: tasks that already settled never enter the cache.
+    if (!entry_retired(*t, t->load_state())) {
+      fs.entries.push_back(FrameScanState::Entry{t, i});
+    }
+  }
+  fs.ingested = published;
+}
+
+FrameScanState& Worker::ensure_scan_lists(Worker& victim, std::uint32_t d,
+                                          std::uint64_t round) {
+  FrameScanState& fs = victim.scan_state_[d];
+  if (fs.listed_round == round) return fs;
+  refresh_scan_state(fs, victim.frame_at(d));
+  fs.listed_round = round;
+  fs.thief_side.clear();
+  fs.strong.clear();
+  std::size_t w = 0;
+  for (const FrameScanState::Entry& e : fs.entries) {
+    const TaskState s = e.task->load_state();
+    if (entry_retired(*e.task, s)) {
+      stats_->scan_retired++;
+      continue;
+    }
+    if (e.task->naccesses != 0) {
+      switch (s) {
+        case TaskState::kStolenClaim:
+        case TaskState::kRunThief:
+        case TaskState::kBodyDoneThief:
+        case TaskState::kCommitReady:
+          fs.thief_side.push_back(e.task);
+          fs.strong.push_back(e.task);
+          break;
+        case TaskState::kInit:
+        case TaskState::kRunOwner:
+          fs.strong.push_back(e.task);
+          break;
+        default:
+          break;  // unreachable: retired above
+      }
+    }
+    fs.entries[w++] = e;
+  }
+  fs.entries.resize(w);
+  return fs;
+}
+
+/// Readiness of candidate `t` in frame `d` given the already-walked live
+/// prefix of its own frame. Scans all program-order predecessors still in
+/// flight (§II-C "traversal of the victim stack from the top most task (the
+/// oldest), to look all its predecessors have been completed").
+///
+/// Predecessor rules (see task.hpp for the state rationale):
+///   frames < d : only thief-side tasks precede the candidate (Init tasks
+///                there run after the whole subtree; RunOwner/BodyDoneOwner
+///                are its ancestors);
+///   frame == d : every earlier, still-blocking sibling precedes it (the
+///                `prefix` scratch built by the candidate walk);
+///   frames > d : every blocking task precedes it (descendants of an earlier
+///                sibling).
+///
+/// Cross-frame lists are pulled lazily per consulted frame and memoized for
+/// the round; a single-frame dataflow program therefore never pays for a
+/// cross-frame sweep at all. Sound under state monotonicity + the
+/// hierarchical-dataflow contract: a blocker observed late can only have
+/// *stopped* blocking, and children published after a list was built are
+/// covered by their still-listed running ancestor's declared accesses.
+Readiness Worker::check_ready(Worker& victim, std::uint64_t round,
+                              std::uint32_t depth, std::uint32_t d,
+                              const std::vector<const Task*>& prefix,
+                              const Task& t) {
+  if (t.naccesses == 0) return Readiness::kReady;
+  bool blocked = false;
+  bool false_only = true;
+  for (std::uint32_t f = 0; f < d; ++f) {
+    const FrameScanState& fs = ensure_scan_lists(victim, f, round);
+    for (const Task* p : fs.thief_side) {
+      blocked |= conflicts_with(*p, t, false_only);
+    }
+  }
+  for (const Task* p : prefix) {
+    blocked |= conflicts_with(*p, t, false_only);
+  }
+  for (std::uint32_t f = d + 1; f < depth; ++f) {
+    const FrameScanState& fs = ensure_scan_lists(victim, f, round);
+    for (const Task* p : fs.strong) {
+      blocked |= conflicts_with(*p, t, false_only);
+    }
+  }
+  if (!blocked) return Readiness::kReady;
+  return false_only ? Readiness::kFalseOnly : Readiness::kBlocked;
+}
+
+void Worker::pour_ready_list(ReadyList& rl, Frame& f,
+                             std::size_t pool_target) {
+  if (reply_scratch_.size() >= pool_target) return;
+  batch_scratch_.resize(pool_target - reply_scratch_.size());
+  const std::size_t got =
+      rl.pop_ready_claimed_batch(batch_scratch_.data(), batch_scratch_.size());
+  stats_->readylist_pops += got;
+  if (got != 0) f.mark_steal_claimed();
+  for (std::size_t k = 0; k < got; ++k) {
+    reply_scratch_.push_back({batch_scratch_[k], &f});
+  }
+}
+
+std::size_t Worker::deal_pool(std::vector<StealRequest*>& pending,
+                              std::size_t served, StealRequest* self_slot) {
+  std::vector<PooledReply>& pool = reply_scratch_;
+  if (pool.empty()) return served;
+  const std::size_t remaining = pending.size() - served;
+  // Steal-k deal: every waiting thief gets exactly one distinct task
+  // (oldest first); only the combiner's own slot takes the batch surplus.
+  // The combiner executes its reply immediately after releasing the mutex,
+  // so a multi-task batch there never strands claimed work — handing
+  // batches to *other* thieves would park claimed chain heads on threads
+  // that may not be scheduled, stalling their dataflow successors.
+  const std::size_t receivers = std::min(remaining, pool.size());
+  StealRequest* self_served = nullptr;
+  // Hand the *youngest* pooled tasks to the other thieves and keep the
+  // oldest for our own slot: we execute immediately, so the oldest work —
+  // whose program-order successors the victim's drain reaches first —
+  // starts with no pickup latency, while a briefly-descheduled peer only
+  // delays work the drain is farthest from.
+  std::size_t back = pool.size();  // youngest not-yet-assigned task
+  for (std::size_t r = 0; r < receivers; ++r) {
+    StealRequest* s = pending[served + r];
+    if (s == self_slot) {
+      self_served = s;  // filled below from the front of the pool
+      continue;
+    }
+    --back;
+    s->reply[0] = pool[back].task;
+    s->reply_frame[0] = pool[back].frame;
+    s->nreplies = 1;
+  }
+  if (self_served != nullptr) {
+    // Our slot takes the remaining pool[0..back): the oldest task plus the
+    // batch surplus (capped at steal_batch by the pool target).
+    std::uint32_t n = 0;
+    for (std::size_t i = 0; i < back; ++i, ++n) {
+      self_served->reply[n] = pool[i].task;
+      self_served->reply_frame[n] = pool[i].frame;
+    }
+    self_served->nreplies = n;
+  }
+  // else: our slot was not among the receivers (another combiner answered
+  // it before this round). back == 0 then: pool_target_for added the batch
+  // surplus only with our slot pending, and without it pool.size() <=
+  // remaining makes every receiver consume one task — nothing is stranded.
+  // Publish only after every reply array is complete.
+  for (std::size_t r = 0; r < receivers; ++r) {
+    pending[served + r]->status.store(StealRequest::kServed,
+                                      std::memory_order_release);
+  }
+  pool.clear();
+  return served + receivers;
+}
 
 void Worker::combine_on(Worker& victim) {
   stats_->combiner_rounds++;
   const bool aggregate = rt_.config().steal_aggregation;
-  std::vector<StealRequest*> pending;
+  std::vector<StealRequest*>& pending = pending_scratch_;
+  pending.clear();
   for (unsigned i = 0; i < victim.nslots(); ++i) {
     StealRequest& s = victim.request_slot(i);
     if (s.status.load(std::memory_order_acquire) == StealRequest::kPosted) {
@@ -419,68 +617,85 @@ void Worker::combine_on(Worker& victim) {
   if (pending.empty()) return;
 
   std::size_t served = 0;
-  auto reply_with = [&](Task* t, Frame* f) {
-    StealRequest* s = pending[served++];
-    s->reply = t;
-    s->reply_frame = f;
-    s->status.store(StealRequest::kServed, std::memory_order_release);
-  };
-
+  const std::uint64_t round = ++victim.scan_round_;
   const std::uint32_t depth = victim.depth_acquire();
-  ScanSnapshot snap;
-  std::vector<Task*> adaptives;
+  std::vector<Task*>& adaptives = adaptive_scratch_;
+  adaptives.clear();
+  // Steal-k pooling: one traversal claims one task per pending request —
+  // plus a batch surplus of steal_batch-1 for the combiner's own request —
+  // into the pool; a single deal after the loop serves every thief. The
+  // walk still stops early — once the pool is full there is nothing left
+  // to look for.
+  StealRequest* const self_slot = &victim.request_slot(id_);
+  auto pool_target_for = [&](std::size_t served_now) {
+    std::size_t t = pending.size() - served_now;
+    for (std::size_t i = served_now; i < pending.size(); ++i) {
+      if (pending[i] == self_slot) {
+        t += steal_batch_ - 1;
+        break;
+      }
+    }
+    return t;
+  };
+  std::vector<PooledReply>& pool = reply_scratch_;
+  pool.clear();
+  const std::size_t pool_target = pool_target_for(0);
   std::size_t scanned_blocked = 0;
   Frame* hottest = nullptr;
   std::size_t hottest_blocked = 0;
   const bool renaming = rt_.config().renaming;
   const std::size_t threshold = rt_.config().ready_list_threshold;
 
-  for (std::uint32_t d = 0; d < depth && served < pending.size(); ++d) {
+  for (std::uint32_t d = 0; d < depth && pool.size() < pool_target; ++d) {
     Frame& f = victim.frame_at(d);
 
     if (ReadyList* rl = f.ready_list.load(std::memory_order_acquire)) {
       // Accelerated path (§II-C): the list is authoritative for this frame.
       rl->extend();
-      while (served < pending.size()) {
-        Task* t = rl->pop_ready_claimed();
-        if (t == nullptr) break;
-        stats_->readylist_pops++;
-        reply_with(t, &f);
-      }
+      pour_ready_list(*rl, f, pool_target);
       continue;
     }
 
-    const std::uint32_t n = f.size_acquire();
-    std::uint32_t idx = std::min(f.scan_hint(), n);
-    Frame::Iterator it(f);
-    it.seek(idx);
-    std::vector<const Task*> prefix_live;  // blocking siblings before cursor
-    bool all_term_prefix = true;
+    // Candidate walk over the frame's persistent scan entries: every task
+    // is state-loaded once, settled entries are compacted out so the next
+    // round never revisits them, and the walk stops the moment all pending
+    // requests are served.
+    FrameScanState& fs = victim.scan_state_[d];
+    refresh_scan_state(fs, f);
+    std::vector<const Task*>& prefix = prefix_scratch_;
+    prefix.clear();
     std::size_t blocked_here = 0;
+    std::vector<FrameScanState::Entry>& es = fs.entries;
+    std::size_t w = 0;  // compaction write cursor
+    std::size_t i = 0;
+    bool stop = false;
 
-    for (; idx < n; ++idx, it.advance()) {
-      Task* t = it.get();
+    for (; i < es.size() && !stop; ++i) {
+      Task* t = es[i].task;
       const TaskState s = t->load_state();
-      if (s == TaskState::kTerm) {
-        if (all_term_prefix) f.raise_scan_hint(idx + 1);
+      stats_->scan_entries++;
+      if (entry_retired(*t, s)) {
+        stats_->scan_retired++;
         continue;
       }
-      all_term_prefix = false;
-
       if (s == TaskState::kInit) {
         stats_->scan_visited++;
-        const Readiness r = check_ready(victim, depth, d, prefix_live, *t, snap);
+        const Readiness r = check_ready(victim, round, depth, d, prefix, *t);
         if (r == Readiness::kReady ||
             (r == Readiness::kFalseOnly && renaming)) {
           if (t->try_claim(TaskState::kStolenClaim)) {
+            f.mark_steal_claimed();
             if (r == Readiness::kFalseOnly) {
               apply_renaming(*t);
               stats_->renames++;
             }
-            reply_with(t, &f);
-            if (t->naccesses != 0) prefix_live.push_back(t);
-            if (served == pending.size()) break;
-            continue;
+            pool.push_back({t, &f});
+            if (t->naccesses != 0 && fs.listed_round == round) {
+              // Deeper frames consult this frame's thief-side list later
+              // this round; the claim just moved t into that category.
+              fs.thief_side.push_back(t);
+            }
+            if (pool.size() == pool_target) stop = true;
           }
         } else {
           ++blocked_here;
@@ -493,23 +708,30 @@ void Worker::combine_on(Worker& victim) {
           if (threshold != 0 && scanned_blocked > threshold) {
             hottest_blocked = blocked_here;
             hottest = &f;
-            break;
+            stop = true;
           }
         }
       } else if ((s == TaskState::kRunOwner || s == TaskState::kRunThief) &&
                  t->splittable()) {
         adaptives.push_back(t);
       }
-      if (t->naccesses != 0 && s != TaskState::kBodyDoneOwner) {
-        prefix_live.push_back(t);
-      }
+      // Still-relevant entry: keep it and record it as a program-order
+      // blocker for the candidates that follow in this frame.
+      if (t->naccesses != 0) prefix.push_back(t);
+      es[w++] = es[i];
     }
+    // Close the compaction gap without touching the unwalked tail.
+    if (w < i) es.erase(es.begin() + static_cast<std::ptrdiff_t>(w),
+                        es.begin() + static_cast<std::ptrdiff_t>(i));
+
     if (blocked_here > hottest_blocked) {
       hottest_blocked = blocked_here;
       hottest = &f;
     }
     if (threshold != 0 && scanned_blocked > threshold) break;
   }
+
+  served = deal_pool(pending, served, self_slot);
 
   // On-demand task creation (§II-D): ask running adaptive tasks to split.
   if (served < pending.size()) {
@@ -533,12 +755,8 @@ void Worker::combine_on(Worker& victim) {
     hottest->ready_list.store(rl, std::memory_order_release);
     rl->extend();
     stats_->readylist_attach++;
-    while (served < pending.size()) {
-      Task* t = rl->pop_ready_claimed();
-      if (t == nullptr) break;
-      stats_->readylist_pops++;
-      reply_with(t, hottest);
-    }
+    pour_ready_list(*rl, *hottest, pool_target_for(served));
+    served = deal_pool(pending, served, self_slot);
   }
 
   stats_->requests_served += served;

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <mutex>
@@ -25,6 +26,7 @@
 #include "core/stats.hpp"
 #include "core/task.hpp"
 #include "support/cache.hpp"
+#include "support/parker.hpp"
 #include "support/rng.hpp"
 
 namespace xk {
@@ -43,11 +45,53 @@ void set_this_worker(Worker* w);
 
 /// A steal request slot: thief `i` posts into victim's box slot `i`; the
 /// combiner answers every posted slot before releasing the steal mutex.
+///
+/// A reply carries up to kMaxBatch (task, frame) pairs: when ready tasks
+/// come cheap (ready-list pops) the combiner hands a thief several in one
+/// handshake, amortizing the post/spin/serve round trip. All reply fields
+/// are written by the combiner before the kServed release store and read by
+/// the thief after its acquire load of the status.
 struct StealRequest {
   enum Status : int { kEmpty = 0, kPosted, kServed, kFailed };
+  static constexpr std::uint32_t kMaxBatch = 8;
   std::atomic<int> status{kEmpty};
-  Task* reply = nullptr;
-  Frame* reply_frame = nullptr;  ///< source frame (for ready-list notify); null for heap tasks
+  std::uint32_t nreplies = 0;
+  Task* reply[kMaxBatch] = {};
+  Frame* reply_frame[kMaxBatch] = {};  ///< source frame per task (for ready-list notify); null for heap tasks
+};
+
+/// Per-frame combiner scan state, owned by the victim and persisted across
+/// steal rounds (the "incremental readiness" core of the steal-path
+/// overhaul). Mutated only by the elected combiner, which holds the
+/// victim's steal mutex inside a scanning window, so no further locking is
+/// needed; a frame recycle is detected through Frame::epoch().
+///
+/// `entries` is the index-ordered list of still-relevant published tasks:
+/// candidates (Init), blockers (claimed dataflow tasks), and armed adaptive
+/// tasks. Tasks that can never matter again (Term, BodyDoneOwner, claimed
+/// pure fork-join) are dropped the first time a scan sees them, so repeat
+/// scans of a long frame touch only its live suffix instead of rescanning
+/// from index 0 — the cross-round analog of the old per-round scan-hint.
+/// Verdict of a steal-time readiness check (see Worker::check_ready).
+enum class Readiness : std::uint8_t { kReady, kBlocked, kFalseOnly };
+
+struct FrameScanState {
+  struct Entry {
+    Task* task;
+    std::uint32_t index;  ///< publication index (program order) in the frame
+  };
+  static constexpr std::uint64_t kNoEpoch = ~std::uint64_t{0};
+
+  std::uint64_t epoch = kNoEpoch;  ///< frame incarnation `entries` matches
+  std::uint32_t ingested = 0;      ///< published prefix already ingested
+  std::uint64_t listed_round = 0;  ///< round the cross-frame lists are valid for
+  std::vector<Entry> entries;
+  // Round-local cross-frame blocker lists (see worker.cpp readiness rules):
+  // thief-side tasks block candidates in *lower* frames; successor-blocking
+  // ("strong") tasks block candidates in *deeper* frames. Built lazily, at
+  // most once per round per frame, only when a candidate consults them.
+  std::vector<const Task*> thief_side;
+  std::vector<const Task*> strong;
 };
 
 class Worker {
@@ -69,10 +113,12 @@ class Worker {
   /// Current (deepest) frame; valid only while depth > 0.
   Frame& current_frame() { return frames_[depth_.load(std::memory_order_relaxed) - 1]; }
 
-  /// Spawns `t` into the current frame. Fast path of §II-B.
+  /// Spawns `t` into the current frame. Fast path of §II-B. The parked-peer
+  /// probe costs one load of a read-mostly line when nobody sleeps.
   void push_task(Task* t) {
     current_frame().push_task(t);
     stats_->tasks_spawned++;
+    if (work_parker_->has_waiters()) work_parker_->notify_one();
   }
 
   /// Allocates from the current frame's arena.
@@ -91,18 +137,53 @@ class Worker {
   /// xk::sync()). Rethrows the first child exception after the drain.
   void drain_current_frame();
 
-  /// Enters the idle loop until `done` becomes true: posts steal requests to
-  /// random victims with backoff. Used by the scheduler loop, by victims
-  /// suspended on a stolen task, and by foreach completion waits.
+  /// Enters the idle loop until `done` becomes true: posts steal requests
+  /// to random victims, backing off as failures accumulate — spin, then
+  /// yield, then park (bounded exponential sleep with the timeout as the
+  /// lost-wakeup backstop). Used by victims suspended on a stolen task and
+  /// by foreach completion waits; the sleeper waits on the *progress*
+  /// parker, woken by stolen-task completions / foreach retirement /
+  /// section end (and re-validates stealable work before sleeping).
   template <typename Pred>
   void steal_until(Pred&& done) {
+    steal_until_on(*progress_parker_, done);
+  }
+
+  /// Same loop for a pure work-waiter (the scheduler idle loop): parks on
+  /// the *work* parker, woken one at a time by task publication.
+  template <typename Pred>
+  void steal_idle(Pred&& done) {
+    steal_until_on(*work_parker_, done);
+  }
+
+  template <typename Pred>
+  void steal_until_on(Parker& parker, Pred&& done) {
     int failures = 0;
     while (!done()) {
       if (try_steal_once()) {
         failures = 0;
-      } else if (++failures >= backoff_limit_) {
-        std::this_thread::yield();
+        continue;
       }
+      ++failures;
+      if (failures <= backoff_limit_) continue;  // hot spin: retry at once
+      if (park_threshold_ <= 0 || failures < park_threshold_) {
+        std::this_thread::yield();
+        continue;
+      }
+      // Park. Announce first, then re-validate inside the announce window
+      // (a publisher that saw the announce notifies; one that published
+      // just before is caught by the extra steal attempt), then sleep with
+      // a bounded, escalating timeout as the lost-wakeup backstop.
+      const std::uint32_t epoch = parker.prepare();
+      parker.announce();
+      if (done() || try_steal_once()) {
+        parker.retract();
+        failures = 0;
+        continue;
+      }
+      stats_->parks++;
+      if (parker.park(epoch, park_timeout(failures))) stats_->park_wakes++;
+      parker.retract();
     }
   }
 
@@ -153,13 +234,59 @@ class Worker {
   /// raised the victim's scanning flag.
   void combine_on(Worker& victim);
 
+  /// Brings `fs` up to date with frame `f`: detects a recycle through the
+  /// frame epoch and ingests newly published tasks past the cursor.
+  void refresh_scan_state(FrameScanState& fs, Frame& f);
+
+  /// Builds (at most once per `round`) the cross-frame blocker lists of
+  /// victim frame `d`, compacting dead entries along the way.
+  FrameScanState& ensure_scan_lists(Worker& victim, std::uint32_t d,
+                                    std::uint64_t round);
+
+  /// Readiness of candidate `t` in victim frame `d` against the candidate
+  /// walk's own-frame `prefix` and the lazily-built cross-frame lists.
+  Readiness check_ready(Worker& victim, std::uint64_t round,
+                        std::uint32_t depth, std::uint32_t d,
+                        const std::vector<const Task*>& prefix, const Task& t);
+
+  /// A claimed task waiting in the combiner's reply pool with its source
+  /// frame (for ready-list completion notification).
+  struct PooledReply {
+    Task* task;
+    Frame* frame;
+  };
+
+  /// Pops ready tasks from `rl` under a single list lock into the reply
+  /// pool, up to `pool_target` pooled tasks total.
+  void pour_ready_list(ReadyList& rl, Frame& f, std::size_t pool_target);
+
+  /// Deals the reply pool to pending[served..] (steal-k: each waiting
+  /// thief gets one distinct task, oldest first; the batch surplus goes to
+  /// `self_slot`, which its owner executes immediately) and publishes the
+  /// served slots. Returns the new served count.
+  std::size_t deal_pool(std::vector<StealRequest*>& pending,
+                        std::size_t served, StealRequest* self_slot);
+
   /// Executes a steal reply: a stolen descriptor (runs as thief) or a
   /// splitter-produced heap task (hosted in a fresh frame of this stack).
   void execute_reply(Task* t, Frame* src);
 
+  /// Escalating park timeout: 50us doubling to a 1.6ms cap as consecutive
+  /// failures mount past the park threshold.
+  std::chrono::nanoseconds park_timeout(int failures) const {
+    const int k = std::min(failures - park_threshold_, 5);
+    return std::chrono::microseconds{50u << (k < 0 ? 0 : k)};
+  }
+
   Runtime& rt_;
   const unsigned id_;
   int backoff_limit_;
+  int park_threshold_;
+  std::size_t steal_batch_;
+  bool reclaim_enabled_;  ///< join-side reclaim; off under renaming (see wait_and_finalize)
+  // The runtime's shared parkers (cached: Runtime is incomplete here).
+  Parker* work_parker_;
+  Parker* progress_parker_;
 
   // Frame stack. `depth_` is the Dekker-side publication; frames above the
   // published depth are owner-private.
@@ -172,6 +299,20 @@ class Worker {
 
   // Request box: slot i belongs to thief i.
   std::vector<Padded<StealRequest>> reqbox_;
+
+  // Victim-side combiner scan state: one slot per frame depth plus the
+  // round serial that scopes the per-round blocker lists. Guarded by
+  // steal_mutex_ (only the elected combiner touches it).
+  std::vector<FrameScanState> scan_state_;
+  std::uint64_t scan_round_ = 0;
+
+  // Combiner-side scratch, reused across rounds to kill per-round heap
+  // churn. Only this worker (as combiner) touches its own scratch.
+  std::vector<StealRequest*> pending_scratch_;
+  std::vector<Task*> adaptive_scratch_;
+  std::vector<const Task*> prefix_scratch_;
+  std::vector<Task*> batch_scratch_;
+  std::vector<PooledReply> reply_scratch_;
 
   Padded<WorkerStats> stats_;
   Rng rng_;

@@ -160,7 +160,8 @@ TEST(Adaptive, SplitContextRespectsCapacity) {
   // Clean up the two heap tasks we never executed.
   for (auto& s : slots) {
     ASSERT_EQ(s.status.load(), xk::StealRequest::kServed);
-    s.reply->heap_deleter(s.reply->heap_box);
+    ASSERT_EQ(s.nreplies, 1u);
+    s.reply[0]->heap_deleter(s.reply[0]->heap_box);
   }
 }
 

@@ -98,25 +98,16 @@ TEST(FrameTest, IteratorSeek) {
   EXPECT_EQ(frame.task_at(n - 1), tasks[n - 1]);
 }
 
-TEST(FrameTest, ScanHintMonotonic) {
+TEST(FrameTest, ResetClearsEverythingAndBumpsEpoch) {
   xk::Frame frame;
-  frame.raise_scan_hint(5);
-  EXPECT_EQ(frame.scan_hint(), 5u);
-  frame.raise_scan_hint(3);  // lower values are ignored
-  EXPECT_EQ(frame.scan_hint(), 5u);
-  frame.raise_scan_hint(9);
-  EXPECT_EQ(frame.scan_hint(), 9u);
-}
-
-TEST(FrameTest, ResetClearsEverything) {
-  xk::Frame frame;
+  const std::uint64_t epoch0 = frame.epoch();
   for (int i = 0; i < 10; ++i) frame.push_task(make_task(frame.arena));
   for (int i = 0; i < 10; ++i) frame.exec_advance();
-  frame.raise_scan_hint(7);
   frame.reset();
   EXPECT_EQ(frame.size_acquire(), 0u);
   EXPECT_EQ(frame.exec_cursor(), 0u);
-  EXPECT_EQ(frame.scan_hint(), 0u);
+  // A recycle must advance the incarnation so combiner scan caches notice.
+  EXPECT_GT(frame.epoch(), epoch0);
   // Reusable after reset.
   frame.push_task(make_task(frame.arena));
   EXPECT_EQ(frame.size_acquire(), 1u);
@@ -255,6 +246,75 @@ TEST(ReadyListTest, ClaimedTasksSkippedOnPop) {
   // The owner claims t0 through the FIFO path first.
   ASSERT_TRUE(t0->try_claim(xk::TaskState::kRunOwner));
   EXPECT_EQ(rl.pop_ready_claimed(), t1);  // t0 skipped, not returned
+  // The skipped claim is not dropped on the floor: it moves to the watch
+  // list so a silent (unnotified) termination still gets folded in.
+  EXPECT_GE(rl.watched_size(), 1u);
+}
+
+TEST(ReadyListTest, BatchPopClaimsUpToMaxOldestFirst) {
+  RlFixture fx;
+  double s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  xk::Task* t0 = fx.add(&s0, 8, xk::AccessMode::kWrite);
+  xk::Task* t1 = fx.add(&s1, 8, xk::AccessMode::kWrite);
+  xk::Task* t2 = fx.add(&s2, 8, xk::AccessMode::kWrite);
+  fx.add(&s3, 8, xk::AccessMode::kWrite);
+  xk::ReadyList rl(fx.frame);
+  rl.extend();
+  xk::Task* out[3] = {};
+  // One lock acquisition hands back up to `max` claimed tasks, FIFO order.
+  ASSERT_EQ(rl.pop_ready_claimed_batch(out, 3), 3u);
+  EXPECT_EQ(out[0], t0);
+  EXPECT_EQ(out[1], t1);
+  EXPECT_EQ(out[2], t2);
+  for (xk::Task* t : out) {
+    EXPECT_EQ(t->load_state(), xk::TaskState::kStolenClaim);
+  }
+  // The fourth stays ready for the next batch.
+  EXPECT_EQ(rl.ready_size(), 1u);
+}
+
+TEST(ReadyListTest, ClaimedElsewhereTermFoldsInOrder) {
+  // FIFO fairness under contention: t0 (oldest) is claimed by the owner
+  // and terminates *without* notifying (simulating the attach race). The
+  // pop that encounters it must fold the completion immediately so t0's
+  // successor is released ahead of younger independent tasks.
+  RlFixture fx;
+  double chain = 0, other = 0;
+  xk::Task* t0 = fx.add(&chain, 8, xk::AccessMode::kReadWrite);
+  xk::Task* t1 = fx.add(&chain, 8, xk::AccessMode::kReadWrite);
+  xk::Task* t2 = fx.add(&other, 8, xk::AccessMode::kWrite);
+  xk::ReadyList rl(fx.frame);
+  rl.extend();
+  ASSERT_TRUE(t0->try_claim(xk::TaskState::kRunOwner));
+  t0->state.store(xk::TaskState::kTerm);  // silent: no on_complete
+  // Pop order: t0 folds (releasing t1 behind t2, which was already ready).
+  xk::Task* a = rl.pop_ready_claimed();
+  xk::Task* b = rl.pop_ready_claimed();
+  EXPECT_EQ(a, t2);
+  EXPECT_EQ(b, t1);
+  EXPECT_GE(rl.missed_folds(), 1u);
+}
+
+TEST(ReadyListTest, LazySweepReleasesWatchedChainUnderLoad) {
+  // A longer claimed-elsewhere chain: every link terminates silently; the
+  // lazy watch sweep must keep folding completions until the whole chain
+  // has been released, never stranding a successor.
+  RlFixture fx;
+  double slot = 0.0;
+  constexpr int kLen = 16;
+  std::vector<xk::Task*> chain;
+  for (int i = 0; i < kLen; ++i) {
+    chain.push_back(fx.add(&slot, 8, xk::AccessMode::kReadWrite));
+  }
+  xk::ReadyList rl(fx.frame);
+  rl.extend();
+  for (int i = 0; i < kLen; ++i) {
+    xk::Task* got = rl.pop_ready_claimed();
+    ASSERT_EQ(got, chain[static_cast<std::size_t>(i)]) << i;
+    // Terminate silently: the next pop has to recover via the sweep.
+    got->state.store(xk::TaskState::kTerm);
+  }
+  EXPECT_EQ(rl.pop_ready_claimed(), nullptr);  // all folded and done
 }
 
 // ---------------------------------------------------------------------------
@@ -265,7 +325,7 @@ TEST(StealSlot, StatusLifecycle) {
   xk::StealRequest slot;
   EXPECT_EQ(slot.status.load(), xk::StealRequest::kEmpty);
   slot.status.store(xk::StealRequest::kPosted);
-  slot.reply = nullptr;
+  slot.nreplies = 0;
   slot.status.store(xk::StealRequest::kFailed);
   EXPECT_EQ(slot.status.load(), xk::StealRequest::kFailed);
 }

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <numeric>
 #include <vector>
@@ -189,6 +190,43 @@ TEST(Stress, TinyReadyListThreshold) {
     xk::sync();
   });
   EXPECT_EQ(acc, 500);
+}
+
+TEST(Stress, ParkWakeChurn) {
+  // Idle-parking stress: an oversubscribed pool alternates between famine
+  // (everyone parks) and bursts of spawns (the spawn/park race). A lost
+  // wakeup beyond the Parker's timeout backstop would hang the section;
+  // completing all sections with correct results is the assertion, and the
+  // aggressive park threshold forces the park path to actually run.
+  xk::Config c = cfg(8);
+  c.park_threshold = 17;  // park at the minimum: right after the spin phase
+  xk::Runtime rt(c);
+  std::atomic<std::int64_t> sum{0};
+  constexpr int kRounds = 6;
+  for (int round = 0; round < kRounds; ++round) {
+    rt.run([&] {
+      // Famine: one wall-clock-slow task (longer than a scheduler timeslice,
+      // so idle workers actually get CPU to rack up failed steals and park
+      // even when threads far outnumber cores).
+      xk::spawn([&sum] {
+        const auto until =
+            std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+        while (std::chrono::steady_clock::now() < until) {
+        }
+        sum.fetch_add(1);
+      });
+      xk::sync();
+      // Burst: publication must wake parked thieves promptly.
+      for (int i = 0; i < 200; ++i) {
+        xk::spawn([&sum] { sum.fetch_add(1); });
+      }
+      xk::sync();
+    });
+  }
+  EXPECT_EQ(sum.load(), kRounds * 201);
+  // The aggressive threshold on an oversubscribed pool must have exercised
+  // the parking path at least once across the famine phases.
+  EXPECT_GT(rt.stats_snapshot().parks, 0u);
 }
 
 TEST(Stress, LongDataflowPipelines) {

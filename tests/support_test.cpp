@@ -7,9 +7,13 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+#include <chrono>
+
 #include "support/barrier.hpp"
 #include "support/cache.hpp"
 #include "support/env.hpp"
+#include "support/parker.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 #include "support/timing.hpp"
@@ -87,6 +91,101 @@ TEST(Rng, NextDoubleInUnitInterval) {
     EXPECT_GE(d, 0.0);
     EXPECT_LT(d, 1.0);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Parker (timed eventcount for idle parking).
+// ---------------------------------------------------------------------------
+
+TEST(Parker, NotifyBetweenPrepareAndParkIsNotLost) {
+  // A notification landing after prepare() must make park() return
+  // immediately as "notified" — the no-lost-wakeup core of the protocol.
+  xk::Parker p;
+  const std::uint32_t e = p.prepare();
+  p.notify_one();
+  p.announce();
+  EXPECT_TRUE(p.park(e, std::chrono::seconds(10)));
+  p.retract();
+}
+
+TEST(Parker, TimeoutExpiresWithoutNotify) {
+  xk::Parker p;
+  const std::uint32_t e = p.prepare();
+  p.announce();
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(p.park(e, std::chrono::milliseconds(5)));
+  p.retract();
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(4));
+}
+
+TEST(Parker, NoLostWakeupUnderSpawnParkRace) {
+  // The spawn/park race: a publisher that observes the announce must wake
+  // the sleeper. The announce is published before `ready` flips, so every
+  // notify_one here happens-after the waiter registered — park() must never
+  // sleep out the (long) timeout.
+  xk::Parker p;
+  constexpr int kRounds = 200;
+  // Round-stamped handshake (a plain bool would let the fast side lap the
+  // slow one and desynchronize the phases): `armed` == i+1 means the
+  // round-i waiter has announced; `acked` == i+1 means it woke.
+  std::atomic<int> armed{0};
+  std::atomic<int> acked{0};
+  std::atomic<int> notified_count{0};
+
+  std::thread waiter([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      const std::uint32_t e = p.prepare();
+      p.announce();
+      armed.store(i + 1, std::memory_order_release);
+      if (p.park(e, std::chrono::seconds(30))) {
+        notified_count.fetch_add(1, std::memory_order_relaxed);
+      }
+      p.retract();
+      acked.store(i + 1, std::memory_order_release);
+    }
+  });
+  std::thread publisher([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      while (armed.load(std::memory_order_acquire) < i + 1) {
+        std::this_thread::yield();
+      }
+      p.notify_one();
+      // Wait until the round-i waiter actually woke before the next round.
+      while (acked.load(std::memory_order_acquire) < i + 1) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  waiter.join();
+  publisher.join();
+  // Every park was preceded (per the ready handshake) by announce, and
+  // every notify happened while the waiter was registered: no round may
+  // have timed out.
+  EXPECT_EQ(notified_count.load(), kRounds);
+}
+
+TEST(Parker, NotifyAllWakesEveryWaiter) {
+  xk::Parker p;
+  constexpr int kWaiters = 4;
+  std::atomic<int> woken{0};
+  std::atomic<int> announced{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    threads.emplace_back([&] {
+      const std::uint32_t e = p.prepare();
+      p.announce();
+      announced.fetch_add(1);
+      if (p.park(e, std::chrono::seconds(30))) woken.fetch_add(1);
+      p.retract();
+    });
+  }
+  while (announced.load() < kWaiters) std::this_thread::yield();
+  p.notify_all();
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(woken.load(), kWaiters);
+  EXPECT_EQ(p.waiters(), 0u);
 }
 
 TEST(Stats, FromSamples) {
