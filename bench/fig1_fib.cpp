@@ -89,7 +89,9 @@ int main() {
                    "speedup-vs-seq", "ok"});
 
   auto run_xk = [](unsigned cores, int depth, std::uint64_t want) {
-    xk::Config cfg;
+    // from_env so topology/placement knobs (XK_TOPO, XK_PLACE, ...) shape
+    // this run like any production one.
+    xk::Config cfg = xk::Config::from_env();
     cfg.nworkers = cores;
     xk::Runtime rt(cfg);
     std::uint64_t r = 0;

@@ -62,6 +62,8 @@ std::vector<std::pair<std::string, std::uint64_t>> counter_set(
   return {
       {"steal_attempts", s.steal_attempts},
       {"steals_ok", s.steals_ok},
+      {"steals_local", s.steals_local},
+      {"steals_remote", s.steals_remote},
       {"steal_tasks", s.steal_tasks},
       {"combiner_rounds", s.combiner_rounds},
       {"requests_served", s.requests_served},
@@ -121,7 +123,10 @@ int main() {
   }
 
   for (unsigned cores : xkbench::core_counts()) {
-    xk::Config cfg;
+    // from_env so topology/placement knobs (XK_TOPO, XK_PLACE, ...) shape
+    // this run like any production one (the topo CI leg sets XK_TOPO and
+    // checks the steals_local/steals_remote split emitted below).
+    xk::Config cfg = xk::Config::from_env();
     cfg.nworkers = cores;
     xk::Runtime rt(cfg);
 

@@ -43,7 +43,7 @@ mkdir -p "$out_dir"
 
 table_benches=(fig1_fib fig2_cholesky_dense fig3_foreach fig6_epx_loops
                fig7_skyline fig8_epx_overall ablation_adaptive ablation_steal
-               micro_steal)
+               micro_steal micro_locality)
 
 if [[ $smoke -eq 1 ]]; then
   # Tiny instances: prove the binaries run and the JSON contract holds.
@@ -65,6 +65,8 @@ if [[ $smoke -eq 1 ]]; then
   export XKREPRO_STEAL_ROWS=8
   export XKREPRO_STEAL_STEPS=8
   export XKREPRO_STEAL_WORK=50
+  export XKREPRO_LOC_N=65536
+  export XKREPRO_LOC_PASSES=2
   gbench_flags=(--benchmark_repetitions=2 --benchmark_min_time=0.01)
 else
   gbench_flags=(--benchmark_repetitions=5)

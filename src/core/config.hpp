@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "support/cpu.hpp"
 
@@ -47,6 +48,29 @@ struct Config {
   /// runtime's Parker (bounded exponential sleep, woken on task publication).
   /// Must exceed steal_backoff; 0 disables parking (pure spin/yield).
   int park_threshold = 128;
+
+  /// Synthetic topology spec (XK_TOPO, "<nodes>x<cores>[x<smt>]"). Empty
+  /// defers to the XK_TOPO environment variable when set, else sysfs
+  /// discovery — mirroring nworkers = 0 → XK_NCPU, so directly-constructed
+  /// Configs (the test-suite idiom) still honor a CI-provided shape.
+  /// Malformed specs are ignored with a note.
+  std::string topo;
+
+  /// Explicit worker→cpu map (XK_CPUSET, Linux cpulist syntax: "0-3,8").
+  /// Worker i binds to the i-th listed cpu (wrapping); overrides the
+  /// placement policy. Empty defers to XK_CPUSET when set, else places by
+  /// policy.
+  std::string cpuset;
+
+  /// Placement policy (XK_PLACE): "compact" packs a NUMA node before
+  /// spilling to the next, "scatter" round-robins nodes. Empty defers to
+  /// XK_PLACE when set, else compact; unknown values fall back to compact.
+  std::string place;
+
+  /// Failed same-domain steal rounds before a thief escalates its victim
+  /// draw to remote locality domains (XK_STEAL_LOCAL_TRIES). 0 = never
+  /// prefer local (flat victim selection over all workers).
+  int steal_local_tries = 4;
 
   /// Builds a config from XK_* environment variables layered over defaults.
   static Config from_env();

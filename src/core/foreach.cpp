@@ -49,11 +49,13 @@ void ForeachShared::record_error(std::exception_ptr e) {
 
 namespace {
 
-/// Claims an unclaimed reserved slice into `w.interval`. Returns false when
-/// all slices are claimed.
-bool claim_reserved_slice(ForeachShared& sh, ForeachWork& w) {
+/// Tries to claim one unclaimed reserved slice into `w.interval`,
+/// restricted to slices homed to `domain` when `domain_only` is set.
+bool claim_slice_pass(ForeachShared& sh, ForeachWork& w, unsigned domain,
+                      bool domain_only) {
   for (auto& padded : sh.slices) {
     ForeachShared::Slice& s = padded.value;
+    if (domain_only && s.domain != domain) continue;
     if (s.taken.load(std::memory_order_relaxed)) continue;
     if (!s.taken.exchange(true, std::memory_order_acq_rel)) {
       w.interval.lk.lock();
@@ -64,6 +66,18 @@ bool claim_reserved_slice(ForeachShared& sh, ForeachWork& w) {
     }
   }
   return false;
+}
+
+/// Claims an unclaimed reserved slice into `w.interval`. Under the domain
+/// partition the claimer drains its own domain's remainder queue before
+/// going remote (the slices double as per-domain remainder queues); the
+/// flat partition keeps the original first-fit order. Returns false when
+/// all slices are claimed.
+bool claim_reserved_slice(ForeachShared& sh, ForeachWork& w, unsigned domain) {
+  if (sh.domain_mode && claim_slice_pass(sh, w, domain, /*domain_only=*/true)) {
+    return true;
+  }
+  return claim_slice_pass(sh, w, domain, /*domain_only=*/false);
 }
 
 /// Splitter-produced piece: owns a shared ref, runs the work loop, then
@@ -137,21 +151,21 @@ void foreach_run(ForeachWork& w, Worker& self) {
       self.stats().foreach_chunks++;
       continue;
     }
-    if (!claim_reserved_slice(sh, w)) break;
+    if (!claim_reserved_slice(sh, w, self.domain())) break;
   }
 }
 
-void foreach_splitter(void* state, SplitContext& sc) {
-  auto* w = static_cast<ForeachWork*>(state);
-  ForeachShared& sh = *w->shared;
-  if (sh.error.load(std::memory_order_acquire)) return;
+namespace {
 
-  // 1. Hand out reserved slices first (§II-E: "it grabs the reserved slice
-  //    if available").
+/// One splitter pass over the reserved slices; hands each claimed slice to
+/// a pending request. Restricted to `domain`-homed slices when asked.
+void split_reserved_pass(SplitContext& sc, ForeachShared& sh, unsigned domain,
+                         bool domain_only) {
   while (sc.size() > 0) {
     bool got = false;
     for (auto& padded : sh.slices) {
       ForeachShared::Slice& s = padded.value;
+      if (domain_only && s.domain != domain) continue;
       if (s.taken.load(std::memory_order_relaxed)) continue;
       if (!s.taken.exchange(true, std::memory_order_acq_rel)) {
         reply_piece(sc, sh, s.b, s.e);
@@ -161,6 +175,26 @@ void foreach_splitter(void* state, SplitContext& sc) {
     }
     if (!got) break;
   }
+}
+
+}  // namespace
+
+void foreach_splitter(void* state, SplitContext& sc) {
+  auto* w = static_cast<ForeachWork*>(state);
+  ForeachShared& sh = *w->shared;
+  if (sh.error.load(std::memory_order_acquire)) return;
+
+  // 1. Hand out reserved slices first (§II-E: "it grabs the reserved slice
+  //    if available"). The splitter runs on the combiner's thread, so its
+  //    domain is the domain the stolen pieces will (mostly) execute in:
+  //    under the domain partition, drain that domain's remainder queue
+  //    before pulling slices homed to other domains.
+  if (sh.domain_mode) {
+    Worker* combiner = this_worker();
+    const unsigned domain = combiner != nullptr ? combiner->domain() : 0u;
+    split_reserved_pass(sc, sh, domain, /*domain_only=*/true);
+  }
+  split_reserved_pass(sc, sh, 0, /*domain_only=*/false);
 
   // 2. Split this task's live interval into k+1 equal parts, one kept by
   //    the victim (§II-E aggregation-aware split).
@@ -173,32 +207,57 @@ void foreach_splitter(void* state, SplitContext& sc) {
   }
 }
 
-void foreach_execute(ForeachShared& sh, std::int64_t first, std::int64_t last) {
+void foreach_execute(ForeachShared& sh, std::int64_t first, std::int64_t last,
+                     ForeachPartition partition) {
   Worker& w = *this_worker();
-  const unsigned nw = w.runtime().nworkers();
+  Runtime& rt = w.runtime();
+  const unsigned nw = rt.nworkers();
 
   // Drain pending siblings first: the loop must not run concurrently with
   // program-order predecessors (OpenMP-like region semantics).
   sync();
 
   // Reserved slices: near-equal partition of [first, last), one per worker.
+  //
+  // Flat mode deals slices in worker-id order (the original scheme). Domain
+  // mode deals them in domain-grouped order instead, so each locality
+  // domain owns one contiguous sub-range of the iteration space
+  // (first-touch-friendly) and slice i is homed to worker i's domain —
+  // the per-domain remainder queues that claim_reserved_slice and the
+  // splitter drain locally first.
+  sh.domain_mode =
+      partition == ForeachPartition::kDomain ||
+      (partition == ForeachPartition::kAuto && rt.ndomains() > 1);
   sh.slices = std::vector<Padded<ForeachShared::Slice>>(nw);
+  std::vector<unsigned> deal_order(nw);
+  for (unsigned i = 0; i < nw; ++i) deal_order[i] = i;
+  if (sh.domain_mode) {
+    std::stable_sort(deal_order.begin(), deal_order.end(),
+                     [&](unsigned a, unsigned b) {
+                       return rt.worker(a).domain() < rt.worker(b).domain();
+                     });
+  }
   const std::int64_t total = last - first;
   std::int64_t pos = first;
   for (unsigned i = 0; i < nw; ++i) {
+    const unsigned slot = deal_order[i];
     const std::int64_t len =
         total / nw + (static_cast<std::int64_t>(i) < total % nw ? 1 : 0);
-    sh.slices[i]->b = pos;
-    sh.slices[i]->e = pos + len;
+    sh.slices[slot]->b = pos;
+    sh.slices[slot]->e = pos + len;
+    sh.slices[slot]->domain = sh.domain_mode ? rt.worker(slot).domain() : 0u;
     pos += len;
   }
 
-  // Root work: claims slice 0 up front.
+  // Root work: claims its own reserved slice up front (slice 0 in flat
+  // mode, preserving the original behavior; the caller's own domain-homed
+  // slice in domain mode).
+  const unsigned root_slot = sh.domain_mode ? w.id() : 0u;
   ForeachWork root;
   root.shared = &sh;
-  sh.slices[0]->taken.store(true, std::memory_order_relaxed);
-  root.interval.b = sh.slices[0]->b;
-  root.interval.e = sh.slices[0]->e;
+  sh.slices[root_slot]->taken.store(true, std::memory_order_relaxed);
+  root.interval.b = sh.slices[root_slot]->b;
+  root.interval.e = sh.slices[root_slot]->e;
   sh.outstanding.store(1, std::memory_order_relaxed);
 
   // Publish the adaptive root task in the current frame and run it through

@@ -30,10 +30,26 @@
 
 namespace xk {
 
+/// How the reserved slices partition the iteration space across workers:
+///  * kFlat   — one near-equal slice per worker in id order (the original
+///    topology-blind deal); any worker claims any unclaimed slice.
+///  * kDomain — workers are grouped by locality domain and each domain gets
+///    one contiguous sub-range (first-touch-friendly: a domain's workers
+///    initialize and re-traverse the same pages). The unclaimed slices of a
+///    domain form its remainder queue: workers and splitters exhaust their
+///    own domain's queue before taking from a remote one, so adaptive
+///    splitting stays domain-local until a domain runs dry.
+///  * kAuto   — kDomain when the runtime's placement spans more than one
+///    locality domain, kFlat otherwise (flat machines keep the old paths).
+enum class ForeachPartition { kAuto, kFlat, kDomain };
+
 struct ForeachOptions {
   /// Iterations per owner chunk pop; 0 = auto (total / (16 * workers),
   /// clamped to [1, 8192]).
   std::int64_t grain = 0;
+
+  /// Reserved-slice partition mode (see ForeachPartition).
+  ForeachPartition partition = ForeachPartition::kAuto;
 };
 
 namespace detail {
@@ -100,8 +116,10 @@ struct ForeachShared {
     std::atomic<bool> taken{false};
     std::int64_t b = 0;
     std::int64_t e = 0;
+    unsigned domain = 0;  ///< locality domain this slice is homed to
   };
   std::vector<Padded<Slice>> slices;  ///< reserved slices, one per worker
+  bool domain_mode = false;  ///< slices are domain-homed (ForeachPartition)
 
   void add_ref() { refs.fetch_add(1, std::memory_order_relaxed); }
   void release() {
@@ -130,7 +148,8 @@ void foreach_splitter(void* state, SplitContext& sc);
 
 /// Full protocol from the caller's thread (sync, adaptive root task,
 /// completion wait, scan barrier, error propagation).
-void foreach_execute(ForeachShared& sh, std::int64_t first, std::int64_t last);
+void foreach_execute(ForeachShared& sh, std::int64_t first, std::int64_t last,
+                     ForeachPartition partition);
 
 template <typename B>
 void invoke_body(B& body, std::int64_t lo, std::int64_t hi, unsigned wid) {
@@ -170,7 +189,8 @@ void parallel_for(std::int64_t first, std::int64_t last, Body&& body,
                   ? opt.grain
                   : std::max<std::int64_t>(
                         1, std::min<std::int64_t>(8192, sh->total / (16 * nw)));
-  detail::foreach_execute(*sh, first, last);  // releases the caller's ref
+  detail::foreach_execute(*sh, first, last,
+                          opt.partition);  // releases the caller's ref
 }
 
 /// Element-wise convenience: body(i) per index.

@@ -62,6 +62,12 @@ class Frame {
     return ntasks_.load(std::memory_order_relaxed);
   }
 
+  /// Owner-only: true while no task was ever published in this incarnation.
+  /// A pristine frame is invisible to thieves in every way that matters (a
+  /// scanner reads size 0 and stops), which lets Worker::pop_frame skip the
+  /// seq_cst Dekker round when popping it.
+  bool pristine() const { return ntasks_.load(std::memory_order_relaxed) == 0; }
+
   /// Sequential reader over published descriptors; valid for indexes below a
   /// previously loaded size_acquire().
   class Iterator {

@@ -1,5 +1,6 @@
 #include "core/runtime.hpp"
 
+#include <cstdio>
 #include <stdexcept>
 
 #include "support/cpu.hpp"
@@ -21,11 +22,42 @@ Config Config::from_env() {
       "XK_STEAL_BATCH", static_cast<std::int64_t>(cfg.steal_batch)));
   cfg.park_threshold =
       static_cast<int>(env_int("XK_PARK_THRESHOLD", cfg.park_threshold));
+  cfg.topo = env_string("XK_TOPO").value_or(cfg.topo);
+  cfg.cpuset = env_string("XK_CPUSET").value_or(cfg.cpuset);
+  cfg.place = env_string("XK_PLACE").value_or(cfg.place);
+  cfg.steal_local_tries = static_cast<int>(
+      env_int("XK_STEAL_LOCAL_TRIES", cfg.steal_local_tries));
   return cfg;
 }
 
 Runtime::Runtime(Config cfg) : cfg_(cfg) {
   const unsigned nw = cfg_.workers();
+
+  // Topology + placement first: workers snapshot their domain and victim
+  // order from placement_ in their constructors. Empty topo/place fields
+  // defer to the environment (see config.hpp), and malformed knob values
+  // degrade to discovery/compact rather than failing the run (the same
+  // policy env_int applies to numeric knobs).
+  const std::string topo_spec =
+      !cfg_.topo.empty() ? cfg_.topo : env_string("XK_TOPO").value_or("");
+  topo_ = Topology::from_spec_or_discover(topo_spec);
+  const std::string place_name =
+      !cfg_.place.empty() ? cfg_.place : env_string("XK_PLACE").value_or("");
+  const PlacePolicy policy =
+      parse_place_policy(place_name).value_or(PlacePolicy::kCompact);
+  placement_ = Placement::compute(topo_, nw, policy);
+  const std::string cpuset =
+      !cfg_.cpuset.empty() ? cfg_.cpuset
+                           : env_string("XK_CPUSET").value_or("");
+  if (!cpuset.empty()) {
+    if (auto cpus = parse_cpulist(cpuset)) {
+      placement_ = Placement::from_cpuset(topo_, *cpus, nw);
+    } else {
+      std::fprintf(stderr, "xk: ignoring malformed XK_CPUSET=%s\n",
+                   cpuset.c_str());
+    }
+  }
+
   workers_.reserve(nw);
   for (unsigned i = 0; i < nw; ++i) {
     workers_.push_back(std::make_unique<Worker>(*this, i, nw));
@@ -49,7 +81,7 @@ Runtime::~Runtime() {
 void Runtime::worker_main(unsigned index) {
   Worker& w = *workers_[index];
   detail::set_this_worker(&w);
-  if (cfg_.bind_threads) bind_self_to_core(index);
+  if (cfg_.bind_threads) bind_self_to_core(placement_.slots[index].cpu_os_id);
   std::uint64_t seen = 0;
   for (;;) {
     {
@@ -81,7 +113,7 @@ void Runtime::begin() {
   }
   Worker& w0 = *workers_[0];
   detail::set_this_worker(&w0);
-  if (cfg_.bind_threads) bind_self_to_core(0);
+  if (cfg_.bind_threads) bind_self_to_core(placement_.slots[0].cpu_os_id);
   w0.push_frame();  // root frame
   section_open_ = true;
   {

@@ -27,6 +27,7 @@
 #include "core/task.hpp"
 #include "core/worker.hpp"
 #include "support/parker.hpp"
+#include "topo/topology.hpp"
 
 namespace xk {
 
@@ -41,6 +42,16 @@ class Runtime {
   const Config& config() const { return cfg_; }
   unsigned nworkers() const { return static_cast<unsigned>(workers_.size()); }
   Worker& worker(unsigned i) { return *workers_[i]; }
+
+  /// The machine shape this runtime was placed on (real sysfs discovery or
+  /// the XK_TOPO synthetic override) and the worker→(cpu, domain) map
+  /// derived from it. Computed once at construction; read-only afterwards.
+  const Topology& topology() const { return topo_; }
+  const Placement& placement() const { return placement_; }
+
+  /// Distinct locality domains actually occupied by workers (1 on a flat
+  /// machine). The foreach auto-partition mode keys off this.
+  unsigned ndomains() const { return placement_.ndomains; }
 
   /// Opens a parallel section: registers the caller as worker 0, pushes the
   /// root frame and wakes the pool. Calls cannot nest.
@@ -124,6 +135,8 @@ class Runtime {
   static constexpr std::size_t kCwLocks = 64;
 
   Config cfg_;
+  Topology topo_;
+  Placement placement_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 

@@ -17,6 +17,8 @@ struct WorkerStats {
   std::uint64_t steal_attempts = 0;    ///< requests posted
   std::uint64_t steals_ok = 0;         ///< requests answered with work
   std::uint64_t steal_tasks = 0;       ///< tasks received across all replies
+  std::uint64_t steals_local = 0;      ///< successful steals from a same-domain victim
+  std::uint64_t steals_remote = 0;     ///< successful steals across a domain boundary
   std::uint64_t steal_reclaims = 0;    ///< claimed-unstarted tasks taken back at a join
   std::uint64_t combiner_rounds = 0;   ///< times this worker was the combiner
   std::uint64_t requests_served = 0;   ///< replies produced as combiner
@@ -40,6 +42,8 @@ struct WorkerStats {
     steal_attempts += o.steal_attempts;
     steals_ok += o.steals_ok;
     steal_tasks += o.steal_tasks;
+    steals_local += o.steals_local;
+    steals_remote += o.steals_remote;
     steal_reclaims += o.steal_reclaims;
     combiner_rounds += o.combiner_rounds;
     requests_served += o.requests_served;
@@ -62,6 +66,7 @@ struct WorkerStats {
 inline std::ostream& operator<<(std::ostream& os, const WorkerStats& s) {
   os << "spawned=" << s.tasks_spawned << " run_owner=" << s.tasks_run_owner
      << " run_thief=" << s.tasks_run_thief << " steals_ok=" << s.steals_ok
+     << " local=" << s.steals_local << " remote=" << s.steals_remote
      << " attempts=" << s.steal_attempts << " combiner=" << s.combiner_rounds
      << " aggregated=" << s.requests_aggregated
      << " splits=" << s.splitter_calls << " rl_pops=" << s.readylist_pops

@@ -5,6 +5,7 @@
 #include "core/worker.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
 #include <stdexcept>
 #include <vector>
@@ -44,6 +45,16 @@ Worker::Worker(Runtime& rt, unsigned id, unsigned nworkers)
   if (park_threshold_ > 0 && park_threshold_ <= backoff_limit_) {
     park_threshold_ = backoff_limit_ + 1;
   }
+  // Locality snapshot: Runtime computes the placement before constructing
+  // any worker, so the victim ordering is stable for the runtime's life.
+  const Placement& pl = rt.placement();
+  if (id_ < pl.slots.size()) domain_ = pl.slots[id_].domain;
+  VictimOrder vo = steal_victim_order(pl, id_);
+  victim_order_ = std::move(vo.order);
+  nlocal_victims_ = vo.nlocal;
+  steal_local_tries_ = rt.config().steal_local_tries;
+  deterministic_victims_ = pl.deterministic;
+  victim_rr_ = id_;  // stagger rotating thieves off a common first victim
 }
 
 Worker::~Worker() = default;
@@ -69,6 +80,26 @@ Frame& Worker::push_frame() {
 void Worker::pop_frame() {
   const std::uint32_t d = depth_.load(std::memory_order_relaxed);
   Frame& f = frames_[d - 1];
+  if (f.pristine()) {
+    // Fast path for pristine leaf frames (never pushed to in this
+    // incarnation): a combiner that races with this pop can only read the
+    // frame's atomics (size 0 both before and after the reset, epoch,
+    // null ready_list) — it never dereferences chunk or arena memory,
+    // because no task was ever published. So the store-buffering round the
+    // seq_cst Dekker pair exists for has nothing to protect, and the
+    // shrink can be a plain release (ordering the pop before this stack
+    // slot's next push_frame publication). A scanner's cached entry list
+    // for this frame is necessarily empty, so even a stale-epoch read
+    // cannot resurrect dangling pointers — worst case is one spurious
+    // cache rebuild. run_task pushes a frame per executed task, so every
+    // leaf task (the bulk of a fork-join tree) skips a full fence here —
+    // the ROADMAP-named spawn-path cost.
+    assert(f.ready_list.load(std::memory_order_relaxed) == nullptr);
+    assert(!f.steal_claimed());
+    depth_.store(d - 1, std::memory_order_release);
+    f.reset();
+    return;
+  }
   // seq_cst on both sides of the Dekker handshake (store-buffering litmus):
   // a combiner sets scanning_ (seq_cst) before reading depth_ (seq_cst).
   // Either it sees the decremented depth and never touches this frame, or
@@ -264,24 +295,75 @@ void Worker::wait_and_finalize(Task* t, Frame& f) {
 // Thief side: request posting, combining, readiness.
 // ---------------------------------------------------------------------------
 
+Worker* Worker::pick_victim(bool& local_phase) {
+  const auto nv = static_cast<unsigned>(victim_order_.size());
+  local_phase = nlocal_victims_ != 0 && nlocal_victims_ != nv &&
+                steal_local_tries_ > 0 && local_fails_ < steal_local_tries_;
+  // The draw never lands on this worker: victim_order_ excludes self by
+  // construction, so the first probe is always a real victim (the old flat
+  // draw could burn its start slot on self and fall through to the busy
+  // scan). Synthetic topologies rotate deterministically so tests can
+  // predict the probe sequence; real machines keep the random start.
+  const unsigned turn = deterministic_victims_
+                            ? victim_rr_++
+                            : static_cast<unsigned>(rng_.next());
+  if (steal_local_tries_ <= 0) {
+    // Local preference disabled (XK_STEAL_LOCAL_TRIES=0): one flat draw
+    // over every victim, the PR 2 ablation baseline.
+    const unsigned start = turn % nv;
+    for (unsigned k = 0; k < nv; ++k) {
+      Worker& v = rt_.worker(victim_order_[(start + k) % nv]);
+      if (v.looks_busy()) return &v;
+    }
+    return nullptr;
+  }
+  // Tier 1: the local tier, rotated start within it. Probing tiers in
+  // order (rather than one draw over the whole vector) is what makes the
+  // preference strict: a busy same-domain victim always beats a remote
+  // one, even after escalation.
+  if (nlocal_victims_ != 0) {
+    const unsigned start = turn % nlocal_victims_;
+    for (unsigned k = 0; k < nlocal_victims_; ++k) {
+      Worker& v =
+          rt_.worker(victim_order_[(start + k) % nlocal_victims_]);
+      if (v.looks_busy()) return &v;
+    }
+  }
+  if (local_phase) return nullptr;  // escalation not yet earned
+  // Tier 2: remote domains, rotated start within the remote slice.
+  const unsigned nremote = nv - nlocal_victims_;
+  if (nremote == 0) return nullptr;
+  const unsigned start = turn % nremote;
+  for (unsigned k = 0; k < nremote; ++k) {
+    Worker& v = rt_.worker(
+        victim_order_[nlocal_victims_ + (start + k) % nremote]);
+    if (v.looks_busy()) return &v;
+  }
+  return nullptr;
+}
+
 bool Worker::try_steal_once() {
   const unsigned nw = rt_.nworkers();
   if (nw < 2) return false;
   // Helping while suspended nests the stolen subtree on this C++ stack;
   // refuse new work near the frame-stack ceiling and just wait instead.
   if (depth_.load(std::memory_order_relaxed) > kMaxDepth - 64) return false;
-  // Random starting point, first victim that looks busy.
-  const auto start = static_cast<unsigned>(rng_.next_below(nw));
-  Worker* victim = nullptr;
-  for (unsigned k = 0; k < nw; ++k) {
-    const unsigned v = (start + k) % nw;
-    if (v == id_) continue;
-    if (rt_.worker(v).looks_busy()) {
-      victim = &rt_.worker(v);
-      break;
+  bool local_phase = false;
+  Worker* victim = pick_victim(local_phase);
+  if (victim == nullptr) {
+    // An idle local tier counts as a failed local round: steal_local_tries
+    // such rounds escalate the draw to remote domains (work may all be
+    // remote while this domain drains). Each failed round costs a yield —
+    // without it the escalation budget burns in a handful of relaxed loads
+    // and the local preference is meaningless; with it, a runnable peer
+    // that is about to publish (or a closer thief racing for the same
+    // remote victim) gets the cpu first.
+    if (local_phase) {
+      ++local_fails_;
+      std::this_thread::yield();
     }
+    return false;
   }
-  if (victim == nullptr) return false;
   stats_->steal_attempts++;
 
   StealRequest& slot = victim->request_slot(id_);
@@ -330,6 +412,13 @@ bool Worker::try_steal_once() {
       slot.status.store(StealRequest::kEmpty, std::memory_order_release);
       stats_->steals_ok++;
       stats_->steal_tasks += won;
+      if (victim->domain() == domain_) {
+        stats_->steals_local++;
+      } else {
+        stats_->steals_remote++;
+      }
+      // Any success re-engages the local-first preference.
+      local_fails_ = 0;
       for (std::uint32_t i = 0; i < won; ++i) {
         execute_reply(tasks[i], frames[i]);
       }
@@ -337,6 +426,7 @@ bool Worker::try_steal_once() {
     }
     if (s == StealRequest::kFailed) {
       slot.status.store(StealRequest::kEmpty, std::memory_order_relaxed);
+      if (local_phase) ++local_fails_;
       return false;
     }
     if (victim->steal_mutex_.try_lock()) {

@@ -28,6 +28,7 @@
 #include "support/cache.hpp"
 #include "support/parker.hpp"
 #include "support/rng.hpp"
+#include "topo/topology.hpp"
 
 namespace xk {
 
@@ -108,6 +109,17 @@ class Worker {
   Runtime& runtime() { return rt_; }
   WorkerStats& stats() { return *stats_; }
 
+  /// Locality domain (NUMA node) this worker was placed in. Thieves prefer
+  /// same-domain victims (see try_steal_once); the foreach domain partition
+  /// keys slices off it.
+  unsigned domain() const { return domain_; }
+
+  /// Hierarchical victim ordering snapshot (tests/diagnostics): every other
+  /// worker, same-domain first. The first nlocal_victims() entries are the
+  /// local tier. Never contains this worker's own id.
+  const std::vector<unsigned>& victim_order() const { return victim_order_; }
+  unsigned nlocal_victims() const { return nlocal_victims_; }
+
   // ---- owner-side execution -------------------------------------------
 
   /// Current (deepest) frame; valid only while depth > 0.
@@ -187,9 +199,10 @@ class Worker {
     }
   }
 
-  /// One steal attempt: pick a victim, post a request, spin until it is
-  /// served or failed (possibly becoming the combiner). Returns true when
-  /// work was obtained *and executed*.
+  /// One steal attempt: pick a victim (same-domain first, escalating to
+  /// remote domains after steal_local_tries failed local rounds), post a
+  /// request, spin until it is served or failed (possibly becoming the
+  /// combiner). Returns true when work was obtained *and executed*.
   bool try_steal_once();
 
   /// Suspends on a task claimed by another worker until it terminates,
@@ -228,6 +241,15 @@ class Worker {
 
  private:
   friend class Runtime;
+
+  /// Two-level victim draw over victim_order_: while local_fails_ has not
+  /// exhausted steal_local_tries_ the draw spans only the local tier;
+  /// afterwards it spans every victim (local tier still first in the
+  /// order). Returns the first busy-looking candidate from a random (or,
+  /// under a synthetic topology, deterministically rotating) start, or
+  /// nullptr when nothing looks busy. Sets `local_phase` to whether this
+  /// draw was restricted to the local tier.
+  Worker* pick_victim(bool& local_phase);
 
   /// Serves every posted request in `victim`'s box (only its own when
   /// aggregation is off). Caller must hold the victim's steal mutex and have
@@ -284,6 +306,16 @@ class Worker {
   int park_threshold_;
   std::size_t steal_batch_;
   bool reclaim_enabled_;  ///< join-side reclaim; off under renaming (see wait_and_finalize)
+
+  // Locality-aware victim selection (snapshotted from Runtime::placement()
+  // at construction; immutable afterwards).
+  unsigned domain_ = 0;
+  std::vector<unsigned> victim_order_;  ///< local tier first, self excluded
+  unsigned nlocal_victims_ = 0;
+  int steal_local_tries_ = 0;           ///< failed local rounds before escalating
+  bool deterministic_victims_ = false;  ///< synthetic topo: rotate, don't draw
+  unsigned victim_rr_ = 0;              ///< rotation cursor (deterministic mode)
+  int local_fails_ = 0;                 ///< consecutive failed local-tier rounds
   // The runtime's shared parkers (cached: Runtime is incomplete here).
   Parker* work_parker_;
   Parker* progress_parker_;

@@ -1,0 +1,352 @@
+#include "topo/topology.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <utility>
+
+#include "support/cpu.hpp"
+#include "support/env.hpp"
+
+namespace xk {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Strict unsigned parse of a whole string (no sign, no trailing junk).
+std::optional<unsigned> parse_unsigned(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  unsigned long value = 0;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+    value = value * 10 + static_cast<unsigned long>(c - '0');
+    if (value > 0xffffffffUL) return std::nullopt;
+  }
+  return static_cast<unsigned>(value);
+}
+
+/// First line of a sysfs attribute file, whitespace-trimmed.
+std::optional<std::string> read_line(const fs::path& p) {
+  std::ifstream in(p);
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;
+  while (!line.empty() &&
+         std::isspace(static_cast<unsigned char>(line.back()))) {
+    line.pop_back();
+  }
+  return line;
+}
+
+std::optional<unsigned> read_unsigned(const fs::path& p) {
+  auto line = read_line(p);
+  if (!line) return std::nullopt;
+  return parse_unsigned(*line);
+}
+
+/// The numeric suffix of a directory entry named `<prefix><N>`.
+std::optional<unsigned> dir_index(const fs::directory_entry& e,
+                                  const char* prefix) {
+  const std::string name = e.path().filename().string();
+  const std::size_t plen = std::char_traits<char>::length(prefix);
+  if (name.compare(0, plen, prefix) != 0) return std::nullopt;
+  return parse_unsigned(name.substr(plen));
+}
+
+}  // namespace
+
+std::optional<std::vector<unsigned>> parse_cpulist(const std::string& list) {
+  // Linux caps NR_CPUS at 8192; anything wider is a typo, and expanding it
+  // eagerly below must not be able to exhaust memory (env knobs degrade,
+  // they never abort the process).
+  constexpr unsigned kMaxCpuId = 8192;
+  std::vector<unsigned> out;
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    std::size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string tok = list.substr(pos, comma - pos);
+    const std::size_t dash = tok.find('-');
+    if (dash == std::string::npos) {
+      const auto v = parse_unsigned(tok);
+      if (!v || *v >= kMaxCpuId) return std::nullopt;
+      out.push_back(*v);
+    } else {
+      const auto lo = parse_unsigned(tok.substr(0, dash));
+      const auto hi = parse_unsigned(tok.substr(dash + 1));
+      if (!lo || !hi || *lo > *hi || *hi >= kMaxCpuId) return std::nullopt;
+      for (unsigned v = *lo; v <= *hi; ++v) out.push_back(v);
+    }
+    pos = comma + 1;
+  }
+  if (out.empty()) return std::nullopt;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Topology Topology::build(std::vector<RawCpu> raw, bool synthetic) {
+  Topology t;
+  t.synthetic_ = synthetic;
+  if (raw.empty()) return t;
+
+  // Canonical order: (node, package, core_id, os_id). The os_id tiebreak
+  // makes SMT ranks deterministic (lowest os id = sibling 0, the Linux
+  // convention for thread_siblings_list).
+  std::sort(raw.begin(), raw.end(), [](const RawCpu& a, const RawCpu& b) {
+    return std::tie(a.node, a.package, a.core_id, a.os_id) <
+           std::tie(b.node, b.package, b.core_id, b.os_id);
+  });
+
+  std::map<std::pair<unsigned, unsigned>, unsigned> core_index;
+  std::map<unsigned, unsigned> package_seen;
+  unsigned max_node = 0;
+  for (const RawCpu& r : raw) {
+    TopoCpu c;
+    c.os_id = r.os_id;
+    c.node = r.node;
+    c.package = r.package;
+    const auto key = std::make_pair(r.package, r.core_id);
+    c.core = core_index.emplace(key, static_cast<unsigned>(core_index.size()))
+                 .first->second;
+    package_seen.emplace(r.package, 0u);
+    max_node = std::max(max_node, r.node);
+    t.cpus_.push_back(c);
+  }
+  // SMT rank = position within the canonical run of the same core.
+  for (std::size_t i = 0; i < t.cpus_.size(); ++i) {
+    t.cpus_[i].smt =
+        (i > 0 && t.cpus_[i - 1].core == t.cpus_[i].core)
+            ? t.cpus_[i - 1].smt + 1
+            : 0u;
+  }
+  t.ncores_ = static_cast<unsigned>(core_index.size());
+  t.npackages_ = static_cast<unsigned>(package_seen.size());
+  t.node_cpus_.assign(max_node + 1, {});
+  for (unsigned i = 0; i < t.ncpus(); ++i) {
+    t.node_cpus_[t.cpus_[i].node].push_back(i);
+  }
+  return t;
+}
+
+Topology Topology::flat(unsigned ncpus) {
+  if (ncpus == 0) ncpus = hardware_cores();
+  std::vector<RawCpu> raw;
+  raw.reserve(ncpus);
+  for (unsigned i = 0; i < ncpus; ++i) raw.push_back({i, 0, i, 0});
+  return build(std::move(raw), /*synthetic=*/false);
+}
+
+Topology Topology::synthetic(unsigned nodes, unsigned cores, unsigned smt) {
+  nodes = std::max(nodes, 1u);
+  cores = std::max(cores, 1u);
+  smt = std::max(smt, 1u);
+  std::vector<RawCpu> raw;
+  raw.reserve(static_cast<std::size_t>(nodes) * cores * smt);
+  unsigned os = 0;
+  for (unsigned n = 0; n < nodes; ++n) {
+    for (unsigned c = 0; c < cores; ++c) {
+      for (unsigned s = 0; s < smt; ++s) {
+        raw.push_back({os++, n, n * cores + c, n});
+      }
+    }
+  }
+  return build(std::move(raw), /*synthetic=*/true);
+}
+
+std::optional<Topology> Topology::parse_spec(const std::string& spec) {
+  unsigned dims[3] = {0, 0, 1};
+  std::size_t ndims = 0;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t x = spec.find('x', pos);
+    if (x == std::string::npos) x = spec.size();
+    if (ndims >= 3) return std::nullopt;
+    const auto v = parse_unsigned(spec.substr(pos, x - pos));
+    if (!v || *v == 0) return std::nullopt;
+    dims[ndims++] = *v;
+    if (x == spec.size()) break;
+    pos = x + 1;
+  }
+  if (ndims < 2) return std::nullopt;
+  return synthetic(dims[0], dims[1], dims[2]);
+}
+
+Topology Topology::discover(const std::string& sysfs_root) {
+  std::error_code ec;
+  const fs::path cpu_root = fs::path(sysfs_root) / "devices/system/cpu";
+
+  // Pass 1: every cpuN with a topology/ directory is a visible cpu.
+  std::vector<RawCpu> raw;
+  for (const auto& e : fs::directory_iterator(cpu_root, ec)) {
+    const auto idx = dir_index(e, "cpu");
+    if (!idx) continue;
+    const fs::path topo_dir = e.path() / "topology";
+    if (!fs::is_directory(topo_dir, ec)) continue;
+    RawCpu r;
+    r.os_id = *idx;
+    r.package = read_unsigned(topo_dir / "physical_package_id").value_or(0);
+    r.core_id = read_unsigned(topo_dir / "core_id").value_or(*idx);
+    r.node = 0;  // filled from the node tree below
+    raw.push_back(r);
+  }
+  if (raw.empty()) return flat();
+
+  // Pass 2: node*/cpulist maps cpus to NUMA nodes; cpus not claimed by any
+  // node stay in node 0 (also the no-node-tree single-domain case).
+  const fs::path node_root = fs::path(sysfs_root) / "devices/system/node";
+  for (const auto& e : fs::directory_iterator(node_root, ec)) {
+    const auto idx = dir_index(e, "node");
+    if (!idx) continue;
+    const auto line = read_line(e.path() / "cpulist");
+    if (!line) continue;
+    const auto cpus = parse_cpulist(*line);
+    if (!cpus) continue;
+    for (RawCpu& r : raw) {
+      if (std::binary_search(cpus->begin(), cpus->end(), r.os_id)) {
+        r.node = *idx;
+      }
+    }
+  }
+  return build(std::move(raw), /*synthetic=*/false);
+}
+
+Topology Topology::from_spec_or_discover(const std::string& spec) {
+  if (!spec.empty()) {
+    if (auto t = parse_spec(spec)) return *t;
+    std::fprintf(stderr, "xk: ignoring malformed XK_TOPO=%s\n", spec.c_str());
+  }
+  return discover();
+}
+
+std::optional<unsigned> Topology::index_of_os_id(unsigned os_id) const {
+  for (unsigned i = 0; i < ncpus(); ++i) {
+    if (cpus_[i].os_id == os_id) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<PlacePolicy> parse_place_policy(const std::string& name) {
+  std::string v = name;
+  std::transform(v.begin(), v.end(), v.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (v == "compact") return PlacePolicy::kCompact;
+  if (v == "scatter") return PlacePolicy::kScatter;
+  return std::nullopt;
+}
+
+Placement Placement::compute(const Topology& topo, unsigned nworkers,
+                             PlacePolicy policy) {
+  Placement p;
+  p.deterministic = topo.is_synthetic();
+  if (topo.ncpus() == 0 || nworkers == 0) {
+    p.slots.assign(nworkers, Slot{});
+    return p;
+  }
+
+  // Per-node fill order: distinct cores before their SMT siblings, so a
+  // worker count at or below the core count never doubles up a core (and
+  // the default compact placement on a flat SMT machine reduces to the old
+  // worker-i -> cpu-i mapping, where Linux enumerates distinct cores
+  // first).
+  std::vector<std::vector<unsigned>> per_node;
+  for (unsigned n = 0; n < topo.nnodes(); ++n) {
+    std::vector<unsigned> cpus = topo.node_cpus(n);
+    std::stable_sort(cpus.begin(), cpus.end(), [&](unsigned a, unsigned b) {
+      return topo.cpu(a).smt < topo.cpu(b).smt;
+    });
+    if (!cpus.empty()) per_node.push_back(std::move(cpus));
+  }
+
+  // Fill order over dense cpu indexes: compact concatenates the node fills
+  // (pack node 0 before spilling into node 1), scatter deals one cpu per
+  // node round-robin.
+  std::vector<unsigned> order;
+  order.reserve(topo.ncpus());
+  if (policy == PlacePolicy::kCompact) {
+    for (const std::vector<unsigned>& cpus : per_node) {
+      order.insert(order.end(), cpus.begin(), cpus.end());
+    }
+  } else {
+    std::vector<std::size_t> cursor(per_node.size(), 0);
+    while (order.size() < topo.ncpus()) {
+      for (std::size_t n = 0; n < per_node.size(); ++n) {
+        if (cursor[n] < per_node[n].size()) {
+          order.push_back(per_node[n][cursor[n]++]);
+        }
+      }
+    }
+  }
+
+  p.slots.resize(nworkers);
+  for (unsigned w = 0; w < nworkers; ++w) {
+    const TopoCpu& c = topo.cpu(order[w % order.size()]);
+    p.slots[w] = {c.os_id, c.node};
+  }
+  std::vector<unsigned> domains;
+  for (const Slot& s : p.slots) domains.push_back(s.domain);
+  std::sort(domains.begin(), domains.end());
+  domains.erase(std::unique(domains.begin(), domains.end()), domains.end());
+  p.ndomains = static_cast<unsigned>(domains.size());
+  return p;
+}
+
+Placement Placement::from_cpuset(const Topology& topo,
+                                 const std::vector<unsigned>& os_ids,
+                                 unsigned nworkers) {
+  Placement p;
+  p.deterministic = topo.is_synthetic();
+  p.slots.resize(nworkers);
+  if (os_ids.empty()) return p;
+  for (unsigned w = 0; w < nworkers; ++w) {
+    const unsigned os = os_ids[w % os_ids.size()];
+    unsigned domain = 0;
+    if (auto idx = topo.index_of_os_id(os)) domain = topo.cpu(*idx).node;
+    p.slots[w] = {os, domain};
+  }
+  std::vector<unsigned> domains;
+  for (const Slot& s : p.slots) domains.push_back(s.domain);
+  std::sort(domains.begin(), domains.end());
+  domains.erase(std::unique(domains.begin(), domains.end()), domains.end());
+  p.ndomains = static_cast<unsigned>(domains.size());
+  return p;
+}
+
+VictimOrder steal_victim_order(const Placement& placement, unsigned self) {
+  VictimOrder vo;
+  const auto nw = static_cast<unsigned>(placement.slots.size());
+  if (nw < 2 || self >= nw) return vo;
+  const unsigned home = placement.slots[self].domain;
+
+  // Local tier: same-domain workers, ascending id rotated to start just
+  // after self (so two local thieves don't hammer the same first victim).
+  for (unsigned k = 1; k < nw; ++k) {
+    const unsigned w = (self + k) % nw;
+    if (placement.slots[w].domain == home) vo.order.push_back(w);
+  }
+  vo.nlocal = static_cast<unsigned>(vo.order.size());
+
+  // Remote tier: group by domain, domains ascending starting just above
+  // self's (wrapping), ids ascending within a domain.
+  std::vector<unsigned> domains;
+  for (const Placement::Slot& s : placement.slots) {
+    if (s.domain != home) domains.push_back(s.domain);
+  }
+  std::sort(domains.begin(), domains.end());
+  domains.erase(std::unique(domains.begin(), domains.end()), domains.end());
+  std::stable_partition(domains.begin(), domains.end(),
+                        [&](unsigned d) { return d > home; });
+  for (unsigned d : domains) {
+    for (unsigned w = 0; w < nw; ++w) {
+      if (w != self && placement.slots[w].domain == d) vo.order.push_back(w);
+    }
+  }
+  return vo;
+}
+
+}  // namespace xk

@@ -336,10 +336,95 @@ TEST(Stats, AggregationAccumulates) {
   a.steals_ok = 1;
   b.tasks_spawned = 4;
   b.renames = 2;
+  b.steals_local = 5;
+  b.steals_remote = 1;
   a += b;
   EXPECT_EQ(a.tasks_spawned, 7u);
   EXPECT_EQ(a.steals_ok, 1u);
   EXPECT_EQ(a.renames, 2u);
+  EXPECT_EQ(a.steals_local, 5u);
+  EXPECT_EQ(a.steals_remote, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical (locality-aware) stealing.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void counter_fib(std::uint64_t* r, int n) {
+  if (n < 2) {
+    *r = static_cast<std::uint64_t>(n);
+    return;
+  }
+  std::uint64_t r1 = 0, r2 = 0;
+  xk::spawn(counter_fib, xk::write(&r1), n - 1);
+  counter_fib(&r2, n - 2);
+  xk::sync();
+  *r = r1 + r2;
+}
+
+}  // namespace
+
+TEST(TopoSteal, WorkersSnapshotLocalBeforeRemoteOrder) {
+  xk::Config cfg;
+  cfg.nworkers = 4;
+  cfg.topo = "2x2";      // two domains of two cores
+  cfg.place = "compact";  // pin: the domain assertions below assume it
+  xk::Runtime rt(cfg);
+  ASSERT_EQ(rt.ndomains(), 2u);
+  for (unsigned i = 0; i < 4; ++i) {
+    xk::Worker& w = rt.worker(i);
+    EXPECT_EQ(w.domain(), i / 2) << i;
+    ASSERT_EQ(w.victim_order().size(), 3u) << i;
+    EXPECT_EQ(w.nlocal_victims(), 1u) << i;
+    // Local tier strictly precedes every remote entry; self never appears.
+    for (unsigned k = 0; k < w.victim_order().size(); ++k) {
+      const unsigned v = w.victim_order()[k];
+      EXPECT_NE(v, i);
+      const bool local = rt.worker(v).domain() == w.domain();
+      EXPECT_EQ(local, k < w.nlocal_victims()) << "worker " << i << " k " << k;
+    }
+  }
+}
+
+TEST(TopoSteal, LocalRemoteCountersAccountForEverySteal) {
+  xk::Config cfg;
+  cfg.nworkers = 4;
+  cfg.topo = "2x2";
+  xk::Runtime rt(cfg);
+  // On a 1-core CI box the whole tree can drain before any pool worker is
+  // ever scheduled; rerun (accumulating counters) until a steal happened.
+  xk::WorkerStats s;
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    std::uint64_t r = 0;
+    rt.run([&] {
+      counter_fib(&r, 24);
+      xk::sync();
+    });
+    EXPECT_EQ(r, 46368u);
+    s = rt.stats_snapshot();
+    if (s.steals_ok > 0) break;
+  }
+  // Every successful steal is attributed to exactly one tier.
+  EXPECT_EQ(s.steals_ok, s.steals_local + s.steals_remote);
+  EXPECT_GT(s.steals_ok, 0u);
+}
+
+TEST(TopoSteal, FlatMachineCountsEverythingLocal) {
+  xk::Config cfg;
+  cfg.nworkers = 4;
+  cfg.topo = "1x4";  // one domain: the flat draw, no remote tier
+  xk::Runtime rt(cfg);
+  ASSERT_EQ(rt.ndomains(), 1u);
+  std::uint64_t r = 0;
+  rt.run([&] {
+    counter_fib(&r, 20);
+    xk::sync();
+  });
+  const xk::WorkerStats s = rt.stats_snapshot();
+  EXPECT_EQ(s.steals_remote, 0u);
+  EXPECT_EQ(s.steals_ok, s.steals_local);
 }
 
 }  // namespace

@@ -1,0 +1,334 @@
+// Unit tests of the topology subsystem: cpulist parsing, synthetic XK_TOPO
+// shapes, sysfs discovery against real-format fixture trees written to a
+// temp dir, placement policies, and the hierarchical victim ordering.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "support/cpu.hpp"
+#include "topo/topology.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// cpulist parsing.
+// ---------------------------------------------------------------------------
+
+TEST(CpuList, SingleAndRanges) {
+  auto v = xk::parse_cpulist("0-3,8,10-11");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, (std::vector<unsigned>{0, 1, 2, 3, 8, 10, 11}));
+}
+
+TEST(CpuList, SortsAndDeduplicates) {
+  auto v = xk::parse_cpulist("5,1,3-5,1");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, (std::vector<unsigned>{1, 3, 4, 5}));
+}
+
+TEST(CpuList, Malformed) {
+  EXPECT_FALSE(xk::parse_cpulist("").has_value());
+  EXPECT_FALSE(xk::parse_cpulist("a").has_value());
+  EXPECT_FALSE(xk::parse_cpulist("3-1").has_value());
+  EXPECT_FALSE(xk::parse_cpulist("1,,2").has_value());
+  EXPECT_FALSE(xk::parse_cpulist("1-").has_value());
+  EXPECT_FALSE(xk::parse_cpulist("-2").has_value());
+  // Ids past the Linux NR_CPUS ceiling are typos, and gigantic ranges must
+  // be rejected before the eager expansion (not abort on bad_alloc).
+  EXPECT_FALSE(xk::parse_cpulist("0-4294967295").has_value());
+  EXPECT_FALSE(xk::parse_cpulist("0-4000000000").has_value());
+  EXPECT_FALSE(xk::parse_cpulist("100000").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic XK_TOPO shapes.
+// ---------------------------------------------------------------------------
+
+TEST(TopoSpec, TwoNodesFourCores) {
+  auto t = xk::Topology::parse_spec("2x4");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_TRUE(t->is_synthetic());
+  EXPECT_EQ(t->ncpus(), 8u);
+  EXPECT_EQ(t->nnodes(), 2u);
+  EXPECT_EQ(t->ncores(), 8u);
+  // Node-major enumeration: cpus 0-3 in node 0, 4-7 in node 1.
+  for (unsigned i = 0; i < 8; ++i) {
+    EXPECT_EQ(t->cpu(i).node, i / 4) << i;
+    EXPECT_EQ(t->cpu(i).smt, 0u) << i;
+  }
+  EXPECT_EQ(t->node_cpus(0).size(), 4u);
+  EXPECT_EQ(t->node_cpus(1).size(), 4u);
+}
+
+TEST(TopoSpec, SmtShape) {
+  auto t = xk::Topology::parse_spec("4x2x2");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->ncpus(), 16u);
+  EXPECT_EQ(t->nnodes(), 4u);
+  EXPECT_EQ(t->ncores(), 8u);
+  // Within a node: core 0 smt 0, core 0 smt 1, core 1 smt 0, core 1 smt 1.
+  EXPECT_EQ(t->cpu(0).core, t->cpu(1).core);
+  EXPECT_EQ(t->cpu(0).smt, 0u);
+  EXPECT_EQ(t->cpu(1).smt, 1u);
+  EXPECT_NE(t->cpu(1).core, t->cpu(2).core);
+  EXPECT_EQ(t->cpu(4).node, 1u);
+}
+
+TEST(TopoSpec, Malformed) {
+  for (const char* spec : {"", "8", "0x4", "2x0", "ax2", "2x", "x4",
+                           "2x4x2x2", "2x4x0", "2 x 4"}) {
+    EXPECT_FALSE(xk::Topology::parse_spec(spec).has_value()) << spec;
+  }
+}
+
+TEST(TopoFlat, SingleDomain) {
+  xk::Topology t = xk::Topology::flat(4);
+  EXPECT_FALSE(t.is_synthetic());
+  EXPECT_EQ(t.ncpus(), 4u);
+  EXPECT_EQ(t.nnodes(), 1u);
+  EXPECT_EQ(t.ncores(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Sysfs discovery against fixture trees (real /sys file formats).
+// ---------------------------------------------------------------------------
+
+class SysfsFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = fs::path(::testing::TempDir()) / "xk_topo_fixture" / info->name();
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void add_cpu(unsigned os_id, unsigned package, unsigned core_id) {
+    const fs::path dir = root_ / "devices/system/cpu" /
+                         ("cpu" + std::to_string(os_id)) / "topology";
+    fs::create_directories(dir);
+    write(dir / "physical_package_id", std::to_string(package) + "\n");
+    write(dir / "core_id", std::to_string(core_id) + "\n");
+  }
+
+  void add_node(unsigned node, const std::string& cpulist) {
+    const fs::path dir =
+        root_ / "devices/system/node" / ("node" + std::to_string(node));
+    fs::create_directories(dir);
+    write(dir / "cpulist", cpulist + "\n");
+  }
+
+  static void write(const fs::path& p, const std::string& content) {
+    std::ofstream out(p);
+    out << content;
+  }
+
+  fs::path root_;
+};
+
+TEST_F(SysfsFixture, TwoSocketsTwoNodes) {
+  for (unsigned c = 0; c < 4; ++c) add_cpu(c, 0, c);
+  for (unsigned c = 0; c < 4; ++c) add_cpu(4 + c, 1, c);
+  add_node(0, "0-3");
+  add_node(1, "4-7");
+
+  xk::Topology t = xk::Topology::discover(root_.string());
+  EXPECT_FALSE(t.is_synthetic());
+  EXPECT_EQ(t.ncpus(), 8u);
+  EXPECT_EQ(t.nnodes(), 2u);
+  EXPECT_EQ(t.npackages(), 2u);
+  // core_id repeats per package; global core indexes must not collide.
+  EXPECT_EQ(t.ncores(), 8u);
+  for (unsigned i = 0; i < 8; ++i) {
+    EXPECT_EQ(t.cpu(i).node, t.cpu(i).os_id < 4 ? 0u : 1u) << i;
+  }
+}
+
+TEST_F(SysfsFixture, SmtSiblingsShareCore) {
+  // cpu0/cpu2 are core 0, cpu1/cpu3 are core 1 (interleaved sibling ids,
+  // the common Linux enumeration).
+  add_cpu(0, 0, 0);
+  add_cpu(1, 0, 1);
+  add_cpu(2, 0, 0);
+  add_cpu(3, 0, 1);
+  add_node(0, "0-3");
+
+  xk::Topology t = xk::Topology::discover(root_.string());
+  EXPECT_EQ(t.ncpus(), 4u);
+  EXPECT_EQ(t.ncores(), 2u);
+  // Canonical order groups siblings: (core0: 0,2), (core1: 1,3).
+  EXPECT_EQ(t.cpu(0).os_id, 0u);
+  EXPECT_EQ(t.cpu(1).os_id, 2u);
+  EXPECT_EQ(t.cpu(0).core, t.cpu(1).core);
+  EXPECT_EQ(t.cpu(1).smt, 1u);
+  EXPECT_EQ(t.cpu(2).os_id, 1u);
+  EXPECT_EQ(t.cpu(2).smt, 0u);
+}
+
+TEST_F(SysfsFixture, NoNodeTreeCollapsesToOneDomain) {
+  for (unsigned c = 0; c < 4; ++c) add_cpu(c, 0, c);
+  xk::Topology t = xk::Topology::discover(root_.string());
+  EXPECT_EQ(t.ncpus(), 4u);
+  EXPECT_EQ(t.nnodes(), 1u);
+}
+
+TEST(TopoDiscover, MissingRootFallsBackToFlat) {
+  xk::Topology t = xk::Topology::discover("/nonexistent/sysfs/root");
+  EXPECT_EQ(t.ncpus(), xk::hardware_cores());
+  EXPECT_EQ(t.nnodes(), 1u);
+  EXPECT_FALSE(t.is_synthetic());
+}
+
+// ---------------------------------------------------------------------------
+// Placement policies.
+// ---------------------------------------------------------------------------
+
+TEST(Placement, CompactPacksNodeBeforeSpilling) {
+  auto t = xk::Topology::parse_spec("2x4");
+  ASSERT_TRUE(t.has_value());
+  xk::Placement p =
+      xk::Placement::compute(*t, 8, xk::PlacePolicy::kCompact);
+  ASSERT_EQ(p.slots.size(), 8u);
+  for (unsigned w = 0; w < 8; ++w) {
+    EXPECT_EQ(p.slots[w].domain, w / 4) << w;
+    EXPECT_EQ(p.slots[w].cpu_os_id, w) << w;
+  }
+  EXPECT_EQ(p.ndomains, 2u);
+  EXPECT_TRUE(p.deterministic);
+
+  // Fewer workers than one node: everyone lands in domain 0.
+  xk::Placement small =
+      xk::Placement::compute(*t, 3, xk::PlacePolicy::kCompact);
+  EXPECT_EQ(small.ndomains, 1u);
+}
+
+TEST(Placement, ScatterRoundRobinsNodes) {
+  auto t = xk::Topology::parse_spec("2x4");
+  ASSERT_TRUE(t.has_value());
+  xk::Placement p =
+      xk::Placement::compute(*t, 4, xk::PlacePolicy::kScatter);
+  ASSERT_EQ(p.slots.size(), 4u);
+  EXPECT_EQ(p.slots[0].domain, 0u);
+  EXPECT_EQ(p.slots[1].domain, 1u);
+  EXPECT_EQ(p.slots[2].domain, 0u);
+  EXPECT_EQ(p.slots[3].domain, 1u);
+  EXPECT_EQ(p.ndomains, 2u);
+}
+
+TEST(Placement, CompactUsesDistinctCoresBeforeSmt) {
+  auto t = xk::Topology::parse_spec("2x2x2");
+  ASSERT_TRUE(t.has_value());
+  xk::Placement p =
+      xk::Placement::compute(*t, 4, xk::PlacePolicy::kCompact);
+  // Node 0 fills first, distinct cores before SMT siblings: two smt-0
+  // threads on different cores, then their siblings — never two workers
+  // on one core while another core sits idle.
+  std::vector<std::pair<unsigned, unsigned>> core_smt;
+  for (const auto& s : p.slots) {
+    const auto idx = t->index_of_os_id(s.cpu_os_id);
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(t->cpu(*idx).node, 0u);
+    core_smt.emplace_back(t->cpu(*idx).core, t->cpu(*idx).smt);
+  }
+  EXPECT_EQ(core_smt[0].second, 0u);
+  EXPECT_EQ(core_smt[1].second, 0u);
+  EXPECT_NE(core_smt[0].first, core_smt[1].first);
+  EXPECT_EQ(core_smt[2].second, 1u);
+  EXPECT_EQ(core_smt[3].second, 1u);
+}
+
+TEST(Placement, ScatterUsesDistinctCoresBeforeSmt) {
+  auto t = xk::Topology::parse_spec("2x2x2");
+  ASSERT_TRUE(t.has_value());
+  xk::Placement p =
+      xk::Placement::compute(*t, 4, xk::PlacePolicy::kScatter);
+  // 4 workers on 2 nodes x 2 cores x 2 smt: all land on smt-0 threads of
+  // distinct cores.
+  std::vector<unsigned> cores;
+  for (const auto& s : p.slots) {
+    const auto idx = t->index_of_os_id(s.cpu_os_id);
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(t->cpu(*idx).smt, 0u);
+    cores.push_back(t->cpu(*idx).core);
+  }
+  std::sort(cores.begin(), cores.end());
+  EXPECT_EQ(cores, (std::vector<unsigned>{0, 1, 2, 3}));
+}
+
+TEST(Placement, OversubscriptionWraps) {
+  auto t = xk::Topology::parse_spec("2x2");
+  ASSERT_TRUE(t.has_value());
+  xk::Placement p =
+      xk::Placement::compute(*t, 8, xk::PlacePolicy::kCompact);
+  ASSERT_EQ(p.slots.size(), 8u);
+  EXPECT_EQ(p.slots[4].cpu_os_id, p.slots[0].cpu_os_id);
+  EXPECT_EQ(p.slots[4].domain, p.slots[0].domain);
+}
+
+TEST(Placement, CpusetOverridesPolicy) {
+  auto t = xk::Topology::parse_spec("2x4");
+  ASSERT_TRUE(t.has_value());
+  xk::Placement p =
+      xk::Placement::from_cpuset(*t, {4, 5, 0, 1}, 4);
+  ASSERT_EQ(p.slots.size(), 4u);
+  EXPECT_EQ(p.slots[0].cpu_os_id, 4u);
+  EXPECT_EQ(p.slots[0].domain, 1u);
+  EXPECT_EQ(p.slots[2].cpu_os_id, 0u);
+  EXPECT_EQ(p.slots[2].domain, 0u);
+  EXPECT_EQ(p.ndomains, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical victim ordering.
+// ---------------------------------------------------------------------------
+
+TEST(VictimOrder, LocalTierFirstRemoteGrouped) {
+  auto t = xk::Topology::parse_spec("2x4");
+  ASSERT_TRUE(t.has_value());
+  xk::Placement p =
+      xk::Placement::compute(*t, 8, xk::PlacePolicy::kCompact);
+
+  xk::VictimOrder v0 = xk::steal_victim_order(p, 0);
+  EXPECT_EQ(v0.nlocal, 3u);
+  EXPECT_EQ(v0.order,
+            (std::vector<unsigned>{1, 2, 3, 4, 5, 6, 7}));
+
+  // Local tier rotates to start just after self.
+  xk::VictimOrder v5 = xk::steal_victim_order(p, 5);
+  EXPECT_EQ(v5.nlocal, 3u);
+  EXPECT_EQ(v5.order,
+            (std::vector<unsigned>{6, 7, 4, 0, 1, 2, 3}));
+}
+
+TEST(VictimOrder, NeverContainsSelf) {
+  auto t = xk::Topology::parse_spec("4x2");
+  ASSERT_TRUE(t.has_value());
+  xk::Placement p =
+      xk::Placement::compute(*t, 8, xk::PlacePolicy::kScatter);
+  for (unsigned self = 0; self < 8; ++self) {
+    xk::VictimOrder v = xk::steal_victim_order(p, self);
+    EXPECT_EQ(v.order.size(), 7u) << self;
+    for (unsigned w : v.order) EXPECT_NE(w, self);
+    // Every local-tier entry shares self's domain; every later entry
+    // does not.
+    for (unsigned i = 0; i < v.order.size(); ++i) {
+      const bool local = p.slots[v.order[i]].domain == p.slots[self].domain;
+      EXPECT_EQ(local, i < v.nlocal) << "self=" << self << " i=" << i;
+    }
+  }
+}
+
+TEST(VictimOrder, SingleDomainAllLocal) {
+  xk::Placement p = xk::Placement::compute(xk::Topology::flat(4), 4,
+                                           xk::PlacePolicy::kCompact);
+  xk::VictimOrder v = xk::steal_victim_order(p, 2);
+  EXPECT_EQ(v.nlocal, 3u);
+  EXPECT_EQ(v.order, (std::vector<unsigned>{3, 0, 1}));
+}
+
+}  // namespace
