@@ -41,6 +41,9 @@ std::vector<std::pair<std::string, std::uint64_t>> counter_set(
       {"steal_tasks", s.steal_tasks},
       {"splitter_calls", s.splitter_calls},
       {"foreach_chunks", s.foreach_chunks},
+      {"shard_hits", s.shard_hits},
+      {"shard_misses", s.shard_misses},
+      {"starvation_escalations", s.starvation_escalations},
       {"parks", s.parks},
   };
 }

@@ -73,6 +73,9 @@ std::vector<std::pair<std::string, std::uint64_t>> counter_set(
       {"scan_rebuilds", s.scan_rebuilds},
       {"readylist_attach", s.readylist_attach},
       {"readylist_pops", s.readylist_pops},
+      {"shard_hits", s.shard_hits},
+      {"shard_misses", s.shard_misses},
+      {"starvation_escalations", s.starvation_escalations},
       {"parks", s.parks},
       {"park_wakes", s.park_wakes},
   };

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Fails on intra-repo markdown links whose target does not exist.
+
+Scans every *.md in the repository (skipping .git and build directories),
+extracts inline links and images `[text](target)` plus reference
+definitions `[id]: target`, and checks that every target resolving to a
+path *inside* the repo exists. Skipped on purpose:
+
+  * external URLs (anything with a scheme) and mailto:;
+  * pure in-page anchors (#section);
+  * targets that resolve outside the repo root — those are GitHub
+    web-relative (e.g. the README CI badge's ../../actions/...), not
+    files this tree can validate.
+
+Exit status 0 when every checked link resolves, 1 otherwise. This is the
+CI docs gate (see .github/workflows/ci.yml).
+"""
+
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)>\s]+)>?[^)]*\)")
+REF_DEF = re.compile(r"^\s{0,3}\[[^\]]+\]:\s*(\S+)", re.M)
+FENCED_CODE = re.compile(r"^```.*?^```", re.M | re.S)
+SKIP_DIRS = {".git", ".ccache", "node_modules"}
+
+
+def md_files():
+    for dirpath, dirnames, filenames in os.walk(ROOT):
+        dirnames[:] = sorted(
+            d for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith("build")
+        )
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def broken_links(path):
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    # Code blocks routinely contain [x](y)-shaped noise; don't lint them.
+    text = FENCED_CODE.sub("", text)
+    broken = []
+    for target in INLINE_LINK.findall(text) + REF_DEF.findall(text):
+        if "://" in target or target.startswith(("mailto:", "#")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(path), target))
+        if not (resolved == ROOT or resolved.startswith(ROOT + os.sep)):
+            continue  # GitHub web-relative: outside the tree
+        if not os.path.exists(resolved):
+            broken.append(target)
+    return broken
+
+
+def main():
+    nfiles = 0
+    failures = []
+    for path in md_files():
+        nfiles += 1
+        for target in broken_links(path):
+            failures.append((os.path.relpath(path, ROOT), target))
+    for path, target in failures:
+        print(f"{path}: broken link -> {target}")
+    status = "FAIL" if failures else "ok"
+    print(f"checked {nfiles} markdown files: {status}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

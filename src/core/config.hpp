@@ -72,6 +72,22 @@ struct Config {
   /// prefer local (flat victim selection over all workers).
   int steal_local_tries = 4;
 
+  /// Shard each frame's ready list by locality domain (XK_RL_SHARD):
+  /// producers push released tasks into their own domain's shard and
+  /// combiners pop local-shard-first, crossing shards only when their own
+  /// runs dry. Off forces one shard (the pre-sharding behavior); flat
+  /// one-domain machines collapse to one shard either way.
+  bool shard_ready_list = true;
+
+  /// Failed local steal rounds accumulated across a *whole domain's*
+  /// thieves (since the domain's last successful steal) before the domain
+  /// counts as starving (XK_STARVE_ROUNDS). A starving domain's thieves
+  /// skip the remainder of their per-thief XK_STEAL_LOCAL_TRIES budget and
+  /// escalate to remote victims at once, and combiners deal scarce batched
+  /// replies to its thieves first. 0 disables the shared signal (pure
+  /// per-thief escalation, the PR 3 behavior).
+  int starve_rounds = 8;
+
   /// Builds a config from XK_* environment variables layered over defaults.
   static Config from_env();
 

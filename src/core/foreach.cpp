@@ -71,13 +71,31 @@ bool claim_slice_pass(ForeachShared& sh, ForeachWork& w, unsigned domain,
 /// Claims an unclaimed reserved slice into `w.interval`. Under the domain
 /// partition the claimer drains its own domain's remainder queue before
 /// going remote (the slices double as per-domain remainder queues); the
-/// flat partition keeps the original first-fit order. Returns false when
-/// all slices are claimed.
-bool claim_reserved_slice(ForeachShared& sh, ForeachWork& w, unsigned domain) {
-  if (sh.domain_mode && claim_slice_pass(sh, w, domain, /*domain_only=*/true)) {
+/// flat partition keeps the original first-fit order. The local/cross
+/// split feeds the same shard_hits/shard_misses telemetry as the sharded
+/// ready lists — one consistent "stayed in my domain's pool" signal.
+/// Returns false when all slices are claimed.
+bool claim_reserved_slice(ForeachShared& sh, ForeachWork& w, Worker& self) {
+  const unsigned domain = self.domain();
+  if (!sh.domain_mode) {
+    return claim_slice_pass(sh, w, domain, /*domain_only=*/false);
+  }
+  // Count the local/cross split only when the placement actually spans
+  // several domains — mirroring the ready-list rule that a single shard
+  // reports no telemetry (a forced kDomain run on a one-domain machine
+  // would read as all-hits and pollute the ablation comparison).
+  const bool count = self.runtime().ndomains() > 1;
+  if (claim_slice_pass(sh, w, domain, /*domain_only=*/true)) {
+    if (count) self.stats().shard_hits++;
     return true;
   }
-  return claim_slice_pass(sh, w, domain, /*domain_only=*/false);
+  // Own remainder queue dry (the local-only pass saw every local slice
+  // taken): any slice the fallback pass finds is another domain's.
+  if (claim_slice_pass(sh, w, domain, /*domain_only=*/false)) {
+    if (count) self.stats().shard_misses++;
+    return true;
+  }
+  return false;
 }
 
 /// Splitter-produced piece: owns a shared ref, runs the work loop, then
@@ -151,7 +169,7 @@ void foreach_run(ForeachWork& w, Worker& self) {
       self.stats().foreach_chunks++;
       continue;
     }
-    if (!claim_reserved_slice(sh, w, self.domain())) break;
+    if (!claim_reserved_slice(sh, w, self)) break;
   }
 }
 

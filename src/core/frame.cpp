@@ -24,6 +24,9 @@ void Frame::delete_heap_tasks() {
 
 void Frame::reset() {
   delete_heap_tasks();
+  // The ReadyList destructor returns any still-queued shard entries to the
+  // runtime's starvation gauges, so recycling a frame cannot leave a
+  // domain's ready-depth permanently inflated.
   delete ready_list.load(std::memory_order_relaxed);
   ready_list.store(nullptr, std::memory_order_relaxed);
   head_.next.store(nullptr, std::memory_order_relaxed);

@@ -119,6 +119,9 @@ class Frame {
 
   /// Ready-list accelerating structure (§II-C); attached by a combiner under
   /// the steal mutex, consulted by the Term path with a single acquire load.
+  /// The list is sharded by locality domain (one ready deque per domain
+  /// rank; see readylist.hpp) — callers pass their domain rank so releases
+  /// and pops route through their own domain's shard first.
   std::atomic<ReadyList*> ready_list{nullptr};
 
   /// Set by a combiner (inside the scanning window) when it steal-claims a

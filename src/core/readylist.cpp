@@ -4,27 +4,65 @@
 
 namespace xk {
 
-void ReadyList::extend() {
+ReadyList::ReadyList(Frame& frame, unsigned nshards, StarvationBoard* board)
+    : frame_(frame),
+      board_(board),
+      shards_(std::max(nshards, 1u)) {}
+
+ReadyList::~ReadyList() {
+  // A frame can recycle with tasks still queued (released successors the
+  // owner's FIFO claimed and ran without a combiner ever popping them);
+  // return any gauge contribution not already returned at completion so
+  // the board never drifts. Keyed off Node::queued, not the deque sizes:
+  // deques may hold dead ids whose contribution was settled when their
+  // completion arrived.
+  if (board_ == nullptr) return;
+  for (const Node& n : nodes_) {
+    if (n.queued >= 0) board_->add_ready(static_cast<unsigned>(n.queued), -1);
+  }
+}
+
+void ReadyList::push_ready_locked(std::uint32_t id, unsigned shard) {
+  shards_[shard].push_back(id);
+  nodes_[id].queued = static_cast<std::int32_t>(shard);
+  ++nready_;
+  if (board_ != nullptr) board_->add_ready(shard, 1);
+}
+
+/// Returns `id`'s board contribution if it still has one (called at pop and
+/// at completion — whichever comes first settles the gauge; the other finds
+/// queued already cleared).
+void ReadyList::unaccount_ready_locked(std::uint32_t id) {
+  Node& node = nodes_[id];
+  if (node.queued < 0) return;
+  if (board_ != nullptr) {
+    board_->add_ready(static_cast<unsigned>(node.queued), -1);
+  }
+  node.queued = -1;
+}
+
+void ReadyList::extend(unsigned shard) {
   // Cap the per-round coverage growth: extend() runs inside the victim's
   // scanning window, and the frame owner's pop_frame waits that window out —
   // covering a 100k-task frame in one go would stall the owner for the whole
   // build. Remaining tasks are covered by subsequent combiner rounds.
   constexpr std::uint32_t kMaxPerRound = 2048;
   std::lock_guard lock(mu_);
+  shard = clamp_shard(shard);
   const std::uint32_t published = frame_.size_acquire();
   if (covered_count_ >= published) return;
   Frame::Iterator it(frame_);
   it.seek(covered_count_);
   std::uint32_t added = 0;
   while (covered_count_ < published && added < kMaxPerRound) {
-    add_node_locked(it.get());
+    add_node_locked(it.get(), shard);
     it.advance();
     ++covered_count_;
     ++added;
   }
 }
 
-void ReadyList::add_node_locked(Task* t) {
+void ReadyList::add_node_locked(Task* t, unsigned shard) {
   const auto id = static_cast<std::uint32_t>(nodes_.size());
   nodes_.push_back(Node{t, 0, false, {}});
   live_refs_.emplace_back();
@@ -80,61 +118,97 @@ void ReadyList::add_node_locked(Task* t) {
   }
 
   if (node.npred == 0 && t->load_state() == TaskState::kInit) {
-    ready_.push_back(id);
+    push_ready_locked(id, shard);
   }
 }
 
-void ReadyList::on_complete(Task* t) {
+void ReadyList::on_complete(Task* t, unsigned shard) {
   std::lock_guard lock(mu_);
   auto found = index_.find(t);
   if (found == index_.end()) {
     early_completions_.emplace(t, true);
     return;
   }
-  complete_node_locked(found->second);
+  complete_node_locked(found->second, clamp_shard(shard));
 }
 
-void ReadyList::complete_node_locked(std::uint32_t id) {
+void ReadyList::complete_node_locked(std::uint32_t id, unsigned shard) {
   Node& node = nodes_[id];
   if (node.completed) return;
   node.completed = true;
+  // A node can complete while still sitting in a shard deque (the owner's
+  // FIFO claimed and ran it); its id stays queued as a dead entry until a
+  // pop discards it, but its board contribution must not — phantom depth
+  // would veto real starvation verdicts for the shard's domain.
+  unaccount_ready_locked(id);
   for (auto itv : live_refs_[id]) live_.erase(itv);
   live_refs_[id].clear();
   for (std::uint32_t succ : node.successors) {
     Node& s = nodes_[succ];
     if (s.npred > 0 && --s.npred == 0 && !s.completed) {
-      ready_.push_back(succ);
+      // Producer-side routing: the released successor joins the finisher's
+      // shard — its inputs were just written by a worker of that domain.
+      push_ready_locked(succ, shard);
     }
   }
   node.successors.clear();
 }
 
-Task* ReadyList::pop_ready_claimed() {
+Task* ReadyList::pop_ready_claimed(unsigned shard) {
   Task* t = nullptr;
-  return pop_ready_claimed_batch(&t, 1) == 1 ? t : nullptr;
+  return pop_ready_claimed_batch(&t, 1, shard) == 1 ? t : nullptr;
 }
 
-std::size_t ReadyList::pop_ready_claimed_batch(Task** out, std::size_t max) {
+std::size_t ReadyList::pop_ready_claimed_batch(Task** out, std::size_t max,
+                                               unsigned shard,
+                                               std::uint64_t* shard_hits,
+                                               std::uint64_t* shard_misses) {
   std::lock_guard lock(mu_);
-  return pop_batch_locked(out, max);
+  return pop_batch_locked(out, max, clamp_shard(shard), shard_hits,
+                          shard_misses);
 }
 
-std::size_t ReadyList::pop_batch_locked(Task** out, std::size_t max) {
+std::size_t ReadyList::pop_batch_locked(Task** out, std::size_t max,
+                                        unsigned home,
+                                        std::uint64_t* shard_hits,
+                                        std::uint64_t* shard_misses) {
   std::size_t got = 0;
   bool swept = false;
+  const unsigned ns = nshards();
   while (got < max) {
-    if (ready_.empty()) {
+    if (nready_ == 0) {
       // One lazy catch-up pass over the watched (claimed-elsewhere) nodes
       // per call: fold in completions whose notification raced the attach.
-      if (swept || !sweep_watch_locked()) break;
+      if (swept || !sweep_watch_locked(home)) break;
       swept = true;
       continue;
     }
-    const std::uint32_t id = ready_.front();
-    ready_.pop_front();
+    // Local-shard-first: drain the popper's own domain shard oldest-first,
+    // then cross shards in rank order starting just above it. Crossing
+    // (the miss path) is what keeps work flowing when a domain's own shard
+    // is dry; the hit/miss split is the locality telemetry.
+    unsigned shard = home;
+    for (unsigned k = 1; k < ns && shards_[shard].empty(); ++k) {
+      shard = (home + k) % ns;
+    }
+    const std::uint32_t id = shards_[shard].front();
+    shards_[shard].pop_front();
+    --nready_;
+    unaccount_ready_locked(id);  // no-op for dead ids settled at completion
     Node& node = nodes_[id];
     Task* t = node.task;
     if (t->try_claim(TaskState::kStolenClaim)) {
+      // The hit/miss split is only meaningful when there is more than one
+      // shard; counting a forced single shard as all-hits would make the
+      // sharded-vs-unsharded ablation (XK_RL_SHARD=0, flat machines)
+      // indistinguishable from a perfectly-local sharded run.
+      if (ns > 1) {
+        if (shard == home) {
+          if (shard_hits != nullptr) ++*shard_hits;
+        } else if (shard_misses != nullptr) {
+          ++*shard_misses;
+        }
+      }
       // Watched as a safety net: the thief that runs a popped task re-reads
       // frame.ready_list before Term, but watching costs one sweep visit
       // and makes a silently-terminated claim impossible to strand.
@@ -143,13 +217,13 @@ std::size_t ReadyList::pop_batch_locked(Task** out, std::size_t max) {
       continue;
     }
     // Claimed elsewhere (victim FIFO won the race). Fold a missed
-    // completion immediately — its successors enter ready_ now, ahead of
-    // younger releases, so oldest-ready order survives the contention —
-    // otherwise watch it for the lazy sweep.
+    // completion immediately — its successors enter the popper's shard
+    // now, ahead of younger releases, so oldest-ready order survives the
+    // contention — otherwise watch it for the lazy sweep.
     if (!node.completed) {
       if (t->load_state() == TaskState::kTerm) {
         ++missed_folds_;
-        complete_node_locked(id);
+        complete_node_locked(id, home);
       } else {
         watch_.push_back(id);
       }
@@ -159,9 +233,10 @@ std::size_t ReadyList::pop_batch_locked(Task** out, std::size_t max) {
 }
 
 /// Walks the watch deque once, dropping settled nodes and folding in
-/// terminations whose on_complete never arrived. Returns true when the
-/// fold released at least one task into ready_.
-bool ReadyList::sweep_watch_locked() {
+/// terminations whose on_complete never arrived (releases land in the
+/// sweeping popper's `shard`). Returns true when the fold released at
+/// least one task into a shard.
+bool ReadyList::sweep_watch_locked(unsigned shard) {
   bool released = false;
   for (std::size_t n = watch_.size(); n > 0; --n) {
     const std::uint32_t id = watch_.front();
@@ -170,8 +245,8 @@ bool ReadyList::sweep_watch_locked() {
     if (node.completed) continue;  // notified normally; settled
     if (node.task->load_state() == TaskState::kTerm) {
       ++missed_folds_;
-      complete_node_locked(id);
-      released = released || !ready_.empty();
+      complete_node_locked(id, shard);
+      released = released || nready_ != 0;
       continue;
     }
     watch_.push_back(id);  // still in flight; keep watching, FIFO order
@@ -186,7 +261,12 @@ std::size_t ReadyList::covered() const {
 
 std::size_t ReadyList::ready_size() const {
   std::lock_guard lock(mu_);
-  return ready_.size();
+  return nready_;
+}
+
+std::size_t ReadyList::shard_ready_size(unsigned shard) const {
+  std::lock_guard lock(mu_);
+  return shard < nshards() ? shards_[shard].size() : 0;
 }
 
 std::size_t ReadyList::watched_size() const {

@@ -1,4 +1,5 @@
-// ReadyList — the "accelerating data structure for steal operations" (§II-C).
+// ReadyList — the "accelerating data structure for steal operations" (§II-C),
+// sharded by locality domain.
 //
 // "When the cost of computing ready tasks becomes important, the runtime
 // attaches to the victim an accelerating data structure ... a list that gets
@@ -13,11 +14,25 @@
 // dataflow children declares accesses covering theirs — see spawn.hpp), which
 // makes the per-frame graph conservative-correct.
 //
+// Sharding: the ready deque is split into one shard per locality domain
+// (dense domain rank). Producers — the worker notifying a completion, the
+// combiner covering tasks via extend() — push released tasks into *their
+// own* domain's shard; consumers pop local-shard-first and cross into other
+// shards only when their own runs dry, so on multi-domain machines the
+// common case keeps a domain's release/steal traffic on that domain's cache
+// lines and successors tend to run where their predecessor's output is hot.
+// Flat machines construct one shard and keep the original global-FIFO
+// behavior exactly. The optional StarvationBoard hook mirrors each shard's
+// depth into the runtime's per-domain gauges so "this domain has queued
+// ready work" can veto the starvation verdict.
+//
 // Locking: every mutation (extend / completion / pop) happens under `mu_`.
-// Combiners call extend/pop while holding the victim's steal mutex; runners
-// call on_complete right before publishing Term. The lock also provides the
-// release/acquire edge that makes a completed task's memory effects visible
-// to the worker that claims a successor from the list.
+// The dependence graph (nodes_, index_, live_) is shared across shards, so
+// sharding splits the *deques* (routing + cache locality), not the lock;
+// combiner passes already serialize on the victim's steal mutex above this
+// one. The lock also provides the release/acquire edge that makes a
+// completed task's memory effects visible to the worker that claims a
+// successor from any shard.
 #pragma once
 
 #include <cstdint>
@@ -28,39 +43,58 @@
 #include <vector>
 
 #include "core/frame.hpp"
+#include "core/stats.hpp"
 #include "core/task.hpp"
 
 namespace xk {
 
 class ReadyList {
  public:
-  explicit ReadyList(Frame& frame) : frame_(frame) {}
+  /// `nshards` is the runtime's dense domain count (1 collapses to the
+  /// unsharded behavior); `board`, when given, tracks shard depths in the
+  /// runtime's per-domain starvation gauges.
+  explicit ReadyList(Frame& frame, unsigned nshards = 1,
+                     StarvationBoard* board = nullptr);
+  ~ReadyList();
 
   ReadyList(const ReadyList&) = delete;
   ReadyList& operator=(const ReadyList&) = delete;
 
-  /// Extends coverage to every task currently published in the frame.
-  /// Called by the combiner (steal mutex held).
-  void extend();
+  unsigned nshards() const { return static_cast<unsigned>(shards_.size()); }
 
-  /// Pops the oldest ready task and claims it (Init -> StolenClaim).
-  /// Returns nullptr when no covered task is ready and unclaimed.
-  Task* pop_ready_claimed();
+  /// Extends coverage to every task currently published in the frame.
+  /// Called by the combiner (steal mutex held); initially-ready tasks land
+  /// in the combiner's own `shard`.
+  void extend(unsigned shard = 0);
+
+  /// Pops the oldest ready task — local `shard` first — and claims it
+  /// (Init -> StolenClaim). Returns nullptr when no covered task is ready
+  /// and unclaimed in any shard.
+  Task* pop_ready_claimed(unsigned shard = 0);
 
   /// Pops and claims up to `max` ready tasks under a single lock
   /// acquisition (the batched-reply path: one combiner pass hands every
-  /// waiting thief work without re-taking the mutex per task). Returns the
-  /// number of tasks written to `out`, oldest-ready first.
-  std::size_t pop_ready_claimed_batch(Task** out, std::size_t max);
+  /// waiting thief work without re-taking the mutex per task). Pops drain
+  /// the popper's own `shard` oldest-first before crossing into other
+  /// shards (rank order, wrapping); `shard_hits`/`shard_misses`, when
+  /// non-null, are incremented per pop with the local/cross split. Returns
+  /// the number of tasks written to `out`.
+  std::size_t pop_ready_claimed_batch(Task** out, std::size_t max,
+                                      unsigned shard = 0,
+                                      std::uint64_t* shard_hits = nullptr,
+                                      std::uint64_t* shard_misses = nullptr);
 
   /// Completion notification; must be invoked *before* the Term store by
-  /// whoever finished the task. Unknown tasks (not yet covered) are recorded
-  /// so a later extend() does not resurrect them.
-  void on_complete(Task* t);
+  /// whoever finished the task, passing the finisher's domain `shard` (the
+  /// producer-side routing: released successors join the finisher's
+  /// shard). Unknown tasks (not yet covered) are recorded so a later
+  /// extend() does not resurrect them.
+  void on_complete(Task* t, unsigned shard = 0);
 
   /// Diagnostics for tests.
   std::size_t covered() const;
-  std::size_t ready_size() const;
+  std::size_t ready_size() const;  ///< total over all shards
+  std::size_t shard_ready_size(unsigned shard) const;
   std::size_t watched_size() const;
   std::uint64_t missed_folds() const;
 
@@ -69,6 +103,13 @@ class ReadyList {
     Task* task = nullptr;
     std::uint32_t npred = 0;
     bool completed = false;
+    std::int32_t queued = -1;  ///< shard deque this node sits in, -1 if none;
+                               ///  keyed so the board's ready gauge can be
+                               ///  returned the moment the node completes,
+                               ///  even while its (now dead) id still waits
+                               ///  in the deque — otherwise owner-executed
+                               ///  tasks would leave phantom depth that
+                               ///  vetoes legitimate starvation verdicts
     std::vector<std::uint32_t> successors;
   };
 
@@ -78,17 +119,29 @@ class ReadyList {
     const Access* acc;
   };
 
-  void add_node_locked(Task* t);
-  void complete_node_locked(std::uint32_t id);
-  std::size_t pop_batch_locked(Task** out, std::size_t max);
-  bool sweep_watch_locked();
+  unsigned clamp_shard(unsigned shard) const {
+    return shard < nshards() ? shard : 0;
+  }
+  void push_ready_locked(std::uint32_t id, unsigned shard);
+  void unaccount_ready_locked(std::uint32_t id);
+  void add_node_locked(Task* t, unsigned shard);
+  void complete_node_locked(std::uint32_t id, unsigned shard);
+  std::size_t pop_batch_locked(Task** out, std::size_t max, unsigned shard,
+                               std::uint64_t* shard_hits,
+                               std::uint64_t* shard_misses);
+  bool sweep_watch_locked(unsigned shard);
 
   Frame& frame_;
+  StarvationBoard* board_;
   mutable std::mutex mu_;
   std::vector<Node> nodes_;
   std::unordered_map<const Task*, std::uint32_t> index_;
   std::unordered_map<const Task*, bool> early_completions_;
-  std::deque<std::uint32_t> ready_;
+
+  // Per-domain ready shards; `nready_` caches the total so the empty check
+  // on the pop path stays O(1) regardless of shard count.
+  std::vector<std::deque<std::uint32_t>> shards_;
+  std::size_t nready_ = 0;
   std::uint32_t covered_count_ = 0;
 
   // Live-access interval index: ordered by region lo() so a new access only
@@ -101,8 +154,8 @@ class ReadyList {
 
   // Claimed-elsewhere nodes whose Term may race a notification (their
   // pre-Term load of frame.ready_list can miss the attach): watched in FIFO
-  // order and lazily swept when the ready deque runs dry. This replaces the
-  // old rotating full-node catch-up sweep — O(claimed-in-flight), not
+  // order and lazily swept when every ready shard runs dry. This replaces
+  // the old rotating full-node catch-up sweep — O(claimed-in-flight), not
   // O(covered), and oldest claims fold first so successor release order
   // tracks the original ready order.
   std::deque<std::uint32_t> watch_;

@@ -27,6 +27,9 @@ Config Config::from_env() {
   cfg.place = env_string("XK_PLACE").value_or(cfg.place);
   cfg.steal_local_tries = static_cast<int>(
       env_int("XK_STEAL_LOCAL_TRIES", cfg.steal_local_tries));
+  cfg.shard_ready_list = env_bool("XK_RL_SHARD", cfg.shard_ready_list);
+  cfg.starve_rounds =
+      static_cast<int>(env_int("XK_STARVE_ROUNDS", cfg.starve_rounds));
   return cfg;
 }
 
@@ -57,6 +60,9 @@ Runtime::Runtime(Config cfg) : cfg_(cfg) {
                    cpuset.c_str());
     }
   }
+  // The starvation board must exist before the first worker constructor
+  // caches its pointer; its size is the dense domain-rank count.
+  starvation_.init(placement_.ndomains);
 
   workers_.reserve(nw);
   for (unsigned i = 0; i < nw; ++i) {
@@ -114,6 +120,9 @@ void Runtime::begin() {
   Worker& w0 = *workers_[0];
   detail::set_this_worker(&w0);
   if (cfg_.bind_threads) bind_self_to_core(placement_.slots[0].cpu_os_id);
+  // The previous section's end-of-work famine saturated the failed-round
+  // gauges; a fresh section starts with no domain pre-declared starving.
+  starvation_.reset_rounds();
   w0.push_frame();  // root frame
   section_open_ = true;
   {

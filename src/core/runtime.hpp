@@ -50,8 +50,16 @@ class Runtime {
   const Placement& placement() const { return placement_; }
 
   /// Distinct locality domains actually occupied by workers (1 on a flat
-  /// machine). The foreach auto-partition mode keys off this.
+  /// machine). The foreach auto-partition mode and the ready-list shard
+  /// count key off this.
   unsigned ndomains() const { return placement_.ndomains; }
+
+  /// Shared per-domain starvation gauges (see stats.hpp): thieves record
+  /// failed local rounds / progress, ready-list shards record their depth,
+  /// and both the victim draw and the combiner's reply deal consult the
+  /// verdict. Sized to ndomains() at construction.
+  StarvationBoard& starvation() { return starvation_; }
+  const StarvationBoard& starvation() const { return starvation_; }
 
   /// Opens a parallel section: registers the caller as worker 0, pushes the
   /// root frame and wakes the pool. Calls cannot nest.
@@ -137,6 +145,7 @@ class Runtime {
   Config cfg_;
   Topology topo_;
   Placement placement_;
+  StarvationBoard starvation_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 

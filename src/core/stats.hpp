@@ -1,12 +1,22 @@
-// Per-worker scheduler counters.
+// Per-worker scheduler counters, plus the shared per-domain starvation
+// gauges.
 //
-// The counters are plain (non-atomic) because each instance is written only
-// by its owning worker and sits on its own cache line; aggregation snapshots
-// tolerate slight staleness (they are for tests/benches, not control flow).
+// The WorkerStats counters are plain (non-atomic) because each instance is
+// written only by its owning worker and sits on its own cache line;
+// aggregation snapshots tolerate slight staleness (they are for
+// tests/benches, not control flow). The StarvationBoard is the opposite: a
+// deliberately *shared* per-domain signal, written with relaxed atomics from
+// the steal path, that replaces purely per-thief escalation state with a
+// "this whole domain is starving" verdict.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <ostream>
+#include <vector>
+
+#include "support/cache.hpp"
 
 namespace xk {
 
@@ -26,6 +36,14 @@ struct WorkerStats {
   std::uint64_t splitter_calls = 0;
   std::uint64_t readylist_attach = 0;
   std::uint64_t readylist_pops = 0;
+  std::uint64_t shard_hits = 0;    ///< pops served from the popper's own domain
+                                   ///  shard (ready shards + foreach remainder
+                                   ///  queues)
+  std::uint64_t shard_misses = 0;  ///< pops that crossed into another domain's
+                                   ///  shard after the local one ran dry
+  std::uint64_t starvation_escalations = 0;  ///< victim draws widened to remote
+                                             ///  domains early by the shared
+                                             ///  starvation signal
   std::uint64_t renames = 0;
   std::uint64_t scan_visited = 0;      ///< candidates readiness-checked
   std::uint64_t scan_entries = 0;      ///< live cache entries walked by scans
@@ -51,6 +69,9 @@ struct WorkerStats {
     splitter_calls += o.splitter_calls;
     readylist_attach += o.readylist_attach;
     readylist_pops += o.readylist_pops;
+    shard_hits += o.shard_hits;
+    shard_misses += o.shard_misses;
+    starvation_escalations += o.starvation_escalations;
     renames += o.renames;
     scan_visited += o.scan_visited;
     scan_entries += o.scan_entries;
@@ -70,9 +91,108 @@ inline std::ostream& operator<<(std::ostream& os, const WorkerStats& s) {
      << " attempts=" << s.steal_attempts << " combiner=" << s.combiner_rounds
      << " aggregated=" << s.requests_aggregated
      << " splits=" << s.splitter_calls << " rl_pops=" << s.readylist_pops
+     << " shard_hits=" << s.shard_hits << " shard_misses=" << s.shard_misses
+     << " starve_esc=" << s.starvation_escalations
      << " renames=" << s.renames << " parks=" << s.parks
      << " park_wakes=" << s.park_wakes;
   return os;
 }
+
+/// Global per-domain starvation gauges — the "domain is starving" signal
+/// the sharded steal path keys off. One cache-line-padded gauge per dense
+/// locality-domain rank (Placement::Slot::domain_rank):
+///
+///  * `ready`  — tasks currently sitting in this domain's ready-list shards
+///    (across all frames). A domain with queued ready work is never
+///    starving, no matter how many of its thieves report failure.
+///  * `failed` — failed *local* victim rounds accumulated across every
+///    thief of the domain since its last successful steal.
+///
+/// All accesses are relaxed: the signal is a heuristic and tolerates
+/// staleness. What it buys over the per-thief `local_fails_` counter is
+/// that the failures of *other* thieves in the domain count too — one thief
+/// can conclude "my whole domain is dry" after far fewer of its own rounds,
+/// and a combiner on the far side can see which requesters are desperate.
+class StarvationBoard {
+ public:
+  /// Sizes the board for `ndomains` dense domain ranks. Must be called
+  /// before workers run (Runtime does it right after computing placement);
+  /// all methods are safe no-ops on an un-init'ed board.
+  void init(unsigned ndomains) {
+    gauges_ = std::vector<Padded<Gauge>>(std::max(ndomains, 1u));
+  }
+
+  unsigned ndomains() const { return static_cast<unsigned>(gauges_.size()); }
+
+  /// Ready-shard depth accounting (called by ReadyList under its lock).
+  void add_ready(unsigned rank, std::int64_t delta) {
+    if (Gauge* g = gauge(rank)) {
+      g->ready.fetch_add(delta, std::memory_order_relaxed);
+    }
+  }
+
+  std::int64_t ready_depth(unsigned rank) const {
+    const Gauge* g = gauge(rank);
+    return g != nullptr ? g->ready.load(std::memory_order_relaxed) : 0;
+  }
+
+  /// A thief of this domain finished a local victim round empty-handed.
+  void record_failed_round(unsigned rank) {
+    if (Gauge* g = gauge(rank)) {
+      g->failed.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// A thief of this domain obtained work: the domain is provably not dry.
+  void record_progress(unsigned rank) {
+    if (Gauge* g = gauge(rank)) {
+      g->failed.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  /// Clears every domain's failed-round gauge (ready depths are left
+  /// alone — they track real shard contents). Runtime::begin() calls this:
+  /// the famine at the end of one parallel section would otherwise carry a
+  /// stale "everything is starving" verdict into the next section's first
+  /// draws.
+  void reset_rounds() {
+    for (auto& g : gauges_) {
+      g->failed.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  std::uint64_t failed_rounds(unsigned rank) const {
+    const Gauge* g = gauge(rank);
+    return g != nullptr ? g->failed.load(std::memory_order_relaxed) : 0;
+  }
+
+  /// The shared verdict: at least `threshold` failed local rounds since the
+  /// domain's last progress, with nothing queued in its ready shards.
+  /// `threshold` 0 disables the signal.
+  bool starving(unsigned rank, std::uint64_t threshold) const {
+    if (threshold == 0) return false;
+    const Gauge* g = gauge(rank);
+    return g != nullptr &&
+           g->failed.load(std::memory_order_relaxed) >= threshold &&
+           g->ready.load(std::memory_order_relaxed) <= 0;
+  }
+
+ private:
+  struct Gauge {
+    std::atomic<std::int64_t> ready{0};
+    std::atomic<std::uint64_t> failed{0};
+  };
+
+  Gauge* gauge(unsigned rank) {
+    if (gauges_.empty()) return nullptr;
+    return &gauges_[rank < gauges_.size() ? rank : 0].value;
+  }
+  const Gauge* gauge(unsigned rank) const {
+    if (gauges_.empty()) return nullptr;
+    return &gauges_[rank < gauges_.size() ? rank : 0].value;
+  }
+
+  std::vector<Padded<Gauge>> gauges_;
+};
 
 }  // namespace xk

@@ -45,14 +45,21 @@ Worker::Worker(Runtime& rt, unsigned id, unsigned nworkers)
   if (park_threshold_ > 0 && park_threshold_ <= backoff_limit_) {
     park_threshold_ = backoff_limit_ + 1;
   }
-  // Locality snapshot: Runtime computes the placement before constructing
-  // any worker, so the victim ordering is stable for the runtime's life.
+  // Locality snapshot: Runtime computes the placement (and sizes the
+  // starvation board) before constructing any worker, so the victim
+  // ordering and the board pointer are stable for the runtime's life.
   const Placement& pl = rt.placement();
-  if (id_ < pl.slots.size()) domain_ = pl.slots[id_].domain;
+  if (id_ < pl.slots.size()) {
+    domain_ = pl.slots[id_].domain;
+    domain_rank_ = pl.slots[id_].domain_rank;
+  }
   VictimOrder vo = steal_victim_order(pl, id_);
   victim_order_ = std::move(vo.order);
   nlocal_victims_ = vo.nlocal;
   steal_local_tries_ = rt.config().steal_local_tries;
+  starve_rounds_ = std::max(rt.config().starve_rounds, 0);
+  shard_ready_ = rt.config().shard_ready_list;
+  starvation_ = &rt.starvation();
   deterministic_victims_ = pl.deterministic;
   victim_rr_ = id_;  // stagger rotating thieves off a common first victim
 }
@@ -221,7 +228,9 @@ void Worker::run_task(Task* t, Frame* src, bool stolen) {
   }
   if (src != nullptr) {
     if (ReadyList* rl = src->ready_list.load(std::memory_order_acquire)) {
-      rl->on_complete(t);  // before Term: see ReadyList locking notes
+      // Before Term (see ReadyList locking notes); released successors
+      // join this worker's domain shard — it just wrote their inputs.
+      rl->on_complete(t, domain_rank_);
     }
   }
   t->state.store(TaskState::kTerm, std::memory_order_release);
@@ -285,7 +294,7 @@ void Worker::wait_and_finalize(Task* t, Frame& f) {
     // so the renamed writes can land on their true targets.
     commit_renames(t);
     if (ReadyList* rl = f.ready_list.load(std::memory_order_acquire)) {
-      rl->on_complete(t);
+      rl->on_complete(t, domain_rank_);
     }
     t->state.store(TaskState::kTerm, std::memory_order_release);
   }
@@ -299,6 +308,16 @@ Worker* Worker::pick_victim(bool& local_phase) {
   const auto nv = static_cast<unsigned>(victim_order_.size());
   local_phase = nlocal_victims_ != 0 && nlocal_victims_ != nv &&
                 steal_local_tries_ > 0 && local_fails_ < steal_local_tries_;
+  if (local_phase && starve_rounds_ > 0 &&
+      starvation_->starving(domain_rank_,
+                            static_cast<std::uint64_t>(starve_rounds_))) {
+    // The domain-wide signal overrides the per-thief budget: every thief
+    // of this domain together has come up empty starve_rounds times since
+    // the domain last obtained work, so burning the rest of this thief's
+    // own local tries would only delay the inevitable remote pull.
+    stats_->starvation_escalations++;
+    local_phase = false;
+  }
   // The draw never lands on this worker: victim_order_ excludes self by
   // construction, so the first probe is always a real victim (the old flat
   // draw could burn its start slot on self and fall through to the busy
@@ -360,6 +379,7 @@ bool Worker::try_steal_once() {
     // remote victim) gets the cpu first.
     if (local_phase) {
       ++local_fails_;
+      if (starve_rounds_ > 0) starvation_->record_failed_round(domain_rank_);
       std::this_thread::yield();
     }
     return false;
@@ -417,8 +437,10 @@ bool Worker::try_steal_once() {
       } else {
         stats_->steals_remote++;
       }
-      // Any success re-engages the local-first preference.
+      // Any success re-engages the local-first preference and clears the
+      // domain's shared failed-round gauge (work is reaching it again).
       local_fails_ = 0;
+      if (starve_rounds_ > 0) starvation_->record_progress(domain_rank_);
       for (std::uint32_t i = 0; i < won; ++i) {
         execute_reply(tasks[i], frames[i]);
       }
@@ -426,7 +448,10 @@ bool Worker::try_steal_once() {
     }
     if (s == StealRequest::kFailed) {
       slot.status.store(StealRequest::kEmpty, std::memory_order_relaxed);
-      if (local_phase) ++local_fails_;
+      if (local_phase) {
+        ++local_fails_;
+        if (starve_rounds_ > 0) starvation_->record_failed_round(domain_rank_);
+      }
       return false;
     }
     if (victim->steal_mutex_.try_lock()) {
@@ -631,8 +656,9 @@ void Worker::pour_ready_list(ReadyList& rl, Frame& f,
                              std::size_t pool_target) {
   if (reply_scratch_.size() >= pool_target) return;
   batch_scratch_.resize(pool_target - reply_scratch_.size());
-  const std::size_t got =
-      rl.pop_ready_claimed_batch(batch_scratch_.data(), batch_scratch_.size());
+  const std::size_t got = rl.pop_ready_claimed_batch(
+      batch_scratch_.data(), batch_scratch_.size(), domain_rank_,
+      &stats_->shard_hits, &stats_->shard_misses);
   stats_->readylist_pops += got;
   if (got != 0) f.mark_steal_claimed();
   for (std::size_t k = 0; k < got; ++k) {
@@ -640,11 +666,47 @@ void Worker::pour_ready_list(ReadyList& rl, Frame& f,
   }
 }
 
-std::size_t Worker::deal_pool(std::vector<StealRequest*>& pending,
+std::size_t Worker::deal_pool(std::vector<PendingReq>& pending,
                               std::size_t served, StealRequest* self_slot) {
   std::vector<PooledReply>& pool = reply_scratch_;
   if (pool.empty()) return served;
   const std::size_t remaining = pending.size() - served;
+  if (pool.size() < remaining && starve_rounds_ > 0) {
+    // Scarce replies: not every waiting thief gets one this round. Serve
+    // thieves of starving domains first — their whole domain has nothing
+    // local to fall back on, while a thief of a healthy domain that gets
+    // kFailed here will land on a local victim on its next draw. The
+    // reorder is a stable partition through a reused scratch vector
+    // (std::stable_partition may malloc a temporary buffer, and this runs
+    // under the victim's steal mutex); box order still breaks ties, and
+    // when no domain is starving (every flat-machine round: the gauge
+    // never accumulates without a local tier) the order is untouched. The
+    // combiner's own slot gets no special treatment: if it ends up past
+    // the receiver window, the deal below hands one task to each receiver
+    // and strands nothing (see the back==0 note).
+    const auto thr = static_cast<std::uint64_t>(starve_rounds_);
+    std::vector<PendingReq>& scratch = deal_scratch_;
+    scratch.resize(remaining);
+    // Evaluate the (racy, relaxed) verdict exactly once per request:
+    // starved entries fill the scratch from the front, the rest from the
+    // back in reverse — one reverse restores their box order, giving a
+    // stable partition without a second starving() pass that a concurrent
+    // gauge update could contradict.
+    std::size_t lo = 0, hi = remaining;
+    for (std::size_t i = served; i < pending.size(); ++i) {
+      if (starvation_->starving(pending[i].domain_rank, thr)) {
+        scratch[lo++] = pending[i];
+      } else {
+        scratch[--hi] = pending[i];
+      }
+    }
+    if (lo != 0 && lo != remaining) {
+      std::reverse(scratch.begin() + static_cast<std::ptrdiff_t>(lo),
+                   scratch.end());
+      std::copy(scratch.begin(), scratch.end(),
+                pending.begin() + static_cast<std::ptrdiff_t>(served));
+    }
+  }
   // Steal-k deal: every waiting thief gets exactly one distinct task
   // (oldest first); only the combiner's own slot takes the batch surplus.
   // The combiner executes its reply immediately after releasing the mutex,
@@ -660,7 +722,7 @@ std::size_t Worker::deal_pool(std::vector<StealRequest*>& pending,
   // delays work the drain is farthest from.
   std::size_t back = pool.size();  // youngest not-yet-assigned task
   for (std::size_t r = 0; r < receivers; ++r) {
-    StealRequest* s = pending[served + r];
+    StealRequest* s = pending[served + r].slot;
     if (s == self_slot) {
       self_served = s;  // filled below from the front of the pool
       continue;
@@ -686,8 +748,8 @@ std::size_t Worker::deal_pool(std::vector<StealRequest*>& pending,
   // remaining makes every receiver consume one task — nothing is stranded.
   // Publish only after every reply array is complete.
   for (std::size_t r = 0; r < receivers; ++r) {
-    pending[served + r]->status.store(StealRequest::kServed,
-                                      std::memory_order_release);
+    pending[served + r].slot->status.store(StealRequest::kServed,
+                                           std::memory_order_release);
   }
   pool.clear();
   return served + receivers;
@@ -696,12 +758,14 @@ std::size_t Worker::deal_pool(std::vector<StealRequest*>& pending,
 void Worker::combine_on(Worker& victim) {
   stats_->combiner_rounds++;
   const bool aggregate = rt_.config().steal_aggregation;
-  std::vector<StealRequest*>& pending = pending_scratch_;
+  std::vector<PendingReq>& pending = pending_scratch_;
   pending.clear();
   for (unsigned i = 0; i < victim.nslots(); ++i) {
     StealRequest& s = victim.request_slot(i);
     if (s.status.load(std::memory_order_acquire) == StealRequest::kPosted) {
-      if (aggregate || i == id_) pending.push_back(&s);
+      if (aggregate || i == id_) {
+        pending.push_back({&s, rt_.worker(i).domain_rank()});
+      }
     }
   }
   if (pending.empty()) return;
@@ -720,7 +784,7 @@ void Worker::combine_on(Worker& victim) {
   auto pool_target_for = [&](std::size_t served_now) {
     std::size_t t = pending.size() - served_now;
     for (std::size_t i = served_now; i < pending.size(); ++i) {
-      if (pending[i] == self_slot) {
+      if (pending[i].slot == self_slot) {
         t += steal_batch_ - 1;
         break;
       }
@@ -741,7 +805,7 @@ void Worker::combine_on(Worker& victim) {
 
     if (ReadyList* rl = f.ready_list.load(std::memory_order_acquire)) {
       // Accelerated path (§II-C): the list is authoritative for this frame.
-      rl->extend();
+      rl->extend(domain_rank_);
       pour_ready_list(*rl, f, pool_target);
       continue;
     }
@@ -827,9 +891,11 @@ void Worker::combine_on(Worker& victim) {
   if (served < pending.size()) {
     for (Task* t : adaptives) {
       if (served >= pending.size()) break;
-      std::vector<StealRequest*> rest(pending.begin() +
-                                          static_cast<std::ptrdiff_t>(served),
-                                      pending.end());
+      std::vector<StealRequest*> rest;
+      rest.reserve(pending.size() - served);
+      for (std::size_t i = served; i < pending.size(); ++i) {
+        rest.push_back(pending[i].slot);
+      }
       SplitContext sc(rest.data(), rest.size());
       stats_->splitter_calls++;
       t->splitter(t->adaptive_state, sc);
@@ -837,13 +903,23 @@ void Worker::combine_on(Worker& victim) {
     }
   }
 
-  // Attach the accelerating structure once traversals get expensive (§II-C).
+  // Attach the accelerating structure once traversals get expensive
+  // (§II-C), sharded one ready deque per locality domain so producers and
+  // consumers of different domains stop funneling through one deque's
+  // cache lines (flat machines and XK_RL_SHARD=0 get a single shard).
   if (served < pending.size() && threshold != 0 &&
       scanned_blocked > threshold && hottest != nullptr &&
       hottest->ready_list.load(std::memory_order_relaxed) == nullptr) {
-    auto* rl = new ReadyList(*hottest);
+    // The board hook only makes sense with domain-keyed shards: a single
+    // forced shard (XK_RL_SHARD=0) would credit every domain's ready depth
+    // to rank 0 and corrupt the starvation veto, so the unsharded ablation
+    // runs without depth tracking (starvation falls back to pure
+    // failed-round counting).
+    auto* rl = shard_ready_
+                   ? new ReadyList(*hottest, rt_.ndomains(), &rt_.starvation())
+                   : new ReadyList(*hottest, 1, nullptr);
     hottest->ready_list.store(rl, std::memory_order_release);
-    rl->extend();
+    rl->extend(domain_rank_);
     stats_->readylist_attach++;
     pour_ready_list(*rl, *hottest, pool_target_for(served));
     served = deal_pool(pending, served, self_slot);
@@ -851,10 +927,13 @@ void Worker::combine_on(Worker& victim) {
 
   stats_->requests_served += served;
   for (std::size_t i = 0; i < served; ++i) {
-    if (pending[i] != &victim.request_slot(id_)) stats_->requests_aggregated++;
+    if (pending[i].slot != &victim.request_slot(id_)) {
+      stats_->requests_aggregated++;
+    }
   }
   for (std::size_t i = served; i < pending.size(); ++i) {
-    pending[i]->status.store(StealRequest::kFailed, std::memory_order_release);
+    pending[i].slot->status.store(StealRequest::kFailed,
+                                  std::memory_order_release);
   }
 }
 

@@ -114,6 +114,11 @@ class Worker {
   /// keys slices off it.
   unsigned domain() const { return domain_; }
 
+  /// Dense domain index in [0, Runtime::ndomains()): the key for ready-list
+  /// shards and the starvation board (node ids can be sparse; see
+  /// Placement::Slot::domain_rank).
+  unsigned domain_rank() const { return domain_rank_; }
+
   /// Hierarchical victim ordering snapshot (tests/diagnostics): every other
   /// worker, same-domain first. The first nlocal_victims() entries are the
   /// local tier. Never contains this worker's own id.
@@ -243,10 +248,11 @@ class Worker {
   friend class Runtime;
 
   /// Two-level victim draw over victim_order_: while local_fails_ has not
-  /// exhausted steal_local_tries_ the draw spans only the local tier;
-  /// afterwards it spans every victim (local tier still first in the
-  /// order). Returns the first busy-looking candidate from a random (or,
-  /// under a synthetic topology, deterministically rotating) start, or
+  /// exhausted steal_local_tries_ — and the starvation board does not
+  /// declare this worker's whole domain starving — the draw spans only the
+  /// local tier; afterwards it spans every victim (local tier still first
+  /// in the order). Returns the first busy-looking candidate from a random
+  /// (or, under a synthetic topology, deterministically rotating) start, or
   /// nullptr when nothing looks busy. Sets `local_phase` to whether this
   /// draw was restricted to the local tier.
   Worker* pick_victim(bool& local_phase);
@@ -278,16 +284,27 @@ class Worker {
     Frame* frame;
   };
 
+  /// One posted request the combiner will answer, with the locality of the
+  /// thief behind it (box slot i belongs to thief i): the starvation-aware
+  /// deal serves thieves of starving domains first when replies are scarce.
+  struct PendingReq {
+    StealRequest* slot;
+    unsigned domain_rank;
+  };
+
   /// Pops ready tasks from `rl` under a single list lock into the reply
-  /// pool, up to `pool_target` pooled tasks total.
+  /// pool, up to `pool_target` pooled tasks total (local shard first; the
+  /// hit/miss split lands in this worker's stats).
   void pour_ready_list(ReadyList& rl, Frame& f, std::size_t pool_target);
 
   /// Deals the reply pool to pending[served..] (steal-k: each waiting
   /// thief gets one distinct task, oldest first; the batch surplus goes to
   /// `self_slot`, which its owner executes immediately) and publishes the
-  /// served slots. Returns the new served count.
-  std::size_t deal_pool(std::vector<StealRequest*>& pending,
-                        std::size_t served, StealRequest* self_slot);
+  /// served slots. When the pool cannot cover every waiting thief, thieves
+  /// whose domains the starvation board flags are served first. Returns
+  /// the new served count.
+  std::size_t deal_pool(std::vector<PendingReq>& pending, std::size_t served,
+                        StealRequest* self_slot);
 
   /// Executes a steal reply: a stolen descriptor (runs as thief) or a
   /// splitter-produced heap task (hosted in a fresh frame of this stack).
@@ -310,12 +327,16 @@ class Worker {
   // Locality-aware victim selection (snapshotted from Runtime::placement()
   // at construction; immutable afterwards).
   unsigned domain_ = 0;
+  unsigned domain_rank_ = 0;            ///< dense domain index (shard key)
   std::vector<unsigned> victim_order_;  ///< local tier first, self excluded
   unsigned nlocal_victims_ = 0;
   int steal_local_tries_ = 0;           ///< failed local rounds before escalating
+  int starve_rounds_ = 0;               ///< domain-wide threshold (0 = off)
+  bool shard_ready_ = true;             ///< attach domain-sharded ready lists
   bool deterministic_victims_ = false;  ///< synthetic topo: rotate, don't draw
   unsigned victim_rr_ = 0;              ///< rotation cursor (deterministic mode)
   int local_fails_ = 0;                 ///< consecutive failed local-tier rounds
+  StarvationBoard* starvation_ = nullptr;  ///< the runtime's shared gauges
   // The runtime's shared parkers (cached: Runtime is incomplete here).
   Parker* work_parker_;
   Parker* progress_parker_;
@@ -340,7 +361,8 @@ class Worker {
 
   // Combiner-side scratch, reused across rounds to kill per-round heap
   // churn. Only this worker (as combiner) touches its own scratch.
-  std::vector<StealRequest*> pending_scratch_;
+  std::vector<PendingReq> pending_scratch_;
+  std::vector<PendingReq> deal_scratch_;  ///< starved-first reorder buffer
   std::vector<Task*> adaptive_scratch_;
   std::vector<const Task*> prefix_scratch_;
   std::vector<Task*> batch_scratch_;

@@ -159,21 +159,61 @@ Topology Topology::synthetic(unsigned nodes, unsigned cores, unsigned smt) {
 }
 
 std::optional<Topology> Topology::parse_spec(const std::string& spec) {
-  unsigned dims[3] = {0, 0, 1};
-  std::size_t ndims = 0;
-  std::size_t pos = 0;
-  while (pos <= spec.size()) {
-    std::size_t x = spec.find('x', pos);
-    if (x == std::string::npos) x = spec.size();
-    if (ndims >= 3) return std::nullopt;
-    const auto v = parse_unsigned(spec.substr(pos, x - pos));
-    if (!v || *v == 0) return std::nullopt;
-    dims[ndims++] = *v;
-    if (x == spec.size()) break;
-    pos = x + 1;
+  // '+'-separated groups of "<nodes>x<cores>[x<smt>]". Multiple groups
+  // model asymmetric machines; a bare "<cores>" group is then shorthand
+  // for one node ("2+6" == "1x2+1x6"). A single group keeps the original
+  // strictness: a plain number stays malformed.
+  struct Group {
+    unsigned nodes, cores, smt;
+  };
+  std::vector<Group> groups;
+  const bool multi = spec.find('+') != std::string::npos;
+  std::size_t gpos = 0;
+  while (gpos <= spec.size()) {
+    std::size_t plus = spec.find('+', gpos);
+    if (plus == std::string::npos) plus = spec.size();
+    const std::string group = spec.substr(gpos, plus - gpos);
+    unsigned dims[3] = {0, 0, 1};
+    std::size_t ndims = 0;
+    std::size_t pos = 0;
+    while (pos <= group.size()) {
+      std::size_t x = group.find('x', pos);
+      if (x == std::string::npos) x = group.size();
+      if (ndims >= 3) return std::nullopt;
+      const auto v = parse_unsigned(group.substr(pos, x - pos));
+      if (!v || *v == 0) return std::nullopt;
+      dims[ndims++] = *v;
+      if (x == group.size()) break;
+      pos = x + 1;
+    }
+    if (ndims == 1) {
+      if (!multi) return std::nullopt;
+      groups.push_back({1, dims[0], 1});
+    } else {
+      groups.push_back({dims[0], dims[1], dims[2]});
+    }
+    if (plus == spec.size()) break;
+    gpos = plus + 1;
   }
-  if (ndims < 2) return std::nullopt;
-  return synthetic(dims[0], dims[1], dims[2]);
+  if (groups.empty()) return std::nullopt;
+
+  // Enumerate node-major across groups, so node and core ids stay dense
+  // and a group boundary is just the next node id.
+  std::vector<RawCpu> raw;
+  unsigned os = 0, node_base = 0, core_base = 0;
+  for (const Group& g : groups) {
+    for (unsigned n = 0; n < g.nodes; ++n) {
+      for (unsigned c = 0; c < g.cores; ++c) {
+        for (unsigned s = 0; s < g.smt; ++s) {
+          raw.push_back(
+              {os++, node_base + n, core_base + n * g.cores + c, node_base + n});
+        }
+      }
+    }
+    node_base += g.nodes;
+    core_base += g.nodes * g.cores;
+  }
+  return build(std::move(raw), /*synthetic=*/true);
 }
 
 Topology Topology::discover(const std::string& sysfs_root) {
@@ -230,6 +270,26 @@ std::optional<unsigned> Topology::index_of_os_id(unsigned os_id) const {
   return std::nullopt;
 }
 
+namespace {
+
+/// Derives ndomains and the dense per-slot domain ranks from the slots'
+/// (possibly sparse) domain ids: sorted distinct ids, rank = position.
+void finalize_domains(Placement& p) {
+  std::vector<unsigned> domains;
+  domains.reserve(p.slots.size());
+  for (const Placement::Slot& s : p.slots) domains.push_back(s.domain);
+  std::sort(domains.begin(), domains.end());
+  domains.erase(std::unique(domains.begin(), domains.end()), domains.end());
+  p.ndomains = std::max<unsigned>(1, static_cast<unsigned>(domains.size()));
+  for (Placement::Slot& s : p.slots) {
+    s.domain_rank = static_cast<unsigned>(
+        std::lower_bound(domains.begin(), domains.end(), s.domain) -
+        domains.begin());
+  }
+}
+
+}  // namespace
+
 std::optional<PlacePolicy> parse_place_policy(const std::string& name) {
   std::string v = name;
   std::transform(v.begin(), v.end(), v.begin(), [](unsigned char c) {
@@ -246,6 +306,7 @@ Placement Placement::compute(const Topology& topo, unsigned nworkers,
   p.deterministic = topo.is_synthetic();
   if (topo.ncpus() == 0 || nworkers == 0) {
     p.slots.assign(nworkers, Slot{});
+    finalize_domains(p);
     return p;
   }
 
@@ -286,13 +347,10 @@ Placement Placement::compute(const Topology& topo, unsigned nworkers,
   p.slots.resize(nworkers);
   for (unsigned w = 0; w < nworkers; ++w) {
     const TopoCpu& c = topo.cpu(order[w % order.size()]);
-    p.slots[w] = {c.os_id, c.node};
+    p.slots[w].cpu_os_id = c.os_id;
+    p.slots[w].domain = c.node;
   }
-  std::vector<unsigned> domains;
-  for (const Slot& s : p.slots) domains.push_back(s.domain);
-  std::sort(domains.begin(), domains.end());
-  domains.erase(std::unique(domains.begin(), domains.end()), domains.end());
-  p.ndomains = static_cast<unsigned>(domains.size());
+  finalize_domains(p);
   return p;
 }
 
@@ -307,13 +365,10 @@ Placement Placement::from_cpuset(const Topology& topo,
     const unsigned os = os_ids[w % os_ids.size()];
     unsigned domain = 0;
     if (auto idx = topo.index_of_os_id(os)) domain = topo.cpu(*idx).node;
-    p.slots[w] = {os, domain};
+    p.slots[w].cpu_os_id = os;
+    p.slots[w].domain = domain;
   }
-  std::vector<unsigned> domains;
-  for (const Slot& s : p.slots) domains.push_back(s.domain);
-  std::sort(domains.begin(), domains.end());
-  domains.erase(std::unique(domains.begin(), domains.end()), domains.end());
-  p.ndomains = static_cast<unsigned>(domains.size());
+  finalize_domains(p);
   return p;
 }
 

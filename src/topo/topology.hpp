@@ -52,8 +52,14 @@ class Topology {
   /// with `smt` threads each. OS ids enumerate node-major, core, then smt.
   static Topology synthetic(unsigned nodes, unsigned cores, unsigned smt = 1);
 
-  /// Parses the `XK_TOPO` spec "<nodes>x<cores>[x<smt>]" (all counts >= 1).
-  /// Returns nullopt on malformed input so a stray value cannot brick a run.
+  /// Parses the `XK_TOPO` spec: '+'-separated groups, each
+  /// "<nodes>x<cores>[x<smt>]" (all counts >= 1). With more than one group
+  /// a bare "<cores>" is shorthand for one node of that many cores, so
+  /// "2+6" == "1x2+1x6" — an asymmetric two-domain machine (the shape CI
+  /// uses to exercise imbalance deterministically). A single group keeps
+  /// requiring the explicit "<nodes>x<cores>" form, so a stray number in
+  /// XK_TOPO stays malformed. Returns nullopt on malformed input so a
+  /// stray value cannot brick a run.
   static std::optional<Topology> parse_spec(const std::string& spec);
 
   /// Reads `<sysfs_root>/devices/system/cpu/cpu*/topology/` and
@@ -119,8 +125,12 @@ std::optional<PlacePolicy> parse_place_policy(const std::string& name);
 /// The worker → (cpu, domain) map the runtime pins and steals by.
 struct Placement {
   struct Slot {
-    unsigned cpu_os_id = 0;  ///< bind target (mod visible cores, best-effort)
-    unsigned domain = 0;     ///< locality domain (NUMA node id)
+    unsigned cpu_os_id = 0;   ///< bind target (mod visible cores, best-effort)
+    unsigned domain = 0;      ///< locality domain (NUMA node id)
+    unsigned domain_rank = 0; ///< dense domain index in [0, ndomains) — what
+                              ///  ready-list shards and the starvation board
+                              ///  are keyed by (node ids can be sparse, e.g.
+                              ///  an XK_CPUSET spanning nodes 0 and 2)
   };
 
   std::vector<Slot> slots;    ///< one per worker

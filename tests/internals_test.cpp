@@ -318,6 +318,141 @@ TEST(ReadyListTest, LazySweepReleasesWatchedChainUnderLoad) {
 }
 
 // ---------------------------------------------------------------------------
+// Domain-sharded ready lists.
+// ---------------------------------------------------------------------------
+
+TEST(ReadyListShard, LocalShardFirstPopOrder) {
+  RlFixture fx;
+  double chain = 0, other = 0;
+  xk::Task* t0 = fx.add(&chain, 8, xk::AccessMode::kReadWrite);
+  xk::Task* t1 = fx.add(&chain, 8, xk::AccessMode::kReadWrite);
+  xk::Task* t2 = fx.add(&other, 8, xk::AccessMode::kWrite);
+
+  xk::ReadyList rl(fx.frame, /*nshards=*/2);
+  EXPECT_EQ(rl.nshards(), 2u);
+  rl.extend(/*shard=*/0);  // covering combiner ran in domain 0
+  EXPECT_EQ(rl.shard_ready_size(0), 2u);  // t0 and the independent t2
+  EXPECT_EQ(rl.shard_ready_size(1), 0u);
+
+  xk::Task* out[1] = {};
+  std::uint64_t hits = 0, misses = 0;
+  ASSERT_EQ(rl.pop_ready_claimed_batch(out, 1, /*shard=*/0, &hits, &misses),
+            1u);
+  EXPECT_EQ(out[0], t0);
+  EXPECT_EQ(hits, 1u);
+  EXPECT_EQ(misses, 0u);
+
+  // t0 completes on a domain-1 worker: its successor t1 is released into
+  // shard 1 (producer-side routing — the finisher just wrote t1's input).
+  rl.on_complete(t0, /*shard=*/1);
+  t0->state.store(xk::TaskState::kTerm);
+  EXPECT_EQ(rl.shard_ready_size(1), 1u);
+
+  // A domain-1 popper takes its own shard's t1 first although t2 (shard 0)
+  // is older in program order: locality beats global FIFO across shards.
+  hits = misses = 0;
+  ASSERT_EQ(rl.pop_ready_claimed_batch(out, 1, /*shard=*/1, &hits, &misses),
+            1u);
+  EXPECT_EQ(out[0], t1);
+  EXPECT_EQ(hits, 1u);
+  EXPECT_EQ(misses, 0u);
+
+  // Own shard dry: the pop crosses into shard 0 and counts a miss.
+  hits = misses = 0;
+  ASSERT_EQ(rl.pop_ready_claimed_batch(out, 1, /*shard=*/1, &hits, &misses),
+            1u);
+  EXPECT_EQ(out[0], t2);
+  EXPECT_EQ(hits, 0u);
+  EXPECT_EQ(misses, 1u);
+  EXPECT_EQ(rl.ready_size(), 0u);
+}
+
+TEST(ReadyListShard, SingleShardKeepsGlobalFifo) {
+  // The flat collapse: one shard, every producer/popper shard argument
+  // clamps to it, order is the original global FIFO.
+  RlFixture fx;
+  double a = 0, b = 0;
+  xk::Task* t0 = fx.add(&a, 8, xk::AccessMode::kWrite);
+  xk::Task* t1 = fx.add(&b, 8, xk::AccessMode::kWrite);
+  xk::ReadyList rl(fx.frame, /*nshards=*/1);
+  rl.extend(/*shard=*/7);  // out-of-range shard ids clamp, not crash
+  EXPECT_EQ(rl.pop_ready_claimed(/*shard=*/3), t0);
+  EXPECT_EQ(rl.pop_ready_claimed(), t1);
+}
+
+TEST(ReadyListShard, BoardTracksShardDepths) {
+  xk::StarvationBoard board;
+  board.init(2);
+  RlFixture fx;
+  double a = 0, b = 0, c = 0;
+  fx.add(&a, 8, xk::AccessMode::kWrite);
+  xk::Task* t1 = fx.add(&b, 8, xk::AccessMode::kWrite);
+  fx.add(&c, 8, xk::AccessMode::kWrite);
+  {
+    xk::ReadyList rl(fx.frame, 2, &board);
+    rl.extend(/*shard=*/1);
+    EXPECT_EQ(board.ready_depth(1), 3);
+    EXPECT_EQ(board.ready_depth(0), 0);
+    xk::Task* out[1] = {};
+    ASSERT_EQ(rl.pop_ready_claimed_batch(out, 1, 1), 1u);
+    EXPECT_EQ(board.ready_depth(1), 2);
+    // Owner FIFO claims and finishes t1 while its id still sits in the
+    // shard deque: the gauge contribution must return at completion, not
+    // wait for a combiner to pop the dead id — phantom depth would veto
+    // real starvation verdicts.
+    ASSERT_TRUE(t1->try_claim(xk::TaskState::kRunOwner));
+    rl.on_complete(t1, /*shard=*/1);
+    t1->state.store(xk::TaskState::kTerm);
+    EXPECT_EQ(board.ready_depth(1), 1);
+    // rl destroyed with one live task still queued (plus t1's dead id):
+    // the destructor returns exactly the live contribution.
+  }
+  EXPECT_EQ(board.ready_depth(1), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Starvation board.
+// ---------------------------------------------------------------------------
+
+TEST(StarvationBoardTest, ThresholdProgressAndReadyVeto) {
+  xk::StarvationBoard b;
+  b.init(2);
+  EXPECT_FALSE(b.starving(1, 2));
+  b.record_failed_round(1);
+  EXPECT_FALSE(b.starving(1, 2));
+  b.record_failed_round(1);
+  EXPECT_TRUE(b.starving(1, 2));
+  EXPECT_FALSE(b.starving(0, 2));  // per-domain: domain 0 untouched
+  // Progress (any successful steal by a domain thief) clears the gauge.
+  b.record_progress(1);
+  EXPECT_FALSE(b.starving(1, 2));
+  // Queued ready work in the domain's shards vetoes the verdict even past
+  // the failed-round threshold.
+  b.record_failed_round(1);
+  b.record_failed_round(1);
+  b.add_ready(1, 1);
+  EXPECT_FALSE(b.starving(1, 2));
+  b.add_ready(1, -1);
+  EXPECT_TRUE(b.starving(1, 2));
+  // Threshold 0 disables the signal outright.
+  EXPECT_FALSE(b.starving(1, 0));
+  // Section-boundary reset (Runtime::begin): failed rounds clear, ready
+  // depths are real state and survive.
+  b.add_ready(0, 3);
+  b.reset_rounds();
+  EXPECT_FALSE(b.starving(1, 2));
+  EXPECT_EQ(b.ready_depth(0), 3);
+}
+
+TEST(StarvationBoardTest, UninitializedBoardIsInert) {
+  xk::StarvationBoard b;
+  b.record_failed_round(0);
+  b.add_ready(0, 5);
+  EXPECT_FALSE(b.starving(0, 1));
+  EXPECT_EQ(b.ready_depth(0), 0);
+}
+
+// ---------------------------------------------------------------------------
 // Steal-request slot protocol.
 // ---------------------------------------------------------------------------
 
@@ -409,6 +544,42 @@ TEST(TopoSteal, LocalRemoteCountersAccountForEverySteal) {
   // Every successful steal is attributed to exactly one tier.
   EXPECT_EQ(s.steals_ok, s.steals_local + s.steals_remote);
   EXPECT_GT(s.steals_ok, 0u);
+}
+
+TEST(TopoSteal, StarvationSignalEscalatesAsymmetricShape) {
+  // Asymmetric machine, work rooted in the small domain: domain 1's six
+  // thieves can only reach it across the boundary, and with the per-thief
+  // local-tries budget set out of reach only the shared starvation signal
+  // can get them there early.
+  xk::Config cfg;
+  cfg.nworkers = 8;
+  cfg.topo = "1x2+1x6";
+  cfg.place = "compact";       // w0,w1 -> domain 0; w2..w7 -> domain 1
+  cfg.steal_local_tries = 1 << 20;  // per-thief escalation: effectively never
+  cfg.starve_rounds = 2;            // the domain-wide signal must do it
+  xk::Runtime rt(cfg);
+  ASSERT_EQ(rt.ndomains(), 2u);
+  EXPECT_EQ(rt.worker(0).domain(), 0u);
+  EXPECT_EQ(rt.worker(1).domain(), 0u);
+  for (unsigned i = 2; i < 8; ++i) EXPECT_EQ(rt.worker(i).domain(), 1u) << i;
+  EXPECT_EQ(rt.worker(7).domain_rank(), 1u);
+
+  // On a 1-core CI box the tree can drain before the pool workers are ever
+  // scheduled; rerun (accumulating counters) until the signal fired.
+  xk::WorkerStats s;
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    std::uint64_t r = 0;
+    rt.run([&] {
+      counter_fib(&r, 24);
+      xk::sync();
+    });
+    EXPECT_EQ(r, 46368u);
+    s = rt.stats_snapshot();
+    if (s.starvation_escalations > 0 && s.steals_remote > 0) break;
+  }
+  EXPECT_GT(s.starvation_escalations, 0u);
+  EXPECT_GT(s.steals_remote, 0u);
+  EXPECT_EQ(s.steals_ok, s.steals_local + s.steals_remote);
 }
 
 TEST(TopoSteal, FlatMachineCountsEverythingLocal) {

@@ -86,6 +86,67 @@ TEST(TopoSpec, Malformed) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Asymmetric '+' shapes.
+// ---------------------------------------------------------------------------
+
+TEST(TopoSpec, AsymmetricBareCoreShorthand) {
+  // "2+6": one 2-core node plus one 6-core node (bare numbers are one-node
+  // groups once a '+' appears).
+  auto t = xk::Topology::parse_spec("2+6");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_TRUE(t->is_synthetic());
+  EXPECT_EQ(t->ncpus(), 8u);
+  EXPECT_EQ(t->nnodes(), 2u);
+  EXPECT_EQ(t->ncores(), 8u);
+  EXPECT_EQ(t->node_cpus(0).size(), 2u);
+  EXPECT_EQ(t->node_cpus(1).size(), 6u);
+  for (unsigned i = 0; i < 8; ++i) {
+    EXPECT_EQ(t->cpu(i).node, i < 2 ? 0u : 1u) << i;
+    EXPECT_EQ(t->cpu(i).smt, 0u) << i;
+  }
+}
+
+TEST(TopoSpec, AsymmetricExplicitEqualsShorthand) {
+  auto a = xk::Topology::parse_spec("1x2+1x6");
+  auto b = xk::Topology::parse_spec("2+6");
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  ASSERT_EQ(a->ncpus(), b->ncpus());
+  EXPECT_EQ(a->nnodes(), b->nnodes());
+  EXPECT_EQ(a->ncores(), b->ncores());
+  for (unsigned i = 0; i < a->ncpus(); ++i) {
+    EXPECT_EQ(a->cpu(i).os_id, b->cpu(i).os_id) << i;
+    EXPECT_EQ(a->cpu(i).node, b->cpu(i).node) << i;
+  }
+}
+
+TEST(TopoSpec, AsymmetricMixedGroupsWithSmt) {
+  // Two 2-core nodes, then one node of 4 cores x 2 threads: groups compose
+  // with the full "<nodes>x<cores>[x<smt>]" grammar, node ids continuing
+  // across the '+'.
+  auto t = xk::Topology::parse_spec("2x2+1x4x2");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->ncpus(), 12u);
+  EXPECT_EQ(t->nnodes(), 3u);
+  EXPECT_EQ(t->ncores(), 8u);
+  EXPECT_EQ(t->node_cpus(0).size(), 2u);
+  EXPECT_EQ(t->node_cpus(1).size(), 2u);
+  EXPECT_EQ(t->node_cpus(2).size(), 8u);
+  // The SMT group's siblings pair up on shared cores.
+  const unsigned first = t->node_cpus(2)[0];
+  EXPECT_EQ(t->cpu(first).smt, 0u);
+  EXPECT_EQ(t->cpu(first + 1).smt, 1u);
+  EXPECT_EQ(t->cpu(first).core, t->cpu(first + 1).core);
+}
+
+TEST(TopoSpec, AsymmetricMalformed) {
+  for (const char* spec : {"+", "2+", "+6", "2++6", "2+0", "0+4", "2x+4",
+                           "2+6x", "2 + 6", "2+6+", "1x2+x6", "2+6+0x2"}) {
+    EXPECT_FALSE(xk::Topology::parse_spec(spec).has_value()) << spec;
+  }
+}
+
 TEST(TopoFlat, SingleDomain) {
   xk::Topology t = xk::Topology::flat(4);
   EXPECT_FALSE(t.is_synthetic());
@@ -268,6 +329,44 @@ TEST(Placement, OversubscriptionWraps) {
   ASSERT_EQ(p.slots.size(), 8u);
   EXPECT_EQ(p.slots[4].cpu_os_id, p.slots[0].cpu_os_id);
   EXPECT_EQ(p.slots[4].domain, p.slots[0].domain);
+}
+
+TEST(Placement, AsymmetricCompactFollowsNodeSizes) {
+  auto t = xk::Topology::parse_spec("1x2+1x6");
+  ASSERT_TRUE(t.has_value());
+  xk::Placement p = xk::Placement::compute(*t, 8, xk::PlacePolicy::kCompact);
+  ASSERT_EQ(p.slots.size(), 8u);
+  for (unsigned w = 0; w < 8; ++w) {
+    EXPECT_EQ(p.slots[w].domain, w < 2 ? 0u : 1u) << w;
+    EXPECT_EQ(p.slots[w].domain_rank, p.slots[w].domain) << w;
+  }
+  EXPECT_EQ(p.ndomains, 2u);
+}
+
+TEST(Placement, AsymmetricScatterDrainsSmallNodeFirst) {
+  // Scatter round-robins nodes until a node runs out of cpus; the small
+  // node contributes its two, the big one absorbs the rest.
+  auto t = xk::Topology::parse_spec("2+6");
+  ASSERT_TRUE(t.has_value());
+  xk::Placement p = xk::Placement::compute(*t, 8, xk::PlacePolicy::kScatter);
+  std::vector<unsigned> domains;
+  for (const auto& s : p.slots) domains.push_back(s.domain);
+  EXPECT_EQ(domains, (std::vector<unsigned>{0, 1, 0, 1, 1, 1, 1, 1}));
+  EXPECT_EQ(p.ndomains, 2u);
+}
+
+TEST(Placement, DomainRankIsDenseUnderSparseNodeIds) {
+  // A cpuset touching only nodes 0 and 2 of a three-node shape: node ids
+  // keep their sysfs values, ranks compact to {0, 1} (the shard key).
+  auto t = xk::Topology::parse_spec("3x2");
+  ASSERT_TRUE(t.has_value());
+  xk::Placement p = xk::Placement::from_cpuset(*t, {0, 4}, 2);
+  ASSERT_EQ(p.slots.size(), 2u);
+  EXPECT_EQ(p.slots[0].domain, 0u);
+  EXPECT_EQ(p.slots[0].domain_rank, 0u);
+  EXPECT_EQ(p.slots[1].domain, 2u);
+  EXPECT_EQ(p.slots[1].domain_rank, 1u);
+  EXPECT_EQ(p.ndomains, 2u);
 }
 
 TEST(Placement, CpusetOverridesPolicy) {
