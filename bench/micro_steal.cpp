@@ -156,6 +156,37 @@ int main() {
     xkbench::json_counters(counter_set(s));
     add_counter_row(table, "dataflow-grid", cores, t_grid, s);
   }
+
+  // Ready-list lock ablation (XK_RL_LOCK): the dataflow grid again, under
+  // the two-level graph/shard locking vs the pre-split single mutex. A
+  // near-zero attach threshold plus a wider grid (more rows = more blocked
+  // candidates per scan) pushes steal rounds onto the accelerated pop path
+  // even at smoke sizes, so these two series measure the list's locking —
+  // not whether a scan ever got expensive enough to attach one. The two
+  // series run the identical workload; only the lock mode differs. CI
+  // gates split-must-not-lose on them (scripts/check_scaling.py
+  // --baseline-series).
+  const int abl_rows = rows * 2;
+  for (unsigned cores : xkbench::core_counts()) {
+    for (const bool split : {false, true}) {
+      xk::Config cfg = xk::Config::from_env();
+      cfg.nworkers = cores;
+      cfg.rl_lock_split = split;
+      cfg.ready_list_threshold = 4;
+      xk::Runtime rt(cfg);
+      rt.reset_stats();
+      std::vector<double> cells(static_cast<std::size_t>(abl_rows), 1.0);
+      const char* name = split ? "dataflow-grid-rl-split"
+                               : "dataflow-grid-rl-global";
+      xkbench::json_context(name, cores);
+      const double t = xkbench::time_best([&] {
+        rt.run([&] { dataflow_grid(cells, abl_rows, steps, work); });
+      });
+      const xk::WorkerStats s = rt.stats_snapshot();
+      xkbench::json_counters(counter_set(s));
+      add_counter_row(table, name, cores, t, s);
+    }
+  }
   table.print_auto(std::cout);
   return 0;
 }

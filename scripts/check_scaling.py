@@ -7,11 +7,24 @@ series' median at `--fast` workers is below its median at `--slow` workers
 scaling curve flattening again (the steal/idle path regressing to the point
 where extra workers stop paying for themselves).
 
+A second mode gates one series against another at the *same* worker count:
+with --baseline-series the check becomes
+
+    median(--series @ --fast) / median(--baseline-series @ --fast)
+        <= --max-ratio
+
+(<=, not <: a tie passes — "must not lose", not "must win"). CI uses this
+for the ready-list lock ablation: the XK_RL_LOCK=split series must not lose
+to the =global baseline.
+
 Exit codes: 0 ok, 1 scaling regression, 2 malformed/missing input.
 
-Example:
+Examples:
   scripts/check_scaling.py BENCH_fig1_fib.json --series XKaapi \
       --slow 1 --fast 8 --max-ratio 1.0
+  scripts/check_scaling.py BENCH_micro_steal.json \
+      --series dataflow-grid-rl-split \
+      --baseline-series dataflow-grid-rl-global --fast 8 --max-ratio 1.05
 """
 
 import argparse
@@ -19,17 +32,32 @@ import json
 import sys
 
 
+def series_medians(doc, series):
+    medians = {}
+    for r in doc.get("results", []):
+        if r.get("name") == series:
+            medians[int(r["nworkers"])] = float(r["median_s"])
+    return medians
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("json_file", help="schema-v1 BENCH_*.json to check")
     ap.add_argument("--series", default="XKaapi", help="series name")
+    ap.add_argument("--baseline-series", default=None,
+                    help="compare --series against this series at --fast "
+                         "workers instead of scaling --series across worker "
+                         "counts (ablation mode; passes on a tie)")
     ap.add_argument("--slow", type=int, default=1,
-                    help="baseline worker count (default 1)")
+                    help="baseline worker count (default 1; ignored in "
+                         "ablation mode)")
     ap.add_argument("--fast", type=int, default=8,
                     help="scaled worker count (default 8)")
     ap.add_argument("--max-ratio", type=float, default=1.0,
-                    help="fail when median(fast)/median(slow) >= this "
-                         "(default 1.0: fast must be strictly faster)")
+                    help="scaling mode: fail when median(fast)/median(slow) "
+                         ">= this (default 1.0: fast must be strictly "
+                         "faster). Ablation mode: fail when "
+                         "median(series)/median(baseline) > this")
     args = ap.parse_args()
 
     try:
@@ -42,10 +70,31 @@ def main() -> int:
         print("error: unexpected schema_version", file=sys.stderr)
         return 2
 
-    medians = {}
-    for r in doc.get("results", []):
-        if r.get("name") == args.series:
-            medians[int(r["nworkers"])] = float(r["median_s"])
+    medians = series_medians(doc, args.series)
+
+    if args.baseline_series is not None:
+        base = series_medians(doc, args.baseline_series)
+        if args.fast not in medians or args.fast not in base:
+            print(f"error: need worker count {args.fast} in both "
+                  f"'{args.series}' (have {sorted(medians)}) and "
+                  f"'{args.baseline_series}' (have {sorted(base)})",
+                  file=sys.stderr)
+            return 2
+        base_s, new_s = base[args.fast], medians[args.fast]
+        ratio = new_s / base_s if base_s > 0 else float("inf")
+        ok = ratio <= args.max_ratio
+        verdict = "ok" if ok else "REGRESSION"
+        print(f"{args.series} vs {args.baseline_series} @{args.fast}w: "
+              f"{new_s * 1e3:.3f}ms vs {base_s * 1e3:.3f}ms "
+              f"ratio={ratio:.3f} (limit {args.max_ratio}) -> {verdict}")
+        if not ok:
+            print(f"error: '{args.series}' must not lose to "
+                  f"'{args.baseline_series}' by more than "
+                  f"{args.max_ratio}x at {args.fast} workers",
+                  file=sys.stderr)
+            return 1
+        return 0
+
     missing = [n for n in (args.slow, args.fast) if n not in medians]
     if missing:
         print(f"error: series '{args.series}' lacks worker counts {missing} "

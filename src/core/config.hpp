@@ -79,6 +79,15 @@ struct Config {
   /// one-domain machines collapse to one shard either way.
   bool shard_ready_list = true;
 
+  /// Ready-list locking discipline (XK_RL_LOCK=split|global). `true`
+  /// (split, the default) gives each frame's ReadyList a two-level scheme:
+  /// a graph mutex for the dependence graph plus one lock per domain
+  /// shard, so steal-path pops never contend with completions or coverage
+  /// growth outside their own shard. `false` (global) restores the single
+  /// per-frame mutex — the pre-split behavior, kept as the ablation
+  /// baseline and a debugging fallback.
+  bool rl_lock_split = true;
+
   /// Failed local steal rounds accumulated across a *whole domain's*
   /// thieves (since the domain's last successful steal) before the domain
   /// counts as starving (XK_STARVE_ROUNDS). A starving domain's thieves

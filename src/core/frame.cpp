@@ -26,7 +26,14 @@ void Frame::reset() {
   delete_heap_tasks();
   // The ReadyList destructor returns any still-queued shard entries to the
   // runtime's starvation gauges, so recycling a frame cannot leave a
-  // domain's ready-depth permanently inflated.
+  // domain's ready-depth permanently inflated. It runs lock-free: the
+  // owner only resets after every task reached Term and the Dekker
+  // handshake excluded scanners, so neither the list's graph mutex nor any
+  // shard mutex can be contended (or held) here. The epoch bump below is
+  // also what a *surviving* list would key its coverage reset off — a
+  // ReadyList constructed on this frame checks Frame::epoch() at every
+  // graph-side entry and drops stale coverage (and early-completion
+  // records, which would otherwise alias recycled task addresses).
   delete ready_list.load(std::memory_order_relaxed);
   ready_list.store(nullptr, std::memory_order_relaxed);
   head_.next.store(nullptr, std::memory_order_relaxed);

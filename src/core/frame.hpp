@@ -121,7 +121,11 @@ class Frame {
   /// the steal mutex, consulted by the Term path with a single acquire load.
   /// The list is sharded by locality domain (one ready deque per domain
   /// rank; see readylist.hpp) — callers pass their domain rank so releases
-  /// and pops route through their own domain's shard first.
+  /// and pops route through their own domain's shard first. Internally the
+  /// list uses two-level graph/shard locking (XK_RL_LOCK); the frame never
+  /// participates in that locking — reset()/~Frame delete the list only
+  /// after the Dekker handshake excluded every scanner, so no list lock
+  /// can be held or wanted at that point.
   std::atomic<ReadyList*> ready_list{nullptr};
 
   /// Set by a combiner (inside the scanning window) when it steal-claims a

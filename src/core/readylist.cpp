@@ -1,12 +1,16 @@
 #include "core/readylist.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 namespace xk {
 
-ReadyList::ReadyList(Frame& frame, unsigned nshards, StarvationBoard* board)
+ReadyList::ReadyList(Frame& frame, unsigned nshards, StarvationBoard* board,
+                     RlLockMode lock_mode)
     : frame_(frame),
       board_(board),
+      split_(lock_mode == RlLockMode::kSplit),
+      frame_epoch_(frame.epoch()),
       shards_(std::max(nshards, 1u)) {}
 
 ReadyList::~ReadyList() {
@@ -14,31 +18,103 @@ ReadyList::~ReadyList() {
   // owner's FIFO claimed and ran without a combiner ever popping them);
   // return any gauge contribution not already returned at completion so
   // the board never drifts. Keyed off Node::queued, not the deque sizes:
-  // deques may hold dead ids whose contribution was settled when their
-  // completion arrived.
+  // deques may hold dead entries whose contribution was settled when their
+  // completion arrived. No locks: destruction is owner-only, after the
+  // Dekker handshake has excluded every scanner and every task reached
+  // Term (see Worker::pop_frame / Frame::reset).
   if (board_ == nullptr) return;
-  for (const Node& n : nodes_) {
-    if (n.queued >= 0) board_->add_ready(static_cast<unsigned>(n.queued), -1);
+  for (Node& n : nodes_) {
+    const std::int32_t q = n.queued.load(std::memory_order_relaxed);
+    if (q >= 0) board_->add_ready(static_cast<unsigned>(q), -1);
   }
 }
 
-void ReadyList::push_ready_locked(std::uint32_t id, unsigned shard) {
-  shards_[shard].push_back(id);
-  nodes_[id].queued = static_cast<std::int32_t>(shard);
-  ++nready_;
+unsigned ReadyList::wrap_shard(unsigned shard) const {
+  const unsigned ns = nshards();
+  assert((shard < ns || ns == 1) &&
+         "domain rank out of shard range (routing bug upstream)");
+  return shard < ns ? shard : shard % ns;
+}
+
+/// Settles `n`'s board/depth contribution if it still has one. Called
+/// right after a pop (split mode: the popper has already dropped the
+/// shard lock by then) and at completion (under graph_mu_) — whichever
+/// comes first wins the exchange; the other sees -1 and does nothing.
+/// The atomic exchange is the whole synchronization: the two callers
+/// share no lock.
+void ReadyList::settle_queued(Node* n) {
+  const std::int32_t q = n->queued.exchange(-1, std::memory_order_relaxed);
+  if (q < 0) return;
+  shards_[static_cast<unsigned>(q)].depth.fetch_sub(1,
+                                                    std::memory_order_relaxed);
+  if (board_ != nullptr) board_->add_ready(static_cast<unsigned>(q), -1);
+}
+
+/// Appends `n` to `shard`'s deque. Caller holds the shard's mutex (split)
+/// or graph_mu_ (global).
+void ReadyList::push_ready_shard_held(Node* n, unsigned shard) {
+  n->queued.store(static_cast<std::int32_t>(shard), std::memory_order_relaxed);
+  shards_[shard].q.push_back(n);
+  shards_[shard].depth.fetch_add(1, std::memory_order_relaxed);
+  nready_.fetch_add(1, std::memory_order_relaxed);
+  // The board's ready-depth update rides the same shard lock as the deque
+  // push, so a starvation reader never sees depth lag the queue by more
+  // than the relaxed-gauge staleness it already tolerates.
   if (board_ != nullptr) board_->add_ready(shard, 1);
 }
 
-/// Returns `id`'s board contribution if it still has one (called at pop and
-/// at completion — whichever comes first settles the gauge; the other finds
-/// queued already cleared).
-void ReadyList::unaccount_ready_locked(std::uint32_t id) {
-  Node& node = nodes_[id];
-  if (node.queued < 0) return;
-  if (board_ != nullptr) {
-    board_->add_ready(static_cast<unsigned>(node.queued), -1);
+void ReadyList::check_epoch_graph_held() {
+  const std::uint64_t e = frame_.epoch();
+  if (e == frame_epoch_.load(std::memory_order_relaxed)) return;
+  frame_epoch_.store(e, std::memory_order_relaxed);
+  reset_coverage_graph_held();
+}
+
+/// Lock-free recycle probe for the pop paths: almost always a single pair
+/// of relaxed loads that match. On a mismatch — only possible on a list
+/// that survived a Frame::reset(), when no concurrent popper can exist
+/// (see the frame_epoch_ declaration) — upgrade to graph_mu_ and drop the
+/// stale coverage, so a pop issued before the new incarnation's first
+/// extend()/on_complete() cannot serve prior-incarnation entries whose
+/// task pointers alias freshly recycled arena storage.
+void ReadyList::check_epoch_pop_path() {
+  if (frame_.epoch() == frame_epoch_.load(std::memory_order_relaxed)) return;
+  std::lock_guard lock(graph_mu_);
+  check_epoch_graph_held();
+}
+
+/// The frame recycled under this list: every Task* in the graph — and
+/// every early-completion key — may now alias a *new* task bump-allocated
+/// at the same arena address. Drop the whole coverage state (nodes, index,
+/// shard deques, watch list, early completions, live intervals) and
+/// restart from index 0 of the new incarnation. Without this, stale
+/// `early_completions_` entries leak across sections: the map grows
+/// without bound on a long-lived list whose sections end before extend()
+/// reaches full coverage, and a leaked entry can mark an address-aliased
+/// new task completed before it ever ran.
+///
+/// Scope note: in-tree this path is defensive — Frame::reset() deletes
+/// the attached list before bumping the epoch, so only a list owned
+/// *outside* the frame (the test-suite idiom, or an embedder holding its
+/// own list) ever observes a recycle. The check makes the list's
+/// lifetime contract self-contained instead of relying on every owner to
+/// destroy it first; its steady-state cost is one relaxed epoch compare
+/// per public entry point.
+void ReadyList::reset_coverage_graph_held() {
+  for (Node& n : nodes_) settle_queued(&n);
+  for (unsigned s = 0; s < nshards(); ++s) {
+    ShardGuard guard(shards_[s], split_);
+    shards_[s].q.clear();
   }
-  node.queued = -1;
+  nready_.store(0, std::memory_order_relaxed);
+  nodes_.clear();
+  index_.clear();
+  early_completions_.clear();
+  watch_.clear();
+  live_.clear();
+  extend_ready_scratch_.clear();
+  max_span_ = 0;
+  covered_count_ = 0;
 }
 
 void ReadyList::extend(unsigned shard) {
@@ -47,43 +123,63 @@ void ReadyList::extend(unsigned shard) {
   // covering a 100k-task frame in one go would stall the owner for the whole
   // build. Remaining tasks are covered by subsequent combiner rounds.
   constexpr std::uint32_t kMaxPerRound = 2048;
-  std::lock_guard lock(mu_);
-  shard = clamp_shard(shard);
+  std::lock_guard lock(graph_mu_);
+  shard = wrap_shard(shard);
+  check_epoch_graph_held();
   const std::uint32_t published = frame_.size_acquire();
   if (covered_count_ >= published) return;
   Frame::Iterator it(frame_);
   it.seek(covered_count_);
   std::uint32_t added = 0;
+  extend_ready_scratch_.clear();
   while (covered_count_ < published && added < kMaxPerRound) {
-    add_node_locked(it.get(), shard);
+    add_node_graph_held(it.get(), shard);
     it.advance();
     ++covered_count_;
     ++added;
   }
+  // Initially-ready nodes collected by add_node_graph_held land in the
+  // covering combiner's shard under ONE lock acquisition — per-node
+  // lock round trips on the combiner's own (hottest) shard would inflate
+  // the coverage stall the per-round cap exists to bound. Coverage order
+  // is preserved; only the publication is batched.
+  if (!extend_ready_scratch_.empty()) {
+    ShardGuard guard(shards_[shard], split_);
+    for (Node* n : extend_ready_scratch_) push_ready_shard_held(n, shard);
+    extend_ready_scratch_.clear();
+  }
 }
 
-void ReadyList::add_node_locked(Task* t, unsigned shard) {
-  const auto id = static_cast<std::uint32_t>(nodes_.size());
-  nodes_.push_back(Node{t, 0, false, {}});
-  live_refs_.emplace_back();
-  index_.emplace(t, id);
-  Node& node = nodes_.back();
+void ReadyList::watch_graph_held(Node* n) {
+  if (n->watched) return;  // already on the watch deque: one entry suffices
+  n->watched = true;
+  watch_.push_back(n);
+}
+
+void ReadyList::add_node_graph_held(Task* t, unsigned shard) {
+  nodes_.emplace_back();
+  Node* node = &nodes_.back();
+  node->task = t;
+  index_.emplace(t, node);
 
   // A task that already completed before coverage: record and move on.
   const TaskState s = t->load_state();
   const bool already_done =
       s == TaskState::kTerm || early_completions_.count(t) != 0;
   if (already_done) {
-    node.completed = true;
+    node->completed.store(true, std::memory_order_relaxed);
     early_completions_.erase(t);
     return;
   }
   // Covered while already claimed: it may have loaded frame.ready_list
   // before the attach and thus terminate without notifying — watch it so
   // the lazy sweep folds the completion in.
-  if (s != TaskState::kInit) watch_.push_back(id);
+  if (s != TaskState::kInit) watch_graph_held(node);
 
   // Count conflicts against live (non-completed) predecessors' accesses.
+  // npred stores are relaxed: the node is not published to any shard or
+  // watcher until this function returns, and all graph-side writers hold
+  // graph_mu_.
   for (std::uint32_t a = 0; a < t->naccesses; ++a) {
     const Access& acc = t->accesses[a];
     if (acc.mode == AccessMode::kNone || acc.mode == AccessMode::kScratch)
@@ -96,12 +192,11 @@ void ReadyList::add_node_locked(Task* t, unsigned shard) {
     for (auto itv = live_.lower_bound(from);
          itv != live_.end() && itv->first < hi; ++itv) {
       const ChainEntry& e = itv->second;
-      if (e.node == id) continue;
+      if (e.node == node) continue;
       if (!accesses_conflict(*e.acc, acc)) continue;
-      Node& pred = nodes_[e.node];
-      if (pred.completed) continue;
-      pred.successors.push_back(id);
-      ++node.npred;
+      if (e.node->completed.load(std::memory_order_relaxed)) continue;
+      e.node->successors.push_back(node);
+      node->npred.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -113,45 +208,70 @@ void ReadyList::add_node_locked(Task* t, unsigned shard) {
     const std::uintptr_t lo = acc.region.lo();
     const std::uintptr_t span = acc.region.hi() - lo;
     max_span_ = std::max(max_span_, span);
-    auto itv = live_.emplace(lo, ChainEntry{id, &acc});
-    live_refs_[id].push_back(itv);
+    auto itv = live_.emplace(lo, ChainEntry{node, &acc});
+    node->live_refs.push_back(itv);
   }
 
-  if (node.npred == 0 && t->load_state() == TaskState::kInit) {
-    push_ready_locked(id, shard);
+  if (node->npred.load(std::memory_order_relaxed) == 0 &&
+      t->load_state() == TaskState::kInit) {
+    // Deferred to extend()'s one batched shard-lock acquisition. A claim
+    // landing between this check and the batched push just produces a
+    // queued-while-claimed entry — the same race the per-node push had,
+    // absorbed by the pop path's claim-race fold/watch machinery.
+    extend_ready_scratch_.push_back(node);
   }
 }
 
 void ReadyList::on_complete(Task* t, unsigned shard) {
-  std::lock_guard lock(mu_);
+  shard = wrap_shard(shard);
+  std::lock_guard lock(graph_mu_);
+  check_epoch_graph_held();
   auto found = index_.find(t);
   if (found == index_.end()) {
     early_completions_.emplace(t, true);
     return;
   }
-  complete_node_locked(found->second, clamp_shard(shard));
+  complete_node_graph_held(found->second, shard);
 }
 
-void ReadyList::complete_node_locked(std::uint32_t id, unsigned shard) {
-  Node& node = nodes_[id];
-  if (node.completed) return;
-  node.completed = true;
+/// Graph half of a completion (caller holds graph_mu_): marks the node
+/// done, settles its gauge, retires its live-access intervals, then
+/// releases successors whose last predecessor this was. The release batch
+/// takes exactly one shard lock — the target shard's — because producer
+/// routing sends every released successor to the finisher's shard; that
+/// single lock acquisition is the release/acquire edge handing the
+/// finisher's writes to whichever popper claims a successor. Returns the
+/// number of successors released.
+std::size_t ReadyList::complete_node_graph_held(Node* n, unsigned shard) {
+  if (n->completed.load(std::memory_order_relaxed)) return 0;
+  n->completed.store(true, std::memory_order_relaxed);
   // A node can complete while still sitting in a shard deque (the owner's
-  // FIFO claimed and ran it); its id stays queued as a dead entry until a
+  // FIFO claimed and ran it); its entry stays queued as a dead one until a
   // pop discards it, but its board contribution must not — phantom depth
   // would veto real starvation verdicts for the shard's domain.
-  unaccount_ready_locked(id);
-  for (auto itv : live_refs_[id]) live_.erase(itv);
-  live_refs_[id].clear();
-  for (std::uint32_t succ : node.successors) {
-    Node& s = nodes_[succ];
-    if (s.npred > 0 && --s.npred == 0 && !s.completed) {
+  settle_queued(n);
+  for (auto itv : n->live_refs) live_.erase(itv);
+  n->live_refs.clear();
+  std::size_t released = 0;
+  if (!n->successors.empty()) {
+    ShardGuard guard(shards_[shard], split_);
+    for (Node* succ : n->successors) {
+      // The npred>0 probe guards against underflow on defensive grounds
+      // only: every (pred, succ) conflict edge pairs one increment at
+      // coverage with one decrement at the predecessor's single
+      // completion. acq_rel on the decrement chains the memory effects of
+      // every non-final completer into the final one (see readylist.hpp).
+      if (succ->npred.load(std::memory_order_relaxed) == 0) continue;
+      if (succ->npred.fetch_sub(1, std::memory_order_acq_rel) != 1) continue;
+      if (succ->completed.load(std::memory_order_relaxed)) continue;
       // Producer-side routing: the released successor joins the finisher's
       // shard — its inputs were just written by a worker of that domain.
-      push_ready_locked(succ, shard);
+      push_ready_shard_held(succ, shard);
+      ++released;
     }
+    n->successors.clear();
   }
-  node.successors.clear();
+  return released;
 }
 
 Task* ReadyList::pop_ready_claimed(unsigned shard) {
@@ -163,12 +283,20 @@ std::size_t ReadyList::pop_ready_claimed_batch(Task** out, std::size_t max,
                                                unsigned shard,
                                                std::uint64_t* shard_hits,
                                                std::uint64_t* shard_misses) {
-  std::lock_guard lock(mu_);
-  return pop_batch_locked(out, max, clamp_shard(shard), shard_hits,
-                          shard_misses);
+  shard = wrap_shard(shard);
+  if (!split_) {
+    std::lock_guard lock(graph_mu_);
+    check_epoch_graph_held();
+    return pop_batch_global(out, max, shard, shard_hits, shard_misses);
+  }
+  check_epoch_pop_path();
+  return pop_batch_split(out, max, shard, shard_hits, shard_misses);
 }
 
-std::size_t ReadyList::pop_batch_locked(Task** out, std::size_t max,
+/// Global-mode batch pop: the whole call under graph_mu_, preserving the
+/// pre-split behavior exactly — pop order, inline claim-race folds, the
+/// single lazy sweep per call (the XK_RL_LOCK ablation baseline).
+std::size_t ReadyList::pop_batch_global(Task** out, std::size_t max,
                                         unsigned home,
                                         std::uint64_t* shard_hits,
                                         std::uint64_t* shard_misses) {
@@ -176,10 +304,10 @@ std::size_t ReadyList::pop_batch_locked(Task** out, std::size_t max,
   bool swept = false;
   const unsigned ns = nshards();
   while (got < max) {
-    if (nready_ == 0) {
+    if (nready_.load(std::memory_order_relaxed) == 0) {
       // One lazy catch-up pass over the watched (claimed-elsewhere) nodes
       // per call: fold in completions whose notification raced the attach.
-      if (swept || !sweep_watch_locked(home)) break;
+      if (swept || !sweep_watch_graph_held(home)) break;
       swept = true;
       continue;
     }
@@ -188,15 +316,14 @@ std::size_t ReadyList::pop_batch_locked(Task** out, std::size_t max,
     // (the miss path) is what keeps work flowing when a domain's own shard
     // is dry; the hit/miss split is the locality telemetry.
     unsigned shard = home;
-    for (unsigned k = 1; k < ns && shards_[shard].empty(); ++k) {
+    for (unsigned k = 1; k < ns && shards_[shard].q.empty(); ++k) {
       shard = (home + k) % ns;
     }
-    const std::uint32_t id = shards_[shard].front();
-    shards_[shard].pop_front();
-    --nready_;
-    unaccount_ready_locked(id);  // no-op for dead ids settled at completion
-    Node& node = nodes_[id];
-    Task* t = node.task;
+    Node* node = shards_[shard].q.front();
+    shards_[shard].q.pop_front();
+    nready_.fetch_sub(1, std::memory_order_relaxed);
+    settle_queued(node);  // no-op for dead entries settled at completion
+    Task* t = node->task;
     if (t->try_claim(TaskState::kStolenClaim)) {
       // The hit/miss split is only meaningful when there is more than one
       // shard; counting a forced single shard as all-hits would make the
@@ -212,7 +339,7 @@ std::size_t ReadyList::pop_batch_locked(Task** out, std::size_t max,
       // Watched as a safety net: the thief that runs a popped task re-reads
       // frame.ready_list before Term, but watching costs one sweep visit
       // and makes a silently-terminated claim impossible to strand.
-      watch_.push_back(id);
+      watch_graph_held(node);
       out[got++] = t;
       continue;
     }
@@ -220,62 +347,228 @@ std::size_t ReadyList::pop_batch_locked(Task** out, std::size_t max,
     // completion immediately — its successors enter the popper's shard
     // now, ahead of younger releases, so oldest-ready order survives the
     // contention — otherwise watch it for the lazy sweep.
-    if (!node.completed) {
+    if (!node->completed.load(std::memory_order_relaxed)) {
       if (t->load_state() == TaskState::kTerm) {
         ++missed_folds_;
-        complete_node_locked(id, home);
+        complete_node_graph_held(node, home);
       } else {
-        watch_.push_back(id);
+        watch_graph_held(node);
       }
     }
   }
   return got;
 }
 
+/// Pops `rank`'s oldest entry, or nullptr when the deque is empty. Caller
+/// holds the shard's mutex — this is the one place split-mode pop
+/// bookkeeping (deque + nready_) happens, shared by all three passes of
+/// pop_entry_split so they cannot drift apart.
+ReadyList::Node* ReadyList::take_front_shard_held(unsigned rank,
+                                                  unsigned* from) {
+  Shard& s = shards_[rank];
+  if (s.q.empty()) return nullptr;
+  Node* n = s.q.front();
+  s.q.pop_front();
+  nready_.fetch_sub(1, std::memory_order_relaxed);
+  *from = rank;
+  return n;
+}
+
+/// Pops one entry under shard locks only: the home shard with a blocking
+/// lock (it is this domain's own lock — the common case is uncontended and
+/// a busy hold is a neighbor about to finish), then every other shard via
+/// try_lock in rank order (never stall on a remote domain's lock while it
+/// serves its own traffic). Only when the full try pass produced nothing —
+/// every other shard either empty or busy — does a pass fall back to
+/// blocking locks, so a popper cannot spin past work pinned behind a
+/// momentarily-held lock. Returns nullptr when every shard was seen empty.
+ReadyList::Node* ReadyList::pop_entry_split(unsigned home, unsigned* from) {
+  const unsigned ns = nshards();
+  {
+    std::lock_guard lock(shards_[home].mu);
+    if (Node* n = take_front_shard_held(home, from)) return n;
+  }
+  bool any_busy = false;
+  for (unsigned k = 1; k < ns; ++k) {
+    const unsigned r = (home + k) % ns;
+    Shard& s = shards_[r];
+    if (!s.mu.try_lock()) {
+      any_busy = true;
+      continue;
+    }
+    std::lock_guard lock(s.mu, std::adopt_lock);
+    if (Node* n = take_front_shard_held(r, from)) return n;
+  }
+  if (!any_busy) return nullptr;  // every shard inspected and empty
+  // Blocking fallback. Any shard seen empty under its lock above — home
+  // included: a completion may have routed successors there since the
+  // entry probe — could by now hold work again, so the pass re-probes all
+  // of them rather than tracking which try_lock failed. The extra
+  // uncontended lock/unlock is cheaper than it sounds, and this path only
+  // runs when the try pass came up dry with at least one shard busy.
+  for (unsigned k = 0; k < ns; ++k) {
+    const unsigned r = (home + k) % ns;
+    std::lock_guard lock(shards_[r].mu);
+    if (Node* n = take_front_shard_held(r, from)) return n;
+  }
+  return nullptr;
+}
+
+/// Claim-race handling off the split pop path (no shard lock held — the
+/// entry was already popped): under graph_mu_, fold a silently-terminated
+/// claim's completion into the popper's home shard, or put the still-
+/// running claim under watch. The rare path: claim races only happen when
+/// the owner's FIFO reached a task a combiner had queued.
+void ReadyList::fold_or_watch(Node* n, unsigned home) {
+  std::lock_guard lock(graph_mu_);
+  if (n->completed.load(std::memory_order_relaxed)) return;  // settled
+  if (n->task->load_state() == TaskState::kTerm) {
+    ++missed_folds_;
+    complete_node_graph_held(n, home);
+  } else {
+    watch_graph_held(n);
+  }
+}
+
+/// Split-mode batch pop: per-entry shard locking, graph_mu_ only on the
+/// rare paths (claim-race folds, the dry-list sweep, and one batched watch
+/// registration before returning).
+std::size_t ReadyList::pop_batch_split(Task** out, std::size_t max,
+                                       unsigned home,
+                                       std::uint64_t* shard_hits,
+                                       std::uint64_t* shard_misses) {
+  std::size_t got = 0;
+  bool swept = false;
+  int dry_probes = 0;
+  const unsigned ns = nshards();
+  // Claim-success nodes awaiting watch registration, batched into one
+  // graph_mu_ acquisition per kWatchBuf pops (one per call in practice:
+  // batches are steal-k sized): the claimed tasks are handed out only when
+  // this call returns, so none can run — let alone silently terminate —
+  // before its watch entry exists.
+  constexpr std::size_t kWatchBuf = 16;
+  Node* to_watch[kWatchBuf];
+  std::size_t nwatch = 0;
+  auto flush_watches = [&] {
+    if (nwatch == 0) return;
+    std::lock_guard lock(graph_mu_);
+    for (std::size_t i = 0; i < nwatch; ++i) watch_graph_held(to_watch[i]);
+    nwatch = 0;
+  };
+  while (got < max) {
+    if (nready_.load(std::memory_order_relaxed) == 0) {
+      // One lazy catch-up pass over the watched (claimed-elsewhere) nodes
+      // per call: fold in completions whose notification raced the attach.
+      if (swept) break;
+      swept = true;
+      bool released;
+      {
+        std::lock_guard lock(graph_mu_);
+        released = sweep_watch_graph_held(home);
+      }
+      if (!released) break;
+      continue;
+    }
+    unsigned from = home;
+    Node* node = pop_entry_split(home, &from);
+    if (node == nullptr) {
+      // nready_ was stale: concurrent poppers drained the shards between
+      // our read and our probes (or a push's count preceded visibility of
+      // its entry). One clean retry, then report what we have — a missed
+      // straggler is re-found by the next combiner round, and spinning
+      // here against an active producer would hold up the whole deal.
+      if (++dry_probes >= 2) break;
+      continue;
+    }
+    dry_probes = 0;
+    settle_queued(node);  // no-op for dead entries settled at completion
+    Task* t = node->task;
+    if (t->try_claim(TaskState::kStolenClaim)) {
+      if (ns > 1) {  // single-shard runs report no telemetry (see global)
+        if (from == home) {
+          if (shard_hits != nullptr) ++*shard_hits;
+        } else if (shard_misses != nullptr) {
+          ++*shard_misses;
+        }
+      }
+      if (nwatch == kWatchBuf) flush_watches();
+      to_watch[nwatch++] = node;
+      out[got++] = t;
+      continue;
+    }
+    // Claimed elsewhere (victim FIFO won the race): settled entries are
+    // skipped with a relaxed read; live races fold or watch under
+    // graph_mu_ — taken here with no shard lock held (the lock order
+    // graph_mu_ -> shard forbids the reverse nesting).
+    if (!node->completed.load(std::memory_order_relaxed)) {
+      fold_or_watch(node, home);
+    }
+  }
+  flush_watches();
+  return got;
+}
+
 /// Walks the watch deque once, dropping settled nodes and folding in
 /// terminations whose on_complete never arrived (releases land in the
 /// sweeping popper's `shard`). Returns true when the fold released at
-/// least one task into a shard.
-bool ReadyList::sweep_watch_locked(unsigned shard) {
-  bool released = false;
+/// least one task into a shard. Caller holds graph_mu_.
+bool ReadyList::sweep_watch_graph_held(unsigned shard) {
+  std::size_t released = 0;
   for (std::size_t n = watch_.size(); n > 0; --n) {
-    const std::uint32_t id = watch_.front();
+    Node* node = watch_.front();
     watch_.pop_front();
-    Node& node = nodes_[id];
-    if (node.completed) continue;  // notified normally; settled
-    if (node.task->load_state() == TaskState::kTerm) {
-      ++missed_folds_;
-      complete_node_locked(id, shard);
-      released = released || nready_ != 0;
+    if (node->completed.load(std::memory_order_relaxed)) {
+      node->watched = false;  // notified normally; settled
       continue;
     }
-    watch_.push_back(id);  // still in flight; keep watching, FIFO order
+    if (node->task->load_state() == TaskState::kTerm) {
+      ++missed_folds_;
+      node->watched = false;
+      released += complete_node_graph_held(node, shard);
+      continue;
+    }
+    watch_.push_back(node);  // still in flight; keep watching, FIFO order
   }
-  return released;
+  return released != 0;
 }
 
 std::size_t ReadyList::covered() const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(graph_mu_);
   return covered_count_;
 }
 
 std::size_t ReadyList::ready_size() const {
-  std::lock_guard lock(mu_);
-  return nready_;
+  return nready_.load(std::memory_order_relaxed);
 }
 
 std::size_t ReadyList::shard_ready_size(unsigned shard) const {
-  std::lock_guard lock(mu_);
-  return shard < nshards() ? shards_[shard].size() : 0;
+  if (shard >= nshards()) return 0;
+  auto& self = *const_cast<ReadyList*>(this);
+  // Global mode guards the deques with graph_mu_, not the (unused) shard
+  // mutexes — a no-op guard here would race writers under graph_mu_.
+  std::unique_lock<std::mutex> graph_lock;
+  if (!split_) graph_lock = std::unique_lock(self.graph_mu_);
+  ShardGuard guard(self.shards_[shard], split_);
+  return shards_[shard].q.size();
+}
+
+std::int64_t ReadyList::shard_live_depth(unsigned shard) const {
+  if (shard >= nshards()) return 0;
+  return shards_[shard].depth.load(std::memory_order_relaxed);
 }
 
 std::size_t ReadyList::watched_size() const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(graph_mu_);
   return watch_.size();
 }
 
+std::size_t ReadyList::early_completion_count() const {
+  std::lock_guard lock(graph_mu_);
+  return early_completions_.size();
+}
+
 std::uint64_t ReadyList::missed_folds() const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(graph_mu_);
   return missed_folds_;
 }
 

@@ -1,5 +1,5 @@
 // ReadyList — the "accelerating data structure for steal operations" (§II-C),
-// sharded by locality domain.
+// sharded by locality domain with two-level graph/shard locking.
 //
 // "When the cost of computing ready tasks becomes important, the runtime
 // attaches to the victim an accelerating data structure ... a list that gets
@@ -23,18 +23,49 @@
 // lines and successors tend to run where their predecessor's output is hot.
 // Flat machines construct one shard and keep the original global-FIFO
 // behavior exactly. The optional StarvationBoard hook mirrors each shard's
-// depth into the runtime's per-domain gauges so "this domain has queued
+// live depth into the runtime's per-domain gauges so "this domain has queued
 // ready work" can veto the starvation verdict.
 //
-// Locking: every mutation (extend / completion / pop) happens under `mu_`.
-// The dependence graph (nodes_, index_, live_) is shared across shards, so
-// sharding splits the *deques* (routing + cache locality), not the lock;
-// combiner passes already serialize on the victim's steal mutex above this
-// one. The lock also provides the release/acquire edge that makes a
-// completed task's memory effects visible to the worker that claims a
-// successor from any shard.
+// Locking (XK_RL_LOCK=split, the default): two levels instead of the old
+// single per-frame mutex, so a pop in one domain no longer stalls a
+// completion in another.
+//
+//  * `graph_mu_` guards the dependence graph: `nodes_` growth, `index_`,
+//    `early_completions_`, coverage (`covered_count_` + the frame-epoch
+//    check), the live-access interval index and the watch deque. It is
+//    taken by extend()/add_node, by the graph half of a completion, and by
+//    the rare pop-side paths (claim-race folds, the lazy watch sweep,
+//    batched watch registration) — never by the per-entry pop hot path.
+//  * each `Shard{mutex, deque, depth}` guards its own ready deque. Pops
+//    take only their home shard's lock, crossing other shards via try_lock
+//    in rank order and falling back to blocking locks only when every
+//    shard's try produced nothing. A completion's release batch takes
+//    exactly one shard lock (the finisher's — all released successors are
+//    routed there).
+//
+// Lock order is strictly graph_mu_ -> one shard mutex; no path ever holds
+// two shard locks or acquires graph_mu_ while holding a shard lock.
+//
+// The release/acquire edge the old single lock provided — a completed
+// task's memory effects are visible to whichever worker claims a successor
+// — is re-established per shard: the finisher pushes released successors
+// while holding the target shard's mutex, and the popper acquires that same
+// mutex before reading the deque. When a successor has several
+// predecessors, the non-final completions chain through `graph_mu_` (every
+// completion's graph half runs under it) and, belt-and-braces, through the
+// acq_rel read-modify-write chain on the atomic `npred` — the final
+// decrementer observes every earlier decrementer's writes before it
+// publishes the successor. `nready_` is a relaxed atomic used only for the
+// O(1) "anything queued anywhere?" check on the pop path; shard mutexes
+// provide the real ordering.
+//
+// XK_RL_LOCK=global restores the pre-split discipline — graph_mu_ taken at
+// every public entry point, shard mutexes never touched — byte-for-byte
+// reproducing the old pop order (the ablation baseline and a debugging
+// fallback).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -45,8 +76,14 @@
 #include "core/frame.hpp"
 #include "core/stats.hpp"
 #include "core/task.hpp"
+#include "support/cache.hpp"
 
 namespace xk {
+
+/// Locking discipline for a ReadyList (the XK_RL_LOCK ablation knob):
+/// kSplit = two-level graph/shard locking; kGlobal = the pre-split single
+/// mutex (graph_mu_ serializes everything, exact old behavior).
+enum class RlLockMode : std::uint8_t { kGlobal, kSplit };
 
 class ReadyList {
  public:
@@ -54,17 +91,24 @@ class ReadyList {
   /// unsharded behavior); `board`, when given, tracks shard depths in the
   /// runtime's per-domain starvation gauges.
   explicit ReadyList(Frame& frame, unsigned nshards = 1,
-                     StarvationBoard* board = nullptr);
+                     StarvationBoard* board = nullptr,
+                     RlLockMode lock_mode = RlLockMode::kSplit);
   ~ReadyList();
 
   ReadyList(const ReadyList&) = delete;
   ReadyList& operator=(const ReadyList&) = delete;
 
   unsigned nshards() const { return static_cast<unsigned>(shards_.size()); }
+  RlLockMode lock_mode() const {
+    return split_ ? RlLockMode::kSplit : RlLockMode::kGlobal;
+  }
 
   /// Extends coverage to every task currently published in the frame.
   /// Called by the combiner (steal mutex held); initially-ready tasks land
-  /// in the combiner's own `shard`.
+  /// in the combiner's own `shard`. Detects a frame recycle through the
+  /// frame epoch and drops every prior incarnation's coverage state first
+  /// (stale early-completion records must never mark an address-aliased
+  /// new task as already done).
   void extend(unsigned shard = 0);
 
   /// Pops the oldest ready task — local `shard` first — and claims it
@@ -72,13 +116,20 @@ class ReadyList {
   /// and unclaimed in any shard.
   Task* pop_ready_claimed(unsigned shard = 0);
 
-  /// Pops and claims up to `max` ready tasks under a single lock
-  /// acquisition (the batched-reply path: one combiner pass hands every
-  /// waiting thief work without re-taking the mutex per task). Pops drain
-  /// the popper's own `shard` oldest-first before crossing into other
-  /// shards (rank order, wrapping); `shard_hits`/`shard_misses`, when
-  /// non-null, are incremented per pop with the local/cross split. Returns
-  /// the number of tasks written to `out`.
+  /// Pops and claims up to `max` ready tasks (the batched-reply path: one
+  /// combiner pass hands every waiting thief work). Pops drain the
+  /// popper's own `shard` oldest-first before crossing into other shards
+  /// (rank order, wrapping); `shard_hits`/`shard_misses`, when non-null,
+  /// are incremented per pop with the local/cross split. Returns the
+  /// number of tasks written to `out`.
+  ///
+  /// Under split locking a batch is *not* an atomic snapshot of the list:
+  /// entries pushed by concurrent completions may or may not be seen, and
+  /// an empty return only means every shard looked dry when probed.
+  /// Callers (the combiner's pour/deal) already tolerate short batches —
+  /// an unserved thief simply retries next round. Under XK_RL_LOCK=global
+  /// the whole batch runs under one graph_mu_ acquisition, exactly the old
+  /// single-lock semantics.
   std::size_t pop_ready_claimed_batch(Task** out, std::size_t max,
                                       unsigned shard = 0,
                                       std::uint64_t* shard_hits = nullptr,
@@ -93,73 +144,171 @@ class ReadyList {
 
   /// Diagnostics for tests.
   std::size_t covered() const;
-  std::size_t ready_size() const;  ///< total over all shards
-  std::size_t shard_ready_size(unsigned shard) const;
+  std::size_t ready_size() const;  ///< total queued over all shards (racy
+                                   ///  under split locking: a relaxed read)
+  std::size_t shard_ready_size(unsigned shard) const;  ///< deque length,
+                                                       ///  dead ids included
+  std::int64_t shard_live_depth(unsigned shard) const;  ///< live entries only
   std::size_t watched_size() const;
+  std::size_t early_completion_count() const;
   std::uint64_t missed_folds() const;
 
  private:
+  // Live-access interval index entry type (declared early: Node refs it).
+  struct ChainEntry;
+  using LiveMap = std::multimap<std::uintptr_t, ChainEntry>;
+
+  /// One covered task. Nodes live in a std::deque so their addresses are
+  /// stable while extend() grows the graph: shard deques and the watch
+  /// list hold Node pointers that the pop path dereferences *without*
+  /// graph_mu_, so node storage must never relocate.
   struct Node {
     Task* task = nullptr;
-    std::uint32_t npred = 0;
-    bool completed = false;
-    std::int32_t queued = -1;  ///< shard deque this node sits in, -1 if none;
-                               ///  keyed so the board's ready gauge can be
-                               ///  returned the moment the node completes,
-                               ///  even while its (now dead) id still waits
-                               ///  in the deque — otherwise owner-executed
-                               ///  tasks would leave phantom depth that
-                               ///  vetoes legitimate starvation verdicts
-    std::vector<std::uint32_t> successors;
+    /// Unreleased predecessor count. Atomic: the final decrementer's
+    /// acq_rel RMW chains the memory effects of every earlier completion
+    /// into the successor's publication even though pops never take
+    /// graph_mu_ (all writers do hold graph_mu_; see the header comment).
+    std::atomic<std::uint32_t> npred{0};
+    /// Graph-side completion flag, written under graph_mu_. Atomic so the
+    /// lock-free pop path can skip settled (dead) deque entries with a
+    /// relaxed read instead of paying a graph_mu_ round trip; false->true
+    /// is the only transition, so a stale false merely costs the lock.
+    std::atomic<bool> completed{false};
+    /// In the watch deque right now (guarded by graph_mu_). The dedupe
+    /// flag: a node can qualify for watching more than once (covered while
+    /// already claimed, then again on the pop-path claim-race branch);
+    /// without it the lazy sweep walks duplicates forever.
+    bool watched = false;
+    /// Shard deque this node sits in, -1 if none. Settled (exchanged to
+    /// -1) by whichever of pop and completion comes first, so the board's
+    /// ready gauge and the shard's live depth are returned the moment the
+    /// node completes, even while its (now dead) entry still waits in the
+    /// deque — otherwise owner-executed tasks would leave phantom depth
+    /// that vetoes legitimate starvation verdicts. Atomic: the split pop
+    /// settles it after dropping the shard lock, completion settles it
+    /// under graph_mu_ — the exchange itself is the only synchronization
+    /// between them.
+    std::atomic<std::int32_t> queued{-1};
+    std::vector<Node*> successors;       ///< guarded by graph_mu_
+    std::vector<LiveMap::iterator> live_refs;  ///< guarded by graph_mu_
   };
 
-  // One live access chain entry: a non-completed covered task's access.
   struct ChainEntry {
-    std::uint32_t node;
+    Node* node;
     const Access* acc;
   };
 
-  unsigned clamp_shard(unsigned shard) const {
-    return shard < nshards() ? shard : 0;
-  }
-  void push_ready_locked(std::uint32_t id, unsigned shard);
-  void unaccount_ready_locked(std::uint32_t id);
-  void add_node_locked(Task* t, unsigned shard);
-  void complete_node_locked(std::uint32_t id, unsigned shard);
-  std::size_t pop_batch_locked(Task** out, std::size_t max, unsigned shard,
+  /// One per-domain ready deque with its own lock (split mode; global mode
+  /// leaves the mutex untouched and relies on graph_mu_). `depth` counts
+  /// *live* queued nodes (the board-gauge mirror, maintained even without
+  /// a board); the deque itself may additionally hold dead entries whose
+  /// gauge was settled at completion.
+  struct alignas(kCacheLine) Shard {
+    std::mutex mu;
+    std::deque<Node*> q;
+    std::atomic<std::int64_t> depth{0};
+  };
+
+  /// RAII shard lock that collapses to a no-op in global mode (where
+  /// graph_mu_, held by every caller, is the lock).
+  class ShardGuard {
+   public:
+    ShardGuard(Shard& s, bool split) : mu_(split ? &s.mu : nullptr) {
+      if (mu_ != nullptr) mu_->lock();
+    }
+    ~ShardGuard() {
+      if (mu_ != nullptr) mu_->unlock();
+    }
+    ShardGuard(const ShardGuard&) = delete;
+    ShardGuard& operator=(const ShardGuard&) = delete;
+
+   private:
+    std::mutex* mu_;
+  };
+
+  /// Maps a caller's domain rank onto a shard. Out-of-range ranks are only
+  /// legitimate when the list collapsed to a single shard (XK_RL_SHARD=0 /
+  /// flat machines funnel every rank into shard 0); with real shards an
+  /// oversized rank is an upstream routing bug — assert in debug builds,
+  /// and wrap by modulo (not fold onto shard 0) in release so a bad rank
+  /// at least spreads instead of mis-crediting shard 0's board depth and
+  /// hit/miss telemetry.
+  unsigned wrap_shard(unsigned shard) const;
+
+  // Graph-side helpers; caller holds graph_mu_ (and, in global mode, that
+  // is the only lock anywhere).
+  void check_epoch_graph_held();
+  void check_epoch_pop_path();  // no locks held; takes graph_mu_ on mismatch
+  void add_node_graph_held(Task* t, unsigned shard);
+  std::size_t complete_node_graph_held(Node* n, unsigned shard);
+  bool sweep_watch_graph_held(unsigned shard);
+  void watch_graph_held(Node* n);
+  void reset_coverage_graph_held();
+
+  // Shard-side helpers.
+  void push_ready_shard_held(Node* n, unsigned shard);
+  void settle_queued(Node* n);
+  Node* take_front_shard_held(unsigned rank, unsigned* from);
+  Node* pop_entry_split(unsigned home, unsigned* from);
+
+  std::size_t pop_batch_global(Task** out, std::size_t max, unsigned home,
                                std::uint64_t* shard_hits,
                                std::uint64_t* shard_misses);
-  bool sweep_watch_locked(unsigned shard);
+  std::size_t pop_batch_split(Task** out, std::size_t max, unsigned home,
+                              std::uint64_t* shard_hits,
+                              std::uint64_t* shard_misses);
+  void fold_or_watch(Node* n, unsigned home);
 
   Frame& frame_;
   StarvationBoard* board_;
-  mutable std::mutex mu_;
-  std::vector<Node> nodes_;
-  std::unordered_map<const Task*, std::uint32_t> index_;
-  std::unordered_map<const Task*, bool> early_completions_;
+  const bool split_;
 
-  // Per-domain ready shards; `nready_` caches the total so the empty check
-  // on the pop path stays O(1) regardless of shard count.
-  std::vector<std::deque<std::uint32_t>> shards_;
-  std::size_t nready_ = 0;
+  /// Graph lock (and, in global mode, the single list-wide lock).
+  mutable std::mutex graph_mu_;
+
+  // ---- guarded by graph_mu_ --------------------------------------------
+  std::deque<Node> nodes_;  ///< stable addresses; grown by extend() only
+  std::unordered_map<const Task*, Node*> index_;
+  std::unordered_map<const Task*, bool> early_completions_;
   std::uint32_t covered_count_ = 0;
+  /// Frame incarnation the coverage state matches. Written only under
+  /// graph_mu_; atomic so the split pop path can pre-check "did the frame
+  /// recycle under us?" with one relaxed load before touching any shard —
+  /// on a mismatch it upgrades to graph_mu_ and resets. The reset itself
+  /// is only reachable on a list that outlived Frame::reset(), which the
+  /// owner performs with every task at Term and no scanner active, so no
+  /// concurrent popper can hold a stale Node across it.
+  std::atomic<std::uint64_t> frame_epoch_;
 
   // Live-access interval index: ordered by region lo() so a new access only
   // examines entries whose bounding interval can overlap. `max_span_` bounds
   // how far below lo() a candidate's start can be.
-  std::multimap<std::uintptr_t, ChainEntry> live_;
-  std::vector<std::vector<std::multimap<std::uintptr_t, ChainEntry>::iterator>>
-      live_refs_;  // per node: its live_ entries, erased at completion
+  LiveMap live_;
   std::uintptr_t max_span_ = 0;
 
   // Claimed-elsewhere nodes whose Term may race a notification (their
   // pre-Term load of frame.ready_list can miss the attach): watched in FIFO
-  // order and lazily swept when every ready shard runs dry. This replaces
-  // the old rotating full-node catch-up sweep — O(claimed-in-flight), not
-  // O(covered), and oldest claims fold first so successor release order
-  // tracks the original ready order.
-  std::deque<std::uint32_t> watch_;
+  // order and lazily swept when every ready shard runs dry. O(claimed-in-
+  // flight), and oldest claims fold first so successor release order tracks
+  // the original ready order. Entries are deduplicated through
+  // Node::watched.
+  std::deque<Node*> watch_;
   std::uint64_t missed_folds_ = 0;
+
+  /// extend()-local scratch for initially-ready nodes of the current
+  /// coverage round, published under one shard-lock acquisition at the
+  /// end of the round (guarded by graph_mu_ like every extend-side field;
+  /// a member only to reuse its capacity across rounds).
+  std::vector<Node*> extend_ready_scratch_;
+
+  // ---- guarded per shard (split) / by graph_mu_ (global) ---------------
+  std::vector<Shard> shards_;
+
+  /// Total deque entries over all shards (dead ids included) — the O(1)
+  /// empty check on the pop path. Relaxed: shard mutexes order the actual
+  /// deque contents; a stale read costs one spurious probe or one benign
+  /// early "dry" verdict.
+  std::atomic<std::size_t> nready_{0};
 };
 
 }  // namespace xk

@@ -28,6 +28,16 @@ Config Config::from_env() {
   cfg.steal_local_tries = static_cast<int>(
       env_int("XK_STEAL_LOCAL_TRIES", cfg.steal_local_tries));
   cfg.shard_ready_list = env_bool("XK_RL_SHARD", cfg.shard_ready_list);
+  if (auto lock = env_string("XK_RL_LOCK")) {
+    if (*lock == "split") {
+      cfg.rl_lock_split = true;
+    } else if (*lock == "global") {
+      cfg.rl_lock_split = false;
+    } else {
+      std::fprintf(stderr, "xk: ignoring unknown XK_RL_LOCK=%s (split|global)\n",
+                   lock->c_str());
+    }
+  }
   cfg.starve_rounds =
       static_cast<int>(env_int("XK_STARVE_ROUNDS", cfg.starve_rounds));
   return cfg;

@@ -124,7 +124,14 @@ class StarvationBoard {
 
   unsigned ndomains() const { return static_cast<unsigned>(gauges_.size()); }
 
-  /// Ready-shard depth accounting (called by ReadyList under its lock).
+  /// Ready-shard depth accounting. Increments ride the owning shard's
+  /// lock (two-level ReadyList locking: the push and the gauge bump are
+  /// one critical section, so depth never lags the deque by more than the
+  /// relaxed-gauge staleness the verdict already tolerates). Decrements
+  /// come from ReadyList's lock-free settle — an atomic exchange on the
+  /// node's queued-shard field performed by whichever of a pop (after it
+  /// dropped the shard lock) and a completion (graph lock held) gets
+  /// there first; the exchange alone orders the two.
   void add_ready(unsigned rank, std::int64_t delta) {
     if (Gauge* g = gauge(rank)) {
       g->ready.fetch_add(delta, std::memory_order_relaxed);

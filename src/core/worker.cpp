@@ -59,6 +59,7 @@ Worker::Worker(Runtime& rt, unsigned id, unsigned nworkers)
   steal_local_tries_ = rt.config().steal_local_tries;
   starve_rounds_ = std::max(rt.config().starve_rounds, 0);
   shard_ready_ = rt.config().shard_ready_list;
+  rl_lock_split_ = rt.config().rl_lock_split;
   starvation_ = &rt.starvation();
   deterministic_victims_ = pl.deterministic;
   victim_rr_ = id_;  // stagger rotating thieves off a common first victim
@@ -652,6 +653,13 @@ Readiness Worker::check_ready(Worker& victim, std::uint64_t round,
   return false_only ? Readiness::kFalseOnly : Readiness::kBlocked;
 }
 
+// Batch-pops from the frame's ready list into the reply pool. Under split
+// locking (XK_RL_LOCK=split, the default) the batch is not an atomic
+// snapshot of the whole list — completions land concurrently and a short
+// (even empty) batch only means the shards looked dry when probed. That is
+// fine here: the deal serves whatever the pool holds, an unserved thief's
+// request simply fails and is re-posted, and the next combiner round
+// re-pours. Nothing below assumes "one lock acquisition saw everything".
 void Worker::pour_ready_list(ReadyList& rl, Frame& f,
                              std::size_t pool_target) {
   if (reply_scratch_.size() >= pool_target) return;
@@ -914,10 +922,13 @@ void Worker::combine_on(Worker& victim) {
     // forced shard (XK_RL_SHARD=0) would credit every domain's ready depth
     // to rank 0 and corrupt the starvation veto, so the unsharded ablation
     // runs without depth tracking (starvation falls back to pure
-    // failed-round counting).
-    auto* rl = shard_ready_
-                   ? new ReadyList(*hottest, rt_.ndomains(), &rt_.starvation())
-                   : new ReadyList(*hottest, 1, nullptr);
+    // failed-round counting). The lock mode (XK_RL_LOCK) picks between the
+    // two-level graph/shard locking and the single-mutex baseline.
+    const RlLockMode lock_mode =
+        rl_lock_split_ ? RlLockMode::kSplit : RlLockMode::kGlobal;
+    auto* rl = shard_ready_ ? new ReadyList(*hottest, rt_.ndomains(),
+                                            &rt_.starvation(), lock_mode)
+                            : new ReadyList(*hottest, 1, nullptr, lock_mode);
     hottest->ready_list.store(rl, std::memory_order_release);
     rl->extend(domain_rank_);
     stats_->readylist_attach++;

@@ -292,9 +292,11 @@ class Worker {
     unsigned domain_rank;
   };
 
-  /// Pops ready tasks from `rl` under a single list lock into the reply
-  /// pool, up to `pool_target` pooled tasks total (local shard first; the
-  /// hit/miss split lands in this worker's stats).
+  /// Batch-pops ready tasks from `rl` into the reply pool, up to
+  /// `pool_target` pooled tasks total (local shard first; the hit/miss
+  /// split lands in this worker's stats). Under XK_RL_LOCK=split the pops
+  /// ride per-shard locks and the batch is not an atomic whole-list
+  /// snapshot; under =global it is one lock acquisition (old behavior).
   void pour_ready_list(ReadyList& rl, Frame& f, std::size_t pool_target);
 
   /// Deals the reply pool to pending[served..] (steal-k: each waiting
@@ -333,6 +335,7 @@ class Worker {
   int steal_local_tries_ = 0;           ///< failed local rounds before escalating
   int starve_rounds_ = 0;               ///< domain-wide threshold (0 = off)
   bool shard_ready_ = true;             ///< attach domain-sharded ready lists
+  bool rl_lock_split_ = true;           ///< XK_RL_LOCK: two-level vs global
   bool deterministic_victims_ = false;  ///< synthetic topo: rotate, don't draw
   unsigned victim_rr_ = 0;              ///< rotation cursor (deterministic mode)
   int local_fails_ = 0;                 ///< consecutive failed local-tier rounds

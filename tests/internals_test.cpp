@@ -333,6 +333,10 @@ TEST(ReadyListShard, LocalShardFirstPopOrder) {
   rl.extend(/*shard=*/0);  // covering combiner ran in domain 0
   EXPECT_EQ(rl.shard_ready_size(0), 2u);  // t0 and the independent t2
   EXPECT_EQ(rl.shard_ready_size(1), 0u);
+  // The per-shard live-depth gauge (the board mirror, maintained even
+  // without a board) tracks the queue.
+  EXPECT_EQ(rl.shard_live_depth(0), 2);
+  EXPECT_EQ(rl.shard_live_depth(1), 0);
 
   xk::Task* out[1] = {};
   std::uint64_t hits = 0, misses = 0;
@@ -365,6 +369,8 @@ TEST(ReadyListShard, LocalShardFirstPopOrder) {
   EXPECT_EQ(hits, 0u);
   EXPECT_EQ(misses, 1u);
   EXPECT_EQ(rl.ready_size(), 0u);
+  EXPECT_EQ(rl.shard_live_depth(0), 0);
+  EXPECT_EQ(rl.shard_live_depth(1), 0);
 }
 
 TEST(ReadyListShard, SingleShardKeepsGlobalFifo) {
@@ -404,11 +410,220 @@ TEST(ReadyListShard, BoardTracksShardDepths) {
     rl.on_complete(t1, /*shard=*/1);
     t1->state.store(xk::TaskState::kTerm);
     EXPECT_EQ(board.ready_depth(1), 1);
+    // The shard's own live-depth gauge mirrors the board at every step
+    // (they are updated together: push under the shard lock, settle via
+    // the same atomic exchange).
+    EXPECT_EQ(rl.shard_live_depth(1), board.ready_depth(1));
     // rl destroyed with one live task still queued (plus t1's dead id):
     // the destructor returns exactly the live contribution.
   }
   EXPECT_EQ(board.ready_depth(1), 0);
 }
+
+// ---------------------------------------------------------------------------
+// Two-level (graph/shard) locking vs the global-mutex ablation.
+// ---------------------------------------------------------------------------
+
+// Replays the claim-race fold scenario of ClaimedElsewhereTermFoldsInOrder
+// under XK_RL_LOCK=global and asserts the exact pre-split pop order: the
+// whole batch under one lock, inline folds, folded successors released
+// behind already-ready younger tasks. Split mode must produce the same
+// order in a single-threaded replay (the locking changed, the routing did
+// not) — both are pinned so an accidental semantic divergence between the
+// two pop implementations fails loudly.
+TEST(ReadyListLock, GlobalAndSplitAgreeOnPopOrder) {
+  for (xk::RlLockMode mode :
+       {xk::RlLockMode::kGlobal, xk::RlLockMode::kSplit}) {
+    RlFixture fx;
+    double chain = 0, other = 0;
+    xk::Task* t0 = fx.add(&chain, 8, xk::AccessMode::kReadWrite);
+    xk::Task* t1 = fx.add(&chain, 8, xk::AccessMode::kReadWrite);
+    xk::Task* t2 = fx.add(&other, 8, xk::AccessMode::kWrite);
+    xk::ReadyList rl(fx.frame, 1, nullptr, mode);
+    ASSERT_EQ(rl.lock_mode(), mode);
+    rl.extend();
+    ASSERT_TRUE(t0->try_claim(xk::TaskState::kRunOwner));
+    t0->state.store(xk::TaskState::kTerm);  // silent: no on_complete
+    EXPECT_EQ(rl.pop_ready_claimed(), t2) << "mode " << static_cast<int>(mode);
+    EXPECT_EQ(rl.pop_ready_claimed(), t1) << "mode " << static_cast<int>(mode);
+    EXPECT_GE(rl.missed_folds(), 1u);
+    EXPECT_EQ(rl.pop_ready_claimed(), nullptr);
+  }
+}
+
+TEST(ReadyListLock, GlobalModeShardRoutingUnchanged) {
+  // The local-shard-first contract of ReadyListShard.LocalShardFirstPopOrder
+  // under the global single mutex: lock mode selects the locking, never
+  // the routing.
+  RlFixture fx;
+  double chain = 0, other = 0;
+  xk::Task* t0 = fx.add(&chain, 8, xk::AccessMode::kReadWrite);
+  xk::Task* t1 = fx.add(&chain, 8, xk::AccessMode::kReadWrite);
+  xk::Task* t2 = fx.add(&other, 8, xk::AccessMode::kWrite);
+  xk::ReadyList rl(fx.frame, 2, nullptr, xk::RlLockMode::kGlobal);
+  rl.extend(/*shard=*/0);
+  xk::Task* out[1] = {};
+  std::uint64_t hits = 0, misses = 0;
+  ASSERT_EQ(rl.pop_ready_claimed_batch(out, 1, 0, &hits, &misses), 1u);
+  EXPECT_EQ(out[0], t0);
+  rl.on_complete(t0, /*shard=*/1);
+  t0->state.store(xk::TaskState::kTerm);
+  ASSERT_EQ(rl.pop_ready_claimed_batch(out, 1, 1, &hits, &misses), 1u);
+  EXPECT_EQ(out[0], t1);  // own shard beats the older cross-shard t2
+  ASSERT_EQ(rl.pop_ready_claimed_batch(out, 1, 1, &hits, &misses), 1u);
+  EXPECT_EQ(out[0], t2);
+  EXPECT_EQ(hits, 2u);
+  EXPECT_EQ(misses, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Ready-list correctness regressions (PR 5 satellites).
+// ---------------------------------------------------------------------------
+
+TEST(ReadyListTest, EarlyCompletionsClearedOnFrameRecycle) {
+  // Regression: early_completions_ entries used to be erased only when the
+  // task was later covered, so a section ending before extend() reached
+  // full coverage leaked them into the next incarnation of a recycled
+  // frame — where they alias freshly bump-allocated tasks at the same
+  // arena addresses and can mark a brand-new task "already completed".
+  RlFixture fx;
+  double slot = 0.0;
+  xk::ReadyList rl(fx.frame);
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    xk::Task* ta = fx.add(&slot, 8, xk::AccessMode::kReadWrite);
+    xk::Task* tb = fx.add(&slot, 8, xk::AccessMode::kReadWrite);
+    // ta terminates before the list ever covers it: an early-completion
+    // record is the only trace. The section then "ends" — coverage never
+    // reaches ta or tb.
+    ASSERT_TRUE(ta->try_claim(xk::TaskState::kRunOwner));
+    rl.on_complete(ta);
+    ta->state.store(xk::TaskState::kTerm);
+    EXPECT_EQ(rl.early_completion_count(), 1u) << "cycle " << cycle;
+    (void)tb;
+    // Frame recycles; the arena hands the next cycle's tasks the same
+    // storage. The epoch check must drop the stale record instead of
+    // letting it accumulate (or worse, match an aliased new task).
+    fx.frame.reset();
+    fx.accesses.clear();
+    xk::Task* fresh = fx.add(&slot, 8, xk::AccessMode::kReadWrite);
+    rl.extend();
+    EXPECT_EQ(rl.early_completion_count(), 0u) << "cycle " << cycle;
+    EXPECT_EQ(rl.covered(), 1u) << "cycle " << cycle;
+    // The aliased new task must be poppable — a leaked record would have
+    // marked it completed at coverage and stranded it forever.
+    EXPECT_EQ(rl.pop_ready_claimed(), fresh) << "cycle " << cycle;
+    fresh->state.store(xk::TaskState::kTerm);
+    fx.frame.reset();
+    fx.accesses.clear();
+  }
+}
+
+TEST(ReadyListTest, PopAfterFrameRecycleServesNoStaleEntries) {
+  // The pop paths must honor the recycle contract too: a pop issued
+  // before the new incarnation's first extend()/on_complete() must not
+  // serve a prior-incarnation queue entry whose task pointer aliases
+  // freshly recycled arena storage.
+  for (xk::RlLockMode mode :
+       {xk::RlLockMode::kGlobal, xk::RlLockMode::kSplit}) {
+    RlFixture fx;
+    double slot = 0.0;
+    xk::ReadyList rl(fx.frame, 1, nullptr, mode);
+    fx.add(&slot, 8, xk::AccessMode::kWrite);
+    rl.extend();
+    ASSERT_EQ(rl.ready_size(), 1u);  // queued, never popped
+    fx.frame.reset();
+    fx.accesses.clear();
+    xk::Task* fresh = fx.add(&slot, 8, xk::AccessMode::kWrite);
+    // First contact with the recycled frame is a *pop*: it must drop the
+    // stale entry (the fresh task is not covered yet) rather than claim
+    // through the aliased pointer.
+    EXPECT_EQ(rl.pop_ready_claimed(), nullptr)
+        << "mode " << static_cast<int>(mode);
+    EXPECT_EQ(rl.ready_size(), 0u);
+    EXPECT_EQ(fresh->load_state(), xk::TaskState::kInit);
+    rl.extend();
+    EXPECT_EQ(rl.pop_ready_claimed(), fresh);
+  }
+}
+
+TEST(ReadyListTest, WatchRecycledAcrossFrameReset) {
+  // The watch deque is part of the coverage state: entries watched in one
+  // incarnation point at dead nodes and must not survive a recycle.
+  RlFixture fx;
+  double slot = 0.0;
+  xk::ReadyList rl(fx.frame);
+  xk::Task* t0 = fx.add(&slot, 8, xk::AccessMode::kReadWrite);
+  ASSERT_TRUE(t0->try_claim(xk::TaskState::kRunOwner));  // claimed pre-coverage
+  rl.extend();
+  EXPECT_EQ(rl.watched_size(), 1u);
+  fx.frame.reset();
+  fx.accesses.clear();
+  rl.extend();
+  EXPECT_EQ(rl.watched_size(), 0u);
+}
+
+TEST(ReadyListTest, WatchedEntriesDeduplicated) {
+  // Regression: a node covered while already claimed was pushed onto the
+  // watch deque at add_node and could be pushed *again* on the pop-path
+  // claim-race branch once its predecessors released it into a shard —
+  // doubling lazy-sweep work for every such claim. The per-node watched
+  // flag keeps watched_size() bounded by the number of claims in flight.
+  RlFixture fx;
+  double slot = 0.0;
+  xk::Task* t0 = fx.add(&slot, 8, xk::AccessMode::kReadWrite);
+  xk::Task* t1 = fx.add(&slot, 8, xk::AccessMode::kReadWrite);
+  // t1 is claimed by the owner's FIFO before coverage: add_node watches it.
+  ASSERT_TRUE(t1->try_claim(xk::TaskState::kRunOwner));
+  xk::ReadyList rl(fx.frame);
+  rl.extend();
+  EXPECT_EQ(rl.watched_size(), 1u);  // t1, covered-while-claimed
+  // Pop + claim t0; completing it releases t1 into the ready shard even
+  // though t1 is claimed (release tracks the graph, not the claim).
+  ASSERT_EQ(rl.pop_ready_claimed(), t0);
+  rl.on_complete(t0);
+  t0->state.store(xk::TaskState::kTerm);
+  // The pop now hits t1's dead-claim entry: the claim-race branch would
+  // have watched it a second time without the dedupe flag.
+  EXPECT_EQ(rl.pop_ready_claimed(), nullptr);
+  // Exactly two claims are in flight (t0 StolenClaim via the pop, t1
+  // RunOwner) — the watch deque must hold at most one entry each.
+  EXPECT_LE(rl.watched_size(), 2u);
+  // Repeated empty pops keep sweeping but never duplicate entries.
+  EXPECT_EQ(rl.pop_ready_claimed(), nullptr);
+  EXPECT_EQ(rl.pop_ready_claimed(), nullptr);
+  EXPECT_LE(rl.watched_size(), 2u);
+  // Both claims settle; the sweep drains the watch deque to empty.
+  t1->state.store(xk::TaskState::kTerm);
+  EXPECT_EQ(rl.pop_ready_claimed(), nullptr);  // sweep folds the silent Term
+  EXPECT_EQ(rl.watched_size(), 0u);
+}
+
+#ifdef NDEBUG
+TEST(ReadyListShard, OutOfRangeRankWrapsByModulo) {
+  // Regression (release builds only — debug builds assert instead): an
+  // out-of-range domain rank used to fold silently onto shard 0,
+  // mis-crediting shard 0's depth and the hit/miss telemetry. It now
+  // wraps by modulo.
+  RlFixture fx;
+  double a = 0;
+  fx.add(&a, 8, xk::AccessMode::kWrite);
+  xk::ReadyList rl(fx.frame, /*nshards=*/3);
+  rl.extend(/*shard=*/5);  // 5 % 3 == 2, not 0
+  EXPECT_EQ(rl.shard_ready_size(2), 1u);
+  EXPECT_EQ(rl.shard_ready_size(0), 0u);
+}
+#else
+TEST(ReadyListShardDeathTest, OutOfRangeRankAssertsInDebug) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  RlFixture fx;
+  double a = 0;
+  fx.add(&a, 8, xk::AccessMode::kWrite);
+  xk::ReadyList rl(fx.frame, /*nshards=*/3);
+  // A rank at or past nshards with real shards is an upstream routing bug;
+  // the single-shard collapse (nshards == 1) legitimately accepts any rank.
+  EXPECT_DEATH(rl.extend(/*shard=*/5), "routing bug");
+}
+#endif
 
 // ---------------------------------------------------------------------------
 // Starvation board.
