@@ -50,6 +50,7 @@ struct Variant {
   const char* name;
   bool aggregation;
   std::size_t readylist_threshold;
+  bool adaptive;
 };
 
 }  // namespace
@@ -63,11 +64,16 @@ int main() {
       "XKREPRO_ABL_CORES",
       static_cast<std::int64_t>(xkbench::core_counts().back())));
 
+  // The four historical variants pin steal_adaptive off so their series
+  // stay comparable across the PR trajectory (fixed XK_STEAL_BATCH deals,
+  // the pre-adaptive protocol); the fifth turns the feedback-sized
+  // steal-one/steal-half protocol on over the full configuration.
   const Variant variants[] = {
-      {"full (agg+RL)", true, 256},
-      {"no-aggregation", false, 256},
-      {"no-readylist", true, 0},
-      {"neither", false, 0},
+      {"full (agg+RL)", true, 256, false},
+      {"no-aggregation", false, 256, false},
+      {"no-readylist", true, 0, false},
+      {"neither", false, 0, false},
+      {"adaptive (agg+RL)", true, 256, true},
   };
 
   // Unrecorded process warmup: the first variant otherwise pays the cold
@@ -95,6 +101,7 @@ int main() {
     cfg.nworkers = cores;
     cfg.steal_aggregation = v.aggregation;
     cfg.ready_list_threshold = v.readylist_threshold;
+    cfg.steal_adaptive = v.adaptive;
     xk::Runtime rt(cfg);
 
     // Workload 1: fib.
@@ -118,7 +125,12 @@ int main() {
                             {"scan_entries", s.scan_entries},
                             {"readylist_pops", s.readylist_pops},
                             {"parks", s.parks},
-                            {"park_wakes", s.park_wakes}});
+                            {"park_wakes", s.park_wakes},
+                            {"steals_half", s.steals_half},
+                            {"adaptive_flips", s.adaptive_flips},
+                            {"probes_skipped", s.probes_skipped},
+                            {"quiesce_folds", s.quiesce_folds},
+                            {"join_wakes", s.join_wakes}});
     table.add_row({"fib", v.name, xk::Table::num(t_fib, 4),
                    std::to_string(s.steal_attempts),
                    std::to_string(s.steals_ok),
@@ -145,7 +157,12 @@ int main() {
                             {"scan_entries", s.scan_entries},
                             {"readylist_pops", s.readylist_pops},
                             {"parks", s.parks},
-                            {"park_wakes", s.park_wakes}});
+                            {"park_wakes", s.park_wakes},
+                            {"steals_half", s.steals_half},
+                            {"adaptive_flips", s.adaptive_flips},
+                            {"probes_skipped", s.probes_skipped},
+                            {"quiesce_folds", s.quiesce_folds},
+                            {"join_wakes", s.join_wakes}});
     table.add_row({"dataflow-grid", v.name, xk::Table::num(t_grid, 4),
                    std::to_string(s.steal_attempts),
                    std::to_string(s.steals_ok),

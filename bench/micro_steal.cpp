@@ -78,6 +78,11 @@ std::vector<std::pair<std::string, std::uint64_t>> counter_set(
       {"starvation_escalations", s.starvation_escalations},
       {"parks", s.parks},
       {"park_wakes", s.park_wakes},
+      {"probes_skipped", s.probes_skipped},
+      {"adaptive_flips", s.adaptive_flips},
+      {"steals_half", s.steals_half},
+      {"quiesce_folds", s.quiesce_folds},
+      {"join_wakes", s.join_wakes},
   };
 }
 
@@ -182,6 +187,31 @@ int main() {
       const double t = xkbench::time_best([&] {
         rt.run([&] { dataflow_grid(cells, abl_rows, steps, work); });
       });
+      const xk::WorkerStats s = rt.stats_snapshot();
+      xkbench::json_counters(counter_set(s));
+      add_counter_row(table, name, cores, t, s);
+    }
+  }
+  // Steal-width ablation (XK_STEAL_ADAPTIVE): the dataflow grid under the
+  // feedback-sized adaptive protocol vs the fixed XK_STEAL_BATCH deal. The
+  // identical workload runs in both modes; the adaptive series must not
+  // lose to fixed (CI gates it at 8 workers with check_scaling.py
+  // --baseline-series, the same pattern as the rl-split gate). The
+  // adaptive counters (steals_half / adaptive_flips / probes_skipped)
+  // land in the JSON alongside the timing.
+  for (unsigned cores : xkbench::core_counts()) {
+    for (const bool adaptive : {false, true}) {
+      xk::Config cfg = xk::Config::from_env();
+      cfg.nworkers = cores;
+      cfg.steal_adaptive = adaptive;
+      xk::Runtime rt(cfg);
+      rt.reset_stats();
+      std::vector<double> cells(static_cast<std::size_t>(rows), 1.0);
+      const char* name = adaptive ? "dataflow-grid-steal-adaptive"
+                                  : "dataflow-grid-steal-fixed";
+      xkbench::json_context(name, cores);
+      const double t = xkbench::time_best(
+          [&] { rt.run([&] { dataflow_grid(cells, rows, steps, work); }); });
       const xk::WorkerStats s = rt.stats_snapshot();
       xkbench::json_counters(counter_set(s));
       add_counter_row(table, name, cores, t, s);

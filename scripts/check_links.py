@@ -4,13 +4,17 @@
 Scans every *.md in the repository (skipping .git and build directories),
 extracts inline links and images `[text](target)` plus reference
 definitions `[id]: target`, and checks that every target resolving to a
-path *inside* the repo exists. Skipped on purpose:
+path *inside* the repo exists. Anchor fragments are validated too: a
+`#section` suffix (in-page or on a .md target) must match a heading slug
+of the destination file, using GitHub's slugging rules (lowercase, drop
+punctuation, spaces to hyphens, `-1`/`-2`... suffixes for duplicates).
+Skipped on purpose:
 
   * external URLs (anything with a scheme) and mailto:;
-  * pure in-page anchors (#section);
   * targets that resolve outside the repo root — those are GitHub
     web-relative (e.g. the README CI badge's ../../actions/...), not
-    files this tree can validate.
+    files this tree can validate;
+  * fragments on non-markdown targets (line anchors etc. — not headings).
 
 Exit status 0 when every checked link resolves, 1 otherwise. This is the
 CI docs gate (see .github/workflows/ci.yml).
@@ -24,18 +28,42 @@ ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)>\s]+)>?[^)]*\)")
 REF_DEF = re.compile(r"^\s{0,3}\[[^\]]+\]:\s*(\S+)", re.M)
 FENCED_CODE = re.compile(r"^```.*?^```", re.M | re.S)
+HEADING = re.compile(r"^\s{0,3}(#{1,6})\s+(.*?)\s*#*\s*$", re.M)
+INLINE_MD = re.compile(r"`([^`]*)`|\[([^\]]*)\]\([^)]*\)|[*_]")
 SKIP_DIRS = {".git", ".ccache", "node_modules"}
 
+_slug_cache = {}
 
-def md_files():
-    for dirpath, dirnames, filenames in os.walk(ROOT):
-        dirnames[:] = sorted(
-            d for d in dirnames
-            if d not in SKIP_DIRS and not d.startswith("build")
-        )
-        for name in sorted(filenames):
-            if name.endswith(".md"):
-                yield os.path.join(dirpath, name)
+
+def github_slug(text, seen):
+    """One heading -> its GitHub anchor slug, deduped against `seen`."""
+    # Strip inline markdown (code spans, link syntax, emphasis markers)
+    # before slugging — GitHub slugs the rendered text.
+    text = INLINE_MD.sub(lambda m: m.group(1) or m.group(2) or "", text)
+    slug = re.sub(r"[^\w\- ]", "", text.lower(), flags=re.UNICODE)
+    slug = slug.replace(" ", "-")
+    if slug not in seen:
+        seen[slug] = 0
+        return slug
+    seen[slug] += 1
+    return f"{slug}-{seen[slug]}"
+
+
+def anchors_of(path):
+    """The set of valid heading anchors of a markdown file (cached)."""
+    if path in _slug_cache:
+        return _slug_cache[path]
+    try:
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError:
+        _slug_cache[path] = set()
+        return _slug_cache[path]
+    text = FENCED_CODE.sub("", text)  # a `# comment` in code is not a heading
+    seen = {}
+    anchors = {github_slug(m.group(2), seen) for m in HEADING.finditer(text)}
+    _slug_cache[path] = anchors
+    return anchors
 
 
 def broken_links(path):
@@ -45,27 +73,38 @@ def broken_links(path):
     text = FENCED_CODE.sub("", text)
     broken = []
     for target in INLINE_LINK.findall(text) + REF_DEF.findall(text):
-        if "://" in target or target.startswith(("mailto:", "#")):
+        if "://" in target or target.startswith("mailto:"):
             continue
-        target = target.split("#", 1)[0]
-        if not target:
-            continue
-        resolved = os.path.normpath(
-            os.path.join(os.path.dirname(path), target))
+        file_part, _, fragment = target.partition("#")
+        resolved = path if not file_part else os.path.normpath(
+            os.path.join(os.path.dirname(path), file_part))
         if not (resolved == ROOT or resolved.startswith(ROOT + os.sep)):
             continue  # GitHub web-relative: outside the tree
         if not os.path.exists(resolved):
             broken.append(target)
+            continue
+        # Fragment validation: only markdown heading anchors are checkable.
+        if fragment and resolved.endswith(".md"):
+            if fragment.lower() not in anchors_of(resolved):
+                broken.append(f"{target} (no such anchor)")
     return broken
 
 
 def main():
     nfiles = 0
     failures = []
-    for path in md_files():
-        nfiles += 1
-        for target in broken_links(path):
-            failures.append((os.path.relpath(path, ROOT), target))
+    for dirpath, dirnames, filenames in os.walk(ROOT):
+        dirnames[:] = sorted(
+            d for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith("build")
+        )
+        for name in sorted(filenames):
+            if not name.endswith(".md"):
+                continue
+            nfiles += 1
+            path = os.path.join(dirpath, name)
+            for target in broken_links(path):
+                failures.append((os.path.relpath(path, ROOT), target))
     for path, target in failures:
         print(f"{path}: broken link -> {target}")
     status = "FAIL" if failures else "ok"

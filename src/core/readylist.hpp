@@ -142,6 +142,18 @@ class ReadyList {
   /// extend() does not resurrect them.
   void on_complete(Task* t, unsigned shard = 0);
 
+  /// Approximate live ready depth summed over every shard (relaxed reads
+  /// of the per-shard depth gauges, no locks): the adaptive combiner's
+  /// steal-half sizing input. Staleness only skews a reply size by a task
+  /// or two — the deal itself still pops under the shard locks.
+  std::int64_t approx_ready() const {
+    std::int64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.depth.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
   /// Diagnostics for tests.
   std::size_t covered() const;
   std::size_t ready_size() const;  ///< total queued over all shards (racy

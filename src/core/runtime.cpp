@@ -20,6 +20,8 @@ Config Config::from_env() {
   cfg.steal_backoff = static_cast<int>(env_int("XK_BACKOFF", cfg.steal_backoff));
   cfg.steal_batch = static_cast<std::size_t>(env_int(
       "XK_STEAL_BATCH", static_cast<std::int64_t>(cfg.steal_batch)));
+  cfg.steal_adaptive = env_bool("XK_STEAL_ADAPTIVE", cfg.steal_adaptive);
+  cfg.occupancy_hint = env_bool("XK_OCC_HINT", cfg.occupancy_hint);
   cfg.park_threshold =
       static_cast<int>(env_int("XK_PARK_THRESHOLD", cfg.park_threshold));
   cfg.topo = env_string("XK_TOPO").value_or(cfg.topo);
@@ -71,8 +73,14 @@ Runtime::Runtime(Config cfg) : cfg_(cfg) {
     }
   }
   // The starvation board must exist before the first worker constructor
-  // caches its pointer; its size is the dense domain-rank count.
+  // caches its pointer; its size is the dense domain-rank count. The
+  // occupancy side is keyed by worker id with the domain rank folded in.
   starvation_.init(placement_.ndomains);
+  std::vector<unsigned> worker_ranks(nw, 0);
+  for (unsigned i = 0; i < nw && i < placement_.slots.size(); ++i) {
+    worker_ranks[i] = placement_.slots[i].domain_rank;
+  }
+  starvation_.init_occupancy(worker_ranks);
 
   workers_.reserve(nw);
   for (unsigned i = 0; i < nw; ++i) {
@@ -133,6 +141,12 @@ void Runtime::begin() {
   // The previous section's end-of-work famine saturated the failed-round
   // gauges; a fresh section starts with no domain pre-declared starving.
   starvation_.reset_rounds();
+  // Arm the quiescence event *before* the root frame publishes worker 0's
+  // occupancy: from here to Runtime::end the root occupied count stays
+  // >= 1 (the master's stack is non-empty for the whole section), so the
+  // only 1->0 root edge — the master's root-frame pop in end() — is the
+  // one that fires, waking parked workers exactly once at section close.
+  starvation_.arm_quiesce(&work_parker_, &progress_parker_);
   w0.push_frame();  // root frame
   section_open_ = true;
   {
@@ -155,10 +169,14 @@ void Runtime::end() {
     exc = std::current_exception();
   }
   section_active_.store(false, std::memory_order_release);
-  // Parked workers (both kinds) must observe the section close.
-  work_parker_.notify_all();
-  progress_parker_.notify_all();
+  // No explicit broadcasts here: the root-frame pop below clears worker
+  // 0's occupancy bit, the board fold sees the machine-wide root count hit
+  // zero — quiescence — and fires the armed parkers exactly once. A worker
+  // about to park re-validates the section predicate inside its announce
+  // window (after the release store above), so it either sees the close or
+  // its prepare()-epoch park is cut short by the fire's seq bump.
   w0.pop_frame();
+  starvation_.disarm_quiesce();  // no-op after a normal fire (defensive)
   section_open_ = false;
   detail::set_this_worker(nullptr);
   if (exc) std::rethrow_exception(exc);

@@ -105,14 +105,20 @@ class Runtime {
     return section_active_.load(std::memory_order_acquire);
   }
 
-  /// Eventcounts for in-section idle parking (see support/parker.hpp),
-  /// split by what the sleeper waits for so wakeups stay targeted:
+  /// Eventcounts for in-section idle parking (see support/parker.hpp and
+  /// docs/STEALING.md), split by what the sleeper waits for so wakeups
+  /// stay targeted:
   ///  * work_parker — idle thieves waiting for anything stealable; woken
   ///    one at a time by task publication (any of them can take it);
-  ///  * progress_parker — workers suspended on a predicate (a stolen
-  ///    child's completion, a foreach retiring, section end); these are
-  ///    few, so completion events can afford notify_all without waking the
-  ///    whole idle pool into a thundering herd.
+  ///  * progress_parker — workers suspended on a shared predicate with
+  ///    potentially several legitimate waiters (a foreach retiring);
+  ///    these are few, so retirement can afford notify_all.
+  /// A worker suspended on one specific stolen task waits on its private
+  /// join parker instead (Worker::join_parker), woken exactly once by the
+  /// finishing thief; section end is signalled once by the occupancy
+  /// board's quiescence fold (StarvationBoard::arm_quiesce), which fires
+  /// both shared parkers when the master's root-frame pop empties the
+  /// machine. Neither event broadcasts per completion any more.
   Parker& work_parker() { return work_parker_; }
   Parker& progress_parker() { return progress_parker_; }
 
@@ -122,9 +128,10 @@ class Runtime {
     if (work_parker_.has_waiters()) work_parker_.notify_one();
   }
 
-  /// A waited-on progress event fired (stolen-task completion, foreach
-  /// retirement): wake every suspended waiter — waking the wrong single
-  /// worker would leave the right one asleep until its timeout.
+  /// A waited-on multi-waiter progress event fired (foreach retirement):
+  /// wake every suspended waiter — waking the wrong single worker would
+  /// leave the right one asleep until its timeout. Stolen-task completions
+  /// no longer come through here (see Worker::wake_joiner).
   void notify_progress() {
     if (progress_parker_.has_waiters()) progress_parker_.notify_all();
   }

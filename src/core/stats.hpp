@@ -1,13 +1,17 @@
-// Per-worker scheduler counters, plus the shared per-domain starvation
-// gauges.
+// Per-worker scheduler counters, plus the shared per-domain starvation /
+// occupancy board.
 //
 // The WorkerStats counters are plain (non-atomic) because each instance is
 // written only by its owning worker and sits on its own cache line;
 // aggregation snapshots tolerate slight staleness (they are for
 // tests/benches, not control flow). The StarvationBoard is the opposite: a
-// deliberately *shared* per-domain signal, written with relaxed atomics from
-// the steal path, that replaces purely per-thief escalation state with a
-// "this whole domain is starving" verdict.
+// deliberately *shared* signal surface, written with relaxed atomics from
+// the steal path. It carries two families of state:
+//  * per-domain starvation gauges (ready depth + failed rounds) that replace
+//    purely per-thief escalation state with a "this whole domain is
+//    starving" verdict;
+//  * per-worker occupancy bits with a domain/root fold — the victim-hint and
+//    quiescence side (see the occupancy section below).
 #pragma once
 
 #include <algorithm>
@@ -17,6 +21,7 @@
 #include <vector>
 
 #include "support/cache.hpp"
+#include "support/parker.hpp"
 
 namespace xk {
 
@@ -51,6 +56,14 @@ struct WorkerStats {
   std::uint64_t scan_rebuilds = 0;     ///< per-frame scan caches (re)built from scratch
   std::uint64_t parks = 0;             ///< times this worker went to sleep idle
   std::uint64_t park_wakes = 0;        ///< parks ended by a notification (rest timed out)
+  std::uint64_t probes_skipped = 0;    ///< victim draws that skipped a candidate on
+                                       ///  its cleared occupancy bit (XK_OCC_HINT)
+  std::uint64_t adaptive_flips = 0;    ///< steal-one <-> steal-half feedback flips
+  std::uint64_t steals_half = 0;       ///< successful steals posted in steal-half mode
+  std::uint64_t quiesce_folds = 0;     ///< occupancy fold levels climbed by this
+                                       ///  worker's 0<->1 depth transitions
+  std::uint64_t join_wakes = 0;        ///< targeted wakes of a registered join
+                                       ///  waiter after a stolen-task completion
   std::uint64_t foreach_chunks = 0;
 
   WorkerStats& operator+=(const WorkerStats& o) {
@@ -79,6 +92,11 @@ struct WorkerStats {
     scan_rebuilds += o.scan_rebuilds;
     parks += o.parks;
     park_wakes += o.park_wakes;
+    probes_skipped += o.probes_skipped;
+    adaptive_flips += o.adaptive_flips;
+    steals_half += o.steals_half;
+    quiesce_folds += o.quiesce_folds;
+    join_wakes += o.join_wakes;
     foreach_chunks += o.foreach_chunks;
     return *this;
   }
@@ -94,7 +112,12 @@ inline std::ostream& operator<<(std::ostream& os, const WorkerStats& s) {
      << " shard_hits=" << s.shard_hits << " shard_misses=" << s.shard_misses
      << " starve_esc=" << s.starvation_escalations
      << " renames=" << s.renames << " parks=" << s.parks
-     << " park_wakes=" << s.park_wakes;
+     << " park_wakes=" << s.park_wakes
+     << " probes_skipped=" << s.probes_skipped
+     << " adaptive_flips=" << s.adaptive_flips
+     << " steals_half=" << s.steals_half
+     << " quiesce_folds=" << s.quiesce_folds
+     << " join_wakes=" << s.join_wakes;
   return os;
 }
 
@@ -184,11 +207,124 @@ class StarvationBoard {
            g->ready.load(std::memory_order_relaxed) <= 0;
   }
 
+  // ---- occupancy bits + quiescence fold (PR 6) -------------------------
+  //
+  // One "has work" byte per worker, published by the owner only on its
+  // 0<->1 frame-depth transitions, plus a two-level fold: per-domain
+  // occupied-worker counts (in the padded Gauge, written at the worker's
+  // 0<->1 bit transitions) and a machine-wide occupied-domain count at the
+  // root (written at a domain's 0<->1 transitions). The bytes are packed
+  // unpadded on purpose: transitions are rare (once per stolen reply, not
+  // per task), so the line stays read-mostly and a thief's victim draw
+  // reads many bits from one line instead of many workers' hot depth
+  // words. Everything is a heuristic hint EXCEPT the root count's last
+  // 1->0 edge, which doubles as the section-quiescence event: when armed,
+  // it fires the registered parkers exactly once (the exchange below), in
+  // place of per-completion progress broadcasts.
+
+  /// Sizes the per-worker occupancy bits; `worker_ranks[i]` is worker i's
+  /// dense domain rank. Must be called after init() and before workers run.
+  void init_occupancy(const std::vector<unsigned>& worker_ranks) {
+    occ_ = std::vector<OccSlot>(std::max<std::size_t>(worker_ranks.size(), 1));
+    for (std::size_t i = 0; i < worker_ranks.size(); ++i) {
+      occ_[i].domain_rank = worker_ranks[i];
+    }
+  }
+
+  /// Publishes worker `w`'s has-work bit and folds the change up the
+  /// domain/root counts. Owner-called only (one writer per bit). Returns
+  /// the number of fold levels the transition climbed (0 when the bit did
+  /// not change, up to 3 for bit + domain + root) — the quiesce_folds
+  /// telemetry — and fires the armed quiescence parkers on the root's
+  /// 1->0 edge.
+  unsigned publish_occupied(unsigned w, bool occupied) {
+    if (w >= occ_.size() || gauges_.empty()) return 0;
+    OccSlot& s = occ_[w];
+    const std::uint8_t bit = occupied ? 1 : 0;
+    if (s.occupied.load(std::memory_order_relaxed) == bit) return 0;
+    s.occupied.store(bit, std::memory_order_relaxed);
+    unsigned folds = 1;
+    Gauge* g = gauge(s.domain_rank);
+    const std::int64_t before =
+        g->occupied.fetch_add(occupied ? 1 : -1, std::memory_order_relaxed);
+    if (occupied ? before != 0 : before != 1) return folds;
+    ++folds;
+    const std::int64_t root_before =
+        root_occupied_.value.fetch_add(occupied ? 1 : -1,
+                                       std::memory_order_relaxed);
+    if (!occupied && root_before == 1) {
+      ++folds;
+      fire_quiesce();
+    }
+    return folds;
+  }
+
+  bool occupied(unsigned w) const {
+    return w < occ_.size() &&
+           occ_[w].occupied.load(std::memory_order_relaxed) != 0;
+  }
+
+  std::int64_t domain_occupied(unsigned rank) const {
+    const Gauge* g = gauge(rank);
+    return g != nullptr ? g->occupied.load(std::memory_order_relaxed) : 0;
+  }
+
+  std::int64_t root_occupied() const {
+    return root_occupied_.value.load(std::memory_order_relaxed);
+  }
+
+  /// Arms the quiescence event: the next root 1->0 fold notify_all()s both
+  /// parkers exactly once (each pointer is consumed by an exchange).
+  /// Runtime::begin() arms before pushing the root frame, so the root
+  /// count is non-zero for the entire section and the only firing edge is
+  /// the master's root-frame pop in Runtime::end().
+  void arm_quiesce(Parker* work, Parker* progress) {
+    quiesce_work_.store(work, std::memory_order_release);
+    quiesce_progress_.store(progress, std::memory_order_release);
+  }
+
+  /// Drops an unfired arming (defensive; after a normal section end the
+  /// fold already consumed both pointers).
+  void disarm_quiesce() {
+    quiesce_work_.store(nullptr, std::memory_order_release);
+    quiesce_progress_.store(nullptr, std::memory_order_release);
+  }
+
+  /// True while at least one quiescence parker is still armed (tests).
+  bool quiesce_armed() const {
+    return quiesce_work_.load(std::memory_order_acquire) != nullptr ||
+           quiesce_progress_.load(std::memory_order_acquire) != nullptr;
+  }
+
  private:
   struct Gauge {
     std::atomic<std::int64_t> ready{0};
     std::atomic<std::uint64_t> failed{0};
+    std::atomic<std::int64_t> occupied{0};  ///< workers of this domain with
+                                            ///  a non-empty frame stack
   };
+
+  /// Per-worker occupancy byte. Deliberately unpadded (see above); the
+  /// domain rank rides along so the fold never needs a placement lookup.
+  struct OccSlot {
+    std::atomic<std::uint8_t> occupied{0};
+    std::uint32_t domain_rank = 0;
+  };
+
+  void fire_quiesce() {
+    // The exchange is the exactly-once guarantee: two racing 1->0 edges
+    // cannot both see a non-null pointer. notify_all (not notify_one): the
+    // work parker's rate limiter may drop notify_one wakes, and section
+    // close must reach every sleeper.
+    if (Parker* p = quiesce_progress_.exchange(nullptr,
+                                               std::memory_order_acq_rel)) {
+      p->notify_all();
+    }
+    if (Parker* p =
+            quiesce_work_.exchange(nullptr, std::memory_order_acq_rel)) {
+      p->notify_all();
+    }
+  }
 
   Gauge* gauge(unsigned rank) {
     if (gauges_.empty()) return nullptr;
@@ -200,6 +336,10 @@ class StarvationBoard {
   }
 
   std::vector<Padded<Gauge>> gauges_;
+  std::vector<OccSlot> occ_;
+  Padded<std::atomic<std::int64_t>> root_occupied_;
+  std::atomic<Parker*> quiesce_work_{nullptr};
+  std::atomic<Parker*> quiesce_progress_{nullptr};
 };
 
 }  // namespace xk

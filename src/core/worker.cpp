@@ -34,6 +34,8 @@ Worker::Worker(Runtime& rt, unsigned id, unsigned nworkers)
       steal_batch_(std::clamp<std::size_t>(rt.config().steal_batch, 1,
                                            StealRequest::kMaxBatch)),
       reclaim_enabled_(!rt.config().renaming),
+      adaptive_steal_(rt.config().steal_adaptive),
+      occ_hint_(rt.config().occupancy_hint),
       work_parker_(&rt.work_parker()),
       progress_parker_(&rt.progress_parker()),
       frames_(kMaxDepth),
@@ -82,6 +84,13 @@ Frame& Worker::push_frame() {
   // pop_frame arbitrates against scanners. This removes a full fence from
   // the per-task execution path (run_task pushes a frame per task).
   depth_.store(d + 1, std::memory_order_release);
+  // Occupancy hint: publish "has work" only on the 0->1 transition (once
+  // per stolen reply / section root, not per task), so the board line the
+  // victim draw reads stays read-mostly. Published after the depth store:
+  // a thief that sees the bit and probes finds the frame already there.
+  if (d == 0) {
+    stats_->quiesce_folds += starvation_->publish_occupied(id_, true);
+  }
   return f;
 }
 
@@ -106,6 +115,12 @@ void Worker::pop_frame() {
     assert(!f.steal_claimed());
     depth_.store(d - 1, std::memory_order_release);
     f.reset();
+    // 1->0 transition: clear the occupancy bit and fold the change up the
+    // board's domain/root counts. On worker 0's root-frame pop this is the
+    // quiescence edge that fires the section-end wake (Runtime::end).
+    if (d == 1) {
+      stats_->quiesce_folds += starvation_->publish_occupied(id_, false);
+    }
     return;
   }
   // seq_cst on both sides of the Dekker handshake (store-buffering litmus):
@@ -133,6 +148,9 @@ void Worker::pop_frame() {
     }
   }
   f.reset();
+  if (d == 1) {
+    stats_->quiesce_folds += starvation_->publish_occupied(id_, false);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -182,6 +200,10 @@ class CwBodyGuard {
 }  // namespace
 
 void Worker::run_task(Task* t, Frame* src, bool stolen) {
+  // Adaptive feedback input: everything run since the last successful
+  // steal — stolen children fanning out locally included — counts as work
+  // the reply seeded (see next_stealhalf).
+  ++run_since_steal_;
   if (stolen) {
     // The caller already won the StolenClaim -> RunThief CAS (the second
     // arbitration point against a frame owner's reclaim; see
@@ -215,10 +237,13 @@ void Worker::run_task(Task* t, Frame* src, bool stolen) {
 
   if (stolen && t->renames != nullptr) {
     // The body wrote into rename buffers; the frame owner commits them in
-    // program order (wait_and_finalize) and publishes Term.
-    t->state.store(TaskState::kCommitReady, std::memory_order_release);
-    // The owner may be parked waiting on this task (wait_and_finalize).
-    rt_.notify_progress();
+    // program order (wait_and_finalize) and publishes Term. seq_cst store:
+    // half of the no-lost-wakeup pairing with the owner's registration
+    // (see wake_joiner).
+    t->state.store(TaskState::kCommitReady, std::memory_order_seq_cst);
+    // The owner may be parked waiting on exactly this task — wake it and
+    // only it (the old path broadcast to every suspended waiter).
+    wake_joiner(t);
     return;
   }
   if (!stolen && t->renames != nullptr) {
@@ -234,11 +259,40 @@ void Worker::run_task(Task* t, Frame* src, bool stolen) {
       rl->on_complete(t, domain_rank_);
     }
   }
-  t->state.store(TaskState::kTerm, std::memory_order_release);
+  t->state.store(TaskState::kTerm,
+                 stolen ? std::memory_order_seq_cst
+                        : std::memory_order_release);
   if (stolen) {
-    // A stolen subtree completing can flip a parked owner's wait predicate
-    // (suspended sync) — wake every parked worker so the right one rechecks.
-    rt_.notify_progress();
+    // Targeted completion wake: only the frame owner registered on this
+    // task (if any) can be blocked on it — wake exactly that worker. The
+    // completion may also have released dataflow successors into the ready
+    // list above, which is new stealable work: ping one idle thief through
+    // the standard (rate-limited) work wake. Together these replace the
+    // old notify_progress broadcast that woke every suspended worker on
+    // every stolen completion.
+    wake_joiner(t);
+    rt_.notify_work();
+  }
+}
+
+void Worker::wake_joiner(Task* t) {
+  // Runs after this thief's final seq_cst state store. `t` is used only
+  // as a pointer *value* from here on — the owner may observe that store,
+  // return from its join and recycle the descriptor's arena block at any
+  // moment, so dereferencing it again would race with the reuse. The scan
+  // reads each worker's stable join cell instead: seq_cst loads paired
+  // with the waiter's seq_cst registration store, so either this scan
+  // observes the registration (and the wake below lands) or the waiter's
+  // seq_cst state re-check is ordered after our final state store and it
+  // never parks on a completed task. At most one worker (the frame owner)
+  // can be registered on a given live task, so the wake stays targeted.
+  const unsigned n = rt_.nworkers();
+  for (unsigned i = 0; i < n; ++i) {
+    Worker& w = rt_.worker(i);
+    if (w.join_target_.load(std::memory_order_seq_cst) == t) {
+      stats_->join_wakes++;
+      w.join_parker_.notify_all();
+    }
   }
 }
 
@@ -283,13 +337,24 @@ void Worker::wait_and_finalize(Task* t, Frame& f) {
     run_task(t, &f, /*stolen=*/false);
     return;
   }
-  // Steal (and eventually park) until the thief parks the task in a final
-  // state. Both transitions below are terminal for the thief side, and both
-  // are followed by a notify_progress, so a parked wait wakes promptly.
-  steal_until([&] {
-    const TaskState s = t->load_state();
+  // Register the task in this worker's own join cell, then steal (and
+  // eventually park on the private join parker) until the thief parks the
+  // task in a final state. The registration is re-asserted on *every*
+  // predicate evaluation: stolen work executed inside steal_until_on may
+  // itself sync and overwrite the cell with a nested wait, and the
+  // re-store restores the outer registration before the next park. Both
+  // thief-side final transitions are seq_cst stores followed by a seq_cst
+  // scan of these cells; the seq_cst registration + seq_cst predicate
+  // load close the store-buffering window, so either the thief's scan
+  // sees the registration (wake lands) or this load sees the final state
+  // (never parks) — the park timeout remains only as the generic
+  // backstop.
+  steal_until_on(join_parker_, [&] {
+    join_target_.store(t, std::memory_order_seq_cst);
+    const TaskState s = t->load_state(std::memory_order_seq_cst);
     return s == TaskState::kTerm || s == TaskState::kCommitReady;
   });
+  join_target_.store(nullptr, std::memory_order_relaxed);
   if (t->load_state() == TaskState::kCommitReady) {
     // All program-order predecessors terminated (the drain is in-order),
     // so the renamed writes can land on their true targets.
@@ -333,7 +398,7 @@ Worker* Worker::pick_victim(bool& local_phase) {
     const unsigned start = turn % nv;
     for (unsigned k = 0; k < nv; ++k) {
       Worker& v = rt_.worker(victim_order_[(start + k) % nv]);
-      if (v.looks_busy()) return &v;
+      if (probe_victim(v)) return &v;
     }
     return nullptr;
   }
@@ -346,7 +411,7 @@ Worker* Worker::pick_victim(bool& local_phase) {
     for (unsigned k = 0; k < nlocal_victims_; ++k) {
       Worker& v =
           rt_.worker(victim_order_[(start + k) % nlocal_victims_]);
-      if (v.looks_busy()) return &v;
+      if (probe_victim(v)) return &v;
     }
   }
   if (local_phase) return nullptr;  // escalation not yet earned
@@ -357,7 +422,7 @@ Worker* Worker::pick_victim(bool& local_phase) {
   for (unsigned k = 0; k < nremote; ++k) {
     Worker& v = rt_.worker(
         victim_order_[nlocal_victims_ + (start + k) % nremote]);
-    if (v.looks_busy()) return &v;
+    if (probe_victim(v)) return &v;
   }
   return nullptr;
 }
@@ -387,12 +452,31 @@ bool Worker::try_steal_once() {
   }
   stats_->steal_attempts++;
 
+  if (adaptive_steal_) {
+    // Evaluate the steal-width feedback once per posted request: the last
+    // successful reply's size against everything run since. Failed rounds
+    // (last_reply_tasks_ == 0) keep the current width.
+    const bool next =
+        next_stealhalf(stealhalf_, last_reply_tasks_, run_since_steal_);
+    if (next != stealhalf_) {
+      stealhalf_ = next;
+      stats_->adaptive_flips++;
+    }
+    last_reply_tasks_ = 0;
+  }
+
   StealRequest& slot = victim->request_slot(id_);
   slot.nreplies = 0;
+  slot.stealhalf = adaptive_steal_ && stealhalf_;
+  // Idle = nothing on the frame stack (a pure thief). A suspended owner
+  // helping while it waits still holds runnable work, so scarce combiners
+  // serve it last.
+  slot.idle = depth_.load(std::memory_order_relaxed) == 0;
   // Release suffices (down from seq_cst): the combiner's acquire load of
-  // the status sees the cleared reply fields, and a combiner that misses
-  // the post entirely is benign — the thief keeps spinning and, when the
-  // mutex frees up, elects itself and serves its own slot.
+  // the status sees the cleared reply fields (and the request bits above),
+  // and a combiner that misses the post entirely is benign — the thief
+  // keeps spinning and, when the mutex frees up, elects itself and serves
+  // its own slot.
   slot.status.store(StealRequest::kPosted, std::memory_order_release);
 
   int spins = 0;
@@ -442,6 +526,13 @@ bool Worker::try_steal_once() {
       // domain's shared failed-round gauge (work is reaching it again).
       local_fails_ = 0;
       if (starve_rounds_ > 0) starvation_->record_progress(domain_rank_);
+      if (adaptive_steal_ && won != 0) {
+        // Reset the feedback window: the flip decision at the next post
+        // compares this reply's size against what it seeds.
+        last_reply_tasks_ = won;
+        run_since_steal_ = 0;
+        if (slot.stealhalf) stats_->steals_half++;
+      }
       for (std::uint32_t i = 0; i < won; ++i) {
         execute_reply(tasks[i], frames[i]);
       }
@@ -661,8 +752,18 @@ Readiness Worker::check_ready(Worker& victim, std::uint64_t round,
 // request simply fails and is re-posted, and the next combiner round
 // re-pours. Nothing below assumes "one lock acquisition saw everything".
 void Worker::pour_ready_list(ReadyList& rl, Frame& f,
-                             std::size_t pool_target) {
+                             std::size_t pool_target, std::size_t npending) {
   if (reply_scratch_.size() >= pool_target) return;
+  if (adaptive_steal_) {
+    // Steal-half cap per list: grant the one-each floor, then take half of
+    // the remaining live depth and leave the victim the other half (the
+    // relaxed depth gauge can lag — adaptive_take_cap still probes one pop
+    // on a stale zero so the deal cannot starve).
+    const std::size_t cap =
+        adaptive_take_cap(rl.approx_ready(), npending);
+    pool_target = std::min(pool_target, reply_scratch_.size() + cap);
+    if (reply_scratch_.size() >= pool_target) return;
+  }
   batch_scratch_.resize(pool_target - reply_scratch_.size());
   const std::size_t got = rl.pop_ready_claimed_batch(
       batch_scratch_.data(), batch_scratch_.size(), domain_rank_,
@@ -679,30 +780,36 @@ std::size_t Worker::deal_pool(std::vector<PendingReq>& pending,
   std::vector<PooledReply>& pool = reply_scratch_;
   if (pool.empty()) return served;
   const std::size_t remaining = pending.size() - served;
-  if (pool.size() < remaining && starve_rounds_ > 0) {
+  if (pool.size() < remaining) {
     // Scarce replies: not every waiting thief gets one this round. Serve
-    // thieves of starving domains first — their whole domain has nothing
-    // local to fall back on, while a thief of a healthy domain that gets
-    // kFailed here will land on a local victim on its next draw. The
-    // reorder is a stable partition through a reused scratch vector
-    // (std::stable_partition may malloc a temporary buffer, and this runs
-    // under the victim's steal mutex); box order still breaks ties, and
-    // when no domain is starving (every flat-machine round: the gauge
-    // never accumulates without a local tier) the order is untouched. The
-    // combiner's own slot gets no special treatment: if it ends up past
-    // the receiver window, the deal below hands one task to each receiver
-    // and strands nothing (see the back==0 note).
+    // the desperate first — thieves of starving domains (nothing local to
+    // fall back on), then idle thieves (empty stacks; a suspended owner
+    // that gets kFailed here still has its own frames to mind and a
+    // reclaim fallback). A thief of a healthy domain that misses out will
+    // land on a local victim on its next draw. The reorder is a stable
+    // partition through a reused scratch vector (std::stable_partition may
+    // malloc a temporary buffer, and this runs under the victim's steal
+    // mutex); box order still breaks ties, and when every requester is an
+    // equally-idle thief of a healthy domain (the common flat-machine
+    // round) the order is untouched. The combiner's own slot gets no
+    // special treatment: if it ends up past the receiver window, the deal
+    // below hands one task to each receiver and strands nothing (see the
+    // stranding note).
     const auto thr = static_cast<std::uint64_t>(starve_rounds_);
     std::vector<PendingReq>& scratch = deal_scratch_;
     scratch.resize(remaining);
     // Evaluate the (racy, relaxed) verdict exactly once per request:
-    // starved entries fill the scratch from the front, the rest from the
+    // desperate entries fill the scratch from the front, the rest from the
     // back in reverse — one reverse restores their box order, giving a
     // stable partition without a second starving() pass that a concurrent
     // gauge update could contradict.
     std::size_t lo = 0, hi = remaining;
     for (std::size_t i = served; i < pending.size(); ++i) {
-      if (starvation_->starving(pending[i].domain_rank, thr)) {
+      const bool desperate =
+          (starve_rounds_ > 0 &&
+           starvation_->starving(pending[i].domain_rank, thr)) ||
+          pending[i].idle;
+      if (desperate) {
         scratch[lo++] = pending[i];
       } else {
         scratch[--hi] = pending[i];
@@ -715,14 +822,57 @@ std::size_t Worker::deal_pool(std::vector<PendingReq>& pending,
                 pending.begin() + static_cast<std::ptrdiff_t>(served));
     }
   }
-  // Steal-k deal: every waiting thief gets exactly one distinct task
-  // (oldest first); only the combiner's own slot takes the batch surplus.
-  // The combiner executes its reply immediately after releasing the mutex,
-  // so a multi-task batch there never strands claimed work — handing
-  // batches to *other* thieves would park claimed chain heads on threads
-  // that may not be scheduled, stalling their dataflow successors.
+  // Want-honoring deal. Pass 1: every receiver gets one distinct task
+  // (steal-one semantics never fail a thief the pool can cover). Pass 2:
+  // the surplus tops receivers up to their want — the combiner's own slot
+  // first (it executes immediately after releasing the mutex, so a large
+  // batch there never strands claimed work), then steal-half thieves
+  // round-robin. In fixed mode every other want is 1, so pass 2 feeds the
+  // self slot only and the deal reproduces the old steal-k split exactly.
+  // Handing multi-task batches to other thieves parks claimed chain heads
+  // on threads that may be descheduled; that risk is what the feedback bit
+  // gates — only a thief that proved it drains full replies asks for more.
   const std::size_t receivers = std::min(remaining, pool.size());
-  StealRequest* self_served = nullptr;
+  std::vector<std::uint32_t>& alloc = alloc_scratch_;
+  alloc.assign(receivers, 1);
+  std::size_t avail = pool.size() - receivers;
+  std::size_t self_r = receivers;  // index of our own slot, if it received
+  for (std::size_t r = 0; r < receivers; ++r) {
+    if (pending[served + r].slot == self_slot) {
+      self_r = r;
+      break;
+    }
+  }
+  if (self_r != receivers) {
+    const std::uint32_t want = pending[served + self_r].want;
+    const auto extra = static_cast<std::uint32_t>(
+        std::min<std::size_t>(avail, want > 1 ? want - 1 : 0));
+    alloc[self_r] += extra;
+    avail -= extra;
+  }
+  for (bool progress = true; avail != 0 && progress;) {
+    progress = false;
+    for (std::size_t r = 0; r < receivers && avail != 0; ++r) {
+      if (r == self_r || alloc[r] >= pending[served + r].want) continue;
+      ++alloc[r];
+      --avail;
+      progress = true;
+    }
+  }
+  // avail is now 0: the pour targets never exceed the summed wants of the
+  // unserved requests, and with pool.size() > receivers every request is a
+  // receiver, so the wants can absorb the whole pool — nothing claimed is
+  // ever stranded in the scratch.
+  assert(avail == 0);
+  for (std::size_t r = 0; avail != 0 && r < receivers; ++r) {
+    // Unreachable by the invariant above; kept so a future pour-target bug
+    // can only over-serve a thief (capped by the reply array), never leak
+    // a claimed task out of the scheduler.
+    const auto extra = static_cast<std::uint32_t>(std::min<std::size_t>(
+        avail, StealRequest::kMaxBatch - alloc[r]));
+    alloc[r] += extra;
+    avail -= extra;
+  }
   // Hand the *youngest* pooled tasks to the other thieves and keep the
   // oldest for our own slot: we execute immediately, so the oldest work —
   // whose program-order successors the victim's drain reaches first —
@@ -730,30 +880,28 @@ std::size_t Worker::deal_pool(std::vector<PendingReq>& pending,
   // delays work the drain is farthest from.
   std::size_t back = pool.size();  // youngest not-yet-assigned task
   for (std::size_t r = 0; r < receivers; ++r) {
+    if (r == self_r) continue;  // filled below from the front of the pool
     StealRequest* s = pending[served + r].slot;
-    if (s == self_slot) {
-      self_served = s;  // filled below from the front of the pool
-      continue;
+    const std::uint32_t n = alloc[r];
+    back -= n;
+    for (std::uint32_t k = 0; k < n; ++k) {
+      s->reply[k] = pool[back + k].task;
+      s->reply_frame[k] = pool[back + k].frame;
     }
-    --back;
-    s->reply[0] = pool[back].task;
-    s->reply_frame[0] = pool[back].frame;
-    s->nreplies = 1;
+    s->nreplies = n;
   }
-  if (self_served != nullptr) {
-    // Our slot takes the remaining pool[0..back): the oldest task plus the
-    // batch surplus (capped at steal_batch by the pool target).
+  if (self_r != receivers) {
+    // Our slot takes the remaining pool[0..back): the oldest tasks plus
+    // whatever surplus pass 2 granted.
+    assert(back == alloc[self_r]);
+    StealRequest* s = pending[served + self_r].slot;
     std::uint32_t n = 0;
     for (std::size_t i = 0; i < back; ++i, ++n) {
-      self_served->reply[n] = pool[i].task;
-      self_served->reply_frame[n] = pool[i].frame;
+      s->reply[n] = pool[i].task;
+      s->reply_frame[n] = pool[i].frame;
     }
-    self_served->nreplies = n;
+    s->nreplies = n;
   }
-  // else: our slot was not among the receivers (another combiner answered
-  // it before this round). back == 0 then: pool_target_for added the batch
-  // surplus only with our slot pending, and without it pool.size() <=
-  // remaining makes every receiver consume one task — nothing is stranded.
   // Publish only after every reply array is complete.
   for (std::size_t r = 0; r < receivers; ++r) {
     pending[served + r].slot->status.store(StealRequest::kServed,
@@ -766,13 +914,25 @@ std::size_t Worker::deal_pool(std::vector<PendingReq>& pending,
 void Worker::combine_on(Worker& victim) {
   stats_->combiner_rounds++;
   const bool aggregate = rt_.config().steal_aggregation;
+  StealRequest* const self_slot = &victim.request_slot(id_);
   std::vector<PendingReq>& pending = pending_scratch_;
   pending.clear();
   for (unsigned i = 0; i < victim.nslots(); ++i) {
     StealRequest& s = victim.request_slot(i);
     if (s.status.load(std::memory_order_acquire) == StealRequest::kPosted) {
       if (aggregate || i == id_) {
-        pending.push_back({&s, rt_.worker(i).domain_rank()});
+        // Reply-size ceiling per request. Fixed mode: one task per other
+        // thief, the steal_batch surplus for our own slot (we execute it
+        // immediately). Adaptive mode: the request's stealhalf bit asks
+        // for up to a full reply array; the pour's depth cap decides how
+        // much of that ceiling a round can actually fund.
+        std::uint32_t want = 1;
+        if (adaptive_steal_) {
+          if (s.stealhalf) want = StealRequest::kMaxBatch;
+        } else if (&s == self_slot) {
+          want = static_cast<std::uint32_t>(steal_batch_);
+        }
+        pending.push_back({&s, rt_.worker(i).domain_rank(), want, s.idle});
       }
     }
   }
@@ -783,19 +943,13 @@ void Worker::combine_on(Worker& victim) {
   const std::uint32_t depth = victim.depth_acquire();
   std::vector<Task*>& adaptives = adaptive_scratch_;
   adaptives.clear();
-  // Steal-k pooling: one traversal claims one task per pending request —
-  // plus a batch surplus of steal_batch-1 for the combiner's own request —
-  // into the pool; a single deal after the loop serves every thief. The
-  // walk still stops early — once the pool is full there is nothing left
-  // to look for.
-  StealRequest* const self_slot = &victim.request_slot(id_);
+  // Pooling: one traversal claims up to the summed reply ceilings into the
+  // pool; a single deal after the loop serves every thief. The walk still
+  // stops early — once the pool is full there is nothing left to look for.
   auto pool_target_for = [&](std::size_t served_now) {
-    std::size_t t = pending.size() - served_now;
+    std::size_t t = 0;
     for (std::size_t i = served_now; i < pending.size(); ++i) {
-      if (pending[i].slot == self_slot) {
-        t += steal_batch_ - 1;
-        break;
-      }
+      t += pending[i].want;
     }
     return t;
   };
@@ -814,7 +968,7 @@ void Worker::combine_on(Worker& victim) {
     if (ReadyList* rl = f.ready_list.load(std::memory_order_acquire)) {
       // Accelerated path (§II-C): the list is authoritative for this frame.
       rl->extend(domain_rank_);
-      pour_ready_list(*rl, f, pool_target);
+      pour_ready_list(*rl, f, pool_target, pending.size() - served);
       continue;
     }
 
@@ -932,7 +1086,8 @@ void Worker::combine_on(Worker& victim) {
     hottest->ready_list.store(rl, std::memory_order_release);
     rl->extend(domain_rank_);
     stats_->readylist_attach++;
-    pour_ready_list(*rl, *hottest, pool_target_for(served));
+    pour_ready_list(*rl, *hottest, pool_target_for(served),
+                    pending.size() - served);
     served = deal_pool(pending, served, self_slot);
   }
 

@@ -51,15 +51,55 @@ void set_this_worker(Worker* w);
 /// come cheap (ready-list pops) the combiner hands a thief several in one
 /// handshake, amortizing the post/spin/serve round trip. All reply fields
 /// are written by the combiner before the kServed release store and read by
-/// the thief after its acquire load of the status.
+/// the thief after its acquire load of the status. The request-side fields
+/// (`stealhalf`, `idle`) are the tasking-2.0-style bits the thief writes
+/// before the kPosted release store; the combiner reads them after its
+/// acquire load of the status (see docs/STEALING.md).
 struct StealRequest {
   enum Status : int { kEmpty = 0, kPosted, kServed, kFailed };
   static constexpr std::uint32_t kMaxBatch = 8;
   std::atomic<int> status{kEmpty};
   std::uint32_t nreplies = 0;
+  /// Thief asks for half of the victim's ready work (adaptive feedback bit;
+  /// false = steal-one). Meaningful only under XK_STEAL_ADAPTIVE.
+  bool stealhalf = false;
+  /// Thief has an empty frame stack (a pure idle thief, not a suspended
+  /// owner helping while it waits). Scarce combiners serve idle thieves
+  /// before suspended ones, which still hold runnable work of their own.
+  bool idle = false;
   Task* reply[kMaxBatch] = {};
   Frame* reply_frame[kMaxBatch] = {};  ///< source frame per task (for ready-list notify); null for heap tasks
 };
+
+/// Next value of a thief's steal-half feedback bit, evaluated just before
+/// it posts a new request (XK_STEAL_ADAPTIVE; pure so tests can pin the
+/// flip conditions). `received` is the size of the thief's last successful
+/// reply (0 = the previous round failed: keep the current width), and
+/// `executed` counts every task the thief ran since that reply. Executing
+/// no more than what was received means the stolen subtree fanned out into
+/// nothing and the thief is back begging immediately — ask for half next
+/// time; executing more means the reply seeded enough local work — drop
+/// back to steal-one and leave the victim its locality.
+constexpr bool next_stealhalf(bool current, std::uint32_t received,
+                              std::uint64_t executed) {
+  if (received == 0) return current;
+  return executed <= received;
+}
+
+/// How many tasks an adaptive combiner may drain from a ready list holding
+/// `depth` live tasks while `npending` requests wait (pure; the steal-half
+/// cap pour_ready_list applies per list). One task per pending thief is
+/// always grantable — steal-one semantics never fail a thief just to hoard
+/// — and of the remainder the victim keeps half. A non-positive `depth`
+/// (the relaxed gauge can lag pushes) still probes one pop so a stale
+/// gauge cannot starve the deal.
+constexpr std::size_t adaptive_take_cap(std::int64_t depth,
+                                        std::size_t npending) {
+  if (depth <= 0) return npending == 0 ? 0 : 1;
+  const auto d = static_cast<std::size_t>(depth);
+  const std::size_t base = npending < d ? npending : d;
+  return base + (d - base) / 2;
+}
 
 /// Per-frame combiner scan state, owned by the victim and persisted across
 /// steal rounds (the "incremental readiness" core of the steal-path
@@ -157,10 +197,11 @@ class Worker {
   /// Enters the idle loop until `done` becomes true: posts steal requests
   /// to random victims, backing off as failures accumulate — spin, then
   /// yield, then park (bounded exponential sleep with the timeout as the
-  /// lost-wakeup backstop). Used by victims suspended on a stolen task and
-  /// by foreach completion waits; the sleeper waits on the *progress*
-  /// parker, woken by stolen-task completions / foreach retirement /
-  /// section end (and re-validates stealable work before sleeping).
+  /// lost-wakeup backstop). Used by foreach completion waits; the sleeper
+  /// waits on the *progress* parker, woken by foreach retirement and the
+  /// section-end quiescence fire (and re-validates stealable work before
+  /// sleeping). A join on one specific stolen task uses steal_until_on
+  /// with the private join parker instead (see wait_and_finalize).
   template <typename Pred>
   void steal_until(Pred&& done) {
     steal_until_on(*progress_parker_, done);
@@ -212,9 +253,18 @@ class Worker {
 
   /// Suspends on a task claimed by another worker until it terminates,
   /// stealing meanwhile (§II-B: "it suspends its execution and switches to
-  /// the workstealing scheduler"). Commits pending renamed writes when the
-  /// task parks in CommitReady.
+  /// the workstealing scheduler"). Registers the task in this worker's own
+  /// `join_target_` cell so the finishing thief wakes exactly this
+  /// worker's join parker (see wake_joiner), and commits pending renamed
+  /// writes when the task parks in CommitReady.
   void wait_and_finalize(Task* t, Frame& f);
+
+  /// This worker's private join parker: parked on only in
+  /// wait_and_finalize, notified only by the thief that finishes the
+  /// registered task (wake_joiner). notify_all is used there — the single
+  /// waiter makes it as cheap as notify_one without the rate limiter that
+  /// can drop wakes.
+  Parker& join_parker() { return join_parker_; }
 
   std::uint32_t depth_relaxed() const {
     return depth_.load(std::memory_order_relaxed);
@@ -287,30 +337,60 @@ class Worker {
   /// One posted request the combiner will answer, with the locality of the
   /// thief behind it (box slot i belongs to thief i): the starvation-aware
   /// deal serves thieves of starving domains first when replies are scarce.
+  /// `want` is the reply-size ceiling this round's deal honors for the
+  /// request (fixed mode: 1 per other thief, steal_batch for the combiner's
+  /// own slot; adaptive mode: kMaxBatch for a steal-half request, 1 for
+  /// steal-one). `idle` snapshots the request's idle bit for the scarce
+  /// deal's priority partition.
   struct PendingReq {
     StealRequest* slot;
     unsigned domain_rank;
+    std::uint32_t want;
+    bool idle;
   };
 
   /// Batch-pops ready tasks from `rl` into the reply pool, up to
   /// `pool_target` pooled tasks total (local shard first; the hit/miss
-  /// split lands in this worker's stats). Under XK_RL_LOCK=split the pops
-  /// ride per-shard locks and the batch is not an atomic whole-list
-  /// snapshot; under =global it is one lock acquisition (old behavior).
-  void pour_ready_list(ReadyList& rl, Frame& f, std::size_t pool_target);
+  /// split lands in this worker's stats). Under XK_STEAL_ADAPTIVE the take
+  /// is additionally capped by adaptive_take_cap over the list's live
+  /// depth and `npending` still-unserved requests (steal-half: the victim
+  /// keeps half of what the one-each floor leaves). Under XK_RL_LOCK=split
+  /// the pops ride per-shard locks and the batch is not an atomic
+  /// whole-list snapshot; under =global it is one lock acquisition (old
+  /// behavior).
+  void pour_ready_list(ReadyList& rl, Frame& f, std::size_t pool_target,
+                       std::size_t npending);
 
-  /// Deals the reply pool to pending[served..] (steal-k: each waiting
-  /// thief gets one distinct task, oldest first; the batch surplus goes to
-  /// `self_slot`, which its owner executes immediately) and publishes the
-  /// served slots. When the pool cannot cover every waiting thief, thieves
-  /// whose domains the starvation board flags are served first. Returns
-  /// the new served count.
+  /// Deals the reply pool to pending[served..]: every receiver gets one
+  /// distinct task first, then the surplus tops requests up to their
+  /// `want` — the combiner's own slot first (it executes immediately),
+  /// then steal-half thieves round-robin. Publishes the served slots and
+  /// returns the new served count. When the pool cannot cover every
+  /// waiting thief, thieves of starving domains — and then idle thieves —
+  /// are served first. In fixed mode (every other want == 1) this
+  /// degenerates to the old steal-k deal exactly.
   std::size_t deal_pool(std::vector<PendingReq>& pending, std::size_t served,
                         StealRequest* self_slot);
 
   /// Executes a steal reply: a stolen descriptor (runs as thief) or a
   /// splitter-produced heap task (hosted in a fresh frame of this stack).
   void execute_reply(Task* t, Frame* src);
+
+  /// Consumes a stolen task's join-waiter registration (if any) and wakes
+  /// that worker's join parker — the targeted replacement for the old
+  /// every-completion progress broadcast.
+  void wake_joiner(Task* t);
+
+  /// Victim-draw probe: the occupancy-board bit when XK_OCC_HINT is on
+  /// (skips counted as probes_skipped), the victim's depth word otherwise.
+  bool probe_victim(Worker& v) {
+    if (occ_hint_) {
+      if (starvation_->occupied(v.id())) return true;
+      stats_->probes_skipped++;
+      return false;
+    }
+    return v.looks_busy();
+  }
 
   /// Escalating park timeout: 50us doubling to a 1.6ms cap as consecutive
   /// failures mount past the park threshold.
@@ -325,6 +405,13 @@ class Worker {
   int park_threshold_;
   std::size_t steal_batch_;
   bool reclaim_enabled_;  ///< join-side reclaim; off under renaming (see wait_and_finalize)
+  bool adaptive_steal_;   ///< XK_STEAL_ADAPTIVE: feedback-sized replies
+  bool occ_hint_;         ///< XK_OCC_HINT: occupancy-bit victim probes
+
+  // Adaptive steal-width feedback (thief-private; see next_stealhalf).
+  bool stealhalf_ = false;            ///< width the next request will carry
+  std::uint32_t last_reply_tasks_ = 0;  ///< size of the last successful reply
+  std::uint64_t run_since_steal_ = 0;   ///< tasks run since that reply
 
   // Locality-aware victim selection (snapshotted from Runtime::placement()
   // at construction; immutable afterwards).
@@ -343,6 +430,16 @@ class Worker {
   // The runtime's shared parkers (cached: Runtime is incomplete here).
   Parker* work_parker_;
   Parker* progress_parker_;
+  // Private join parker for targeted stolen-completion wakes, and the
+  // stolen task this worker is currently suspended on (null otherwise).
+  // The cell lives in the *waiter*, not the task: a completing thief may
+  // not touch task memory after its final state store — the owner can
+  // observe that store, return from the join, pop the frame and recycle
+  // the descriptor's arena block while the thief is still mid-wake. The
+  // thief therefore only compares task *pointers* against these
+  // stable-for-runtime-lifetime cells (wake_joiner).
+  Parker join_parker_;
+  std::atomic<Task*> join_target_{nullptr};
 
   // Frame stack. `depth_` is the Dekker-side publication; frames above the
   // published depth are owner-private.
@@ -365,7 +462,8 @@ class Worker {
   // Combiner-side scratch, reused across rounds to kill per-round heap
   // churn. Only this worker (as combiner) touches its own scratch.
   std::vector<PendingReq> pending_scratch_;
-  std::vector<PendingReq> deal_scratch_;  ///< starved-first reorder buffer
+  std::vector<PendingReq> deal_scratch_;  ///< desperate-first reorder buffer
+  std::vector<std::uint32_t> alloc_scratch_;  ///< per-receiver deal counts
   std::vector<Task*> adaptive_scratch_;
   std::vector<const Task*> prefix_scratch_;
   std::vector<Task*> batch_scratch_;

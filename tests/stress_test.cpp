@@ -419,4 +419,81 @@ TEST(Stress, ReadyListGlobalLockAsymmetricTopo) {
   readylist_runtime_hammer(/*split_lock=*/false);
 }
 
+// ---------------------------------------------------------------------------
+// Adaptive steal protocol + occupancy/quiescence (PR 6): TSan hammer. Many
+// tiny back-to-back sections maximize the hot edges of the new machinery —
+// occupancy bits flipping on 0<->1 frame-depth transitions, the quiescence
+// fold firing at every section close (a lost wake would hang a section past
+// the Parker's 1.6 ms backstop; a double-fire or a data race is TSan's to
+// catch), targeted join wakes racing final state stores, and steal-half
+// replies racing the feedback flip. Runs both XK_STEAL_ADAPTIVE modes under
+// flat, SMT and asymmetric shapes — the sanitizer CI job (which runs every
+// label) and the topo-matrix stress leg are the real gates.
+// ---------------------------------------------------------------------------
+
+void adaptive_steal_hammer(bool adaptive, const char* topo) {
+  xk::Config c = cfg(8);
+  c.topo = topo;
+  c.place = "scatter";  // spread the few workers across every domain
+  c.steal_adaptive = adaptive;
+  c.park_threshold = 18;  // park aggressively: the wake paths must carry it
+  constexpr int kSections = 12, kRows = 8, kSteps = 12;
+  xk::Runtime rt(c);
+  std::vector<double> cells(kRows, 0.0);
+  std::atomic<std::int64_t> forks{0};
+  for (int round = 0; round < kSections; ++round) {
+    rt.run([&] {
+      // Fork-join burst: stolen joins + adaptive feedback on the replies.
+      std::function<void(int)> tree = [&](int d) {
+        if (d == 0) {
+          forks.fetch_add(1);
+          return;
+        }
+        xk::spawn([&tree, d] { tree(d - 1); });
+        tree(d - 1);
+        xk::sync();
+      };
+      tree(5);
+      // Dataflow chains: ready-list pours under the adaptive take cap.
+      for (int step = 0; step < kSteps; ++step) {
+        for (int r = 0; r < kRows; ++r) {
+          xk::spawn([](double* cell) { *cell += 1.0; },
+                    xk::rw(&cells[static_cast<std::size_t>(r)]));
+        }
+      }
+      xk::sync();
+    });
+  }
+  EXPECT_EQ(forks.load(), kSections * 32);
+  for (double v : cells) ASSERT_EQ(v, 1.0 * kSteps * kSections);
+  // Every section must have closed through the quiescence fire, leaving
+  // the board folded flat and nothing armed.
+  EXPECT_EQ(rt.starvation().root_occupied(), 0);
+  EXPECT_FALSE(rt.starvation().quiesce_armed());
+}
+
+TEST(Stress, AdaptiveStealFlatHammer) {
+  adaptive_steal_hammer(/*adaptive=*/true, "1x8");
+}
+
+TEST(Stress, AdaptiveStealSmtTopoHammer) {
+  adaptive_steal_hammer(/*adaptive=*/true, "4x2x2");
+}
+
+TEST(Stress, AdaptiveStealAsymmetricTopoHammer) {
+  adaptive_steal_hammer(/*adaptive=*/true, "1x2+1x6");
+}
+
+TEST(Stress, FixedStealFlatHammer) {
+  adaptive_steal_hammer(/*adaptive=*/false, "1x8");
+}
+
+TEST(Stress, FixedStealSmtTopoHammer) {
+  adaptive_steal_hammer(/*adaptive=*/false, "4x2x2");
+}
+
+TEST(Stress, FixedStealAsymmetricTopoHammer) {
+  adaptive_steal_hammer(/*adaptive=*/false, "1x2+1x6");
+}
+
 }  // namespace
