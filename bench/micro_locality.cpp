@@ -116,7 +116,7 @@ int main() {
     for (const Mode& mode : modes) {
       xk::Config cfg = xk::Config::from_env();
       cfg.nworkers = cores;
-      if (mode.pin_rl_global) cfg.rl_lock_split = false;
+      if (mode.pin_rl_global) cfg.rl_lock = xk::RlLockMode::kGlobal;
       if (!xk::env_string("XK_PLACE")) cfg.place = "scatter";
       if (cfg.topo.empty() && xk::Topology::discover().nnodes() < 2) {
         // Flat box: a synthetic two-node shape keeps the domain paths hot

@@ -75,6 +75,9 @@ std::vector<std::pair<std::string, std::uint64_t>> counter_set(
       {"readylist_pops", s.readylist_pops},
       {"shard_hits", s.shard_hits},
       {"shard_misses", s.shard_misses},
+      {"rl_ring_spills", s.rl_ring_spills},
+      {"rl_ring_retries", s.rl_ring_retries},
+      {"rl_side_pops", s.rl_side_pops},
       {"starvation_escalations", s.starvation_escalations},
       {"parks", s.parks},
       {"park_wakes", s.park_wakes},
@@ -163,33 +166,41 @@ int main() {
   }
 
   // Ready-list lock ablation (XK_RL_LOCK): the dataflow grid again, under
-  // the two-level graph/shard locking vs the pre-split single mutex. A
-  // near-zero attach threshold plus a wider grid (more rows = more blocked
-  // candidates per scan) pushes steal rounds onto the accelerated pop path
-  // even at smoke sizes, so these two series measure the list's locking —
-  // not whether a scan ever got expensive enough to attach one. The two
-  // series run the identical workload; only the lock mode differs. CI
-  // gates split-must-not-lose on them (scripts/check_scaling.py
+  // the pre-split single mutex, the two-level graph/shard locking, and the
+  // lock-free ring scheme. A near-zero attach threshold plus a wider grid
+  // (more rows = more blocked candidates per scan) pushes steal rounds
+  // onto the accelerated pop path even at smoke sizes, so these series
+  // measure the list's locking — not whether a scan ever got expensive
+  // enough to attach one. All series run the identical workload; only the
+  // lock mode differs. CI gates split-must-not-lose-to-global and
+  // lockfree-must-not-lose-to-split on them (scripts/check_scaling.py
   // --baseline-series).
   const int abl_rows = rows * 2;
+  struct RlMode {
+    const char* name;
+    xk::RlLockMode mode;
+  };
+  const RlMode rl_modes[] = {
+      {"dataflow-grid-rl-global", xk::RlLockMode::kGlobal},
+      {"dataflow-grid-rl-split", xk::RlLockMode::kSplit},
+      {"dataflow-grid-rl-lockfree", xk::RlLockMode::kLockFree},
+  };
   for (unsigned cores : xkbench::core_counts()) {
-    for (const bool split : {false, true}) {
+    for (const RlMode& m : rl_modes) {
       xk::Config cfg = xk::Config::from_env();
       cfg.nworkers = cores;
-      cfg.rl_lock_split = split;
+      cfg.rl_lock = m.mode;
       cfg.ready_list_threshold = 4;
       xk::Runtime rt(cfg);
       rt.reset_stats();
       std::vector<double> cells(static_cast<std::size_t>(abl_rows), 1.0);
-      const char* name = split ? "dataflow-grid-rl-split"
-                               : "dataflow-grid-rl-global";
-      xkbench::json_context(name, cores);
+      xkbench::json_context(m.name, cores);
       const double t = xkbench::time_best([&] {
         rt.run([&] { dataflow_grid(cells, abl_rows, steps, work); });
       });
       const xk::WorkerStats s = rt.stats_snapshot();
       xkbench::json_counters(counter_set(s));
-      add_counter_row(table, name, cores, t, s);
+      add_counter_row(table, m.name, cores, t, s);
     }
   }
   // Steal-width ablation (XK_STEAL_ADAPTIVE): the dataflow grid under the

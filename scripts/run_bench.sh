@@ -11,6 +11,11 @@
 #                finishes in well under a minute.
 #   --build-dir  where the bench binaries live (default: build).
 #   --out-dir    where BENCH_*.json land (default: repo root).
+#
+# Human-readable stdout (the counter tables) is captured as
+# BENCH_<name>.log under <build-dir>/bench-logs — scratch output next to
+# the binaries, never in the repo root (only the .json trajectory files
+# are tracked).
 #   name...      subset of benchmarks to run (default: all built ones).
 #
 # The google-benchmark binary (micro_spawn) emits its native JSON, which
@@ -40,6 +45,8 @@ if [[ ! -d "$bench_dir" ]]; then
   exit 1
 fi
 mkdir -p "$out_dir"
+log_dir="$build_dir/bench-logs"
+mkdir -p "$log_dir"
 
 table_benches=(fig1_fib fig2_cholesky_dense fig3_foreach fig6_epx_loops
                fig7_skyline fig8_epx_overall ablation_adaptive ablation_steal
@@ -90,7 +97,7 @@ for name in "${table_benches[@]}"; do
   fi
   out="$out_dir/BENCH_${name}.json"
   echo "-- running $name -> $out"
-  XKREPRO_JSON="$out" "$bin" > "$out_dir/BENCH_${name}.log"
+  XKREPRO_JSON="$out" "$bin" > "$log_dir/BENCH_${name}.log"
   emitted+=("$out")
 done
 
@@ -98,11 +105,11 @@ if want micro_spawn; then
   bin="$bench_dir/micro_spawn"
   if [[ -x "$bin" ]]; then
     out="$out_dir/BENCH_micro_spawn.json"
-    raw="$out_dir/BENCH_micro_spawn.gbench.json"
+    raw="$log_dir/BENCH_micro_spawn.gbench.json"
     echo "-- running micro_spawn -> $out"
     "$bin" "${gbench_flags[@]}" \
       --benchmark_out="$raw" --benchmark_out_format=json \
-      > "$out_dir/BENCH_micro_spawn.log"
+      > "$log_dir/BENCH_micro_spawn.log"
     python3 "$repo_root/scripts/gbench_to_json.py" "$raw" "$out"
     rm -f "$raw"
     emitted+=("$out")

@@ -33,7 +33,11 @@ void Frame::reset() {
   // also what a *surviving* list would key its coverage reset off — a
   // ReadyList constructed on this frame checks Frame::epoch() at every
   // graph-side entry and drops stale coverage (and early-completion
-  // records, which would otherwise alias recycled task addresses).
+  // records, which would otherwise alias recycled task addresses). Under
+  // XK_RL_LOCK=lockfree that same coverage reset additionally discards
+  // the deferred-retirement stack and the lock-free task->node index —
+  // both hold pointers into the node storage the reset frees, and both
+  // are keyed by task addresses this recycle is about to reissue.
   delete ready_list.load(std::memory_order_relaxed);
   ready_list.store(nullptr, std::memory_order_relaxed);
   head_.next.store(nullptr, std::memory_order_relaxed);

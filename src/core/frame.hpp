@@ -122,10 +122,14 @@ class Frame {
   /// The list is sharded by locality domain (one ready deque per domain
   /// rank; see readylist.hpp) — callers pass their domain rank so releases
   /// and pops route through their own domain's shard first. Internally the
-  /// list uses two-level graph/shard locking (XK_RL_LOCK); the frame never
-  /// participates in that locking — reset()/~Frame delete the list only
-  /// after the Dekker handshake excluded every scanner, so no list lock
-  /// can be held or wanted at that point.
+  /// list uses two-level graph/shard locking, or lock-free MPMC rings plus
+  /// a lock-free completion index (XK_RL_LOCK); the frame never
+  /// participates in that synchronization — reset()/~Frame delete the list
+  /// only after the Dekker handshake excluded every scanner, so no list
+  /// lock can be held or wanted (and no lock-free reader in flight) at
+  /// that point. The epoch bump in reset() is the boundary every list-side
+  /// cache keys off: coverage, early completions, and in lockfree mode the
+  /// task->node index and deferred interval retirement.
   std::atomic<ReadyList*> ready_list{nullptr};
 
   /// Set by a combiner (inside the scanning window) when it steal-claims a

@@ -9,9 +9,17 @@ ReadyList::ReadyList(Frame& frame, unsigned nshards, StarvationBoard* board,
                      RlLockMode lock_mode)
     : frame_(frame),
       board_(board),
+      mode_(lock_mode),
       split_(lock_mode == RlLockMode::kSplit),
+      lockfree_(lock_mode == RlLockMode::kLockFree),
       frame_epoch_(frame.epoch()),
-      shards_(std::max(nshards, 1u)) {}
+      shards_(std::max(nshards, 1u)) {
+  if (lockfree_) {
+    for (Shard& s : shards_) {
+      s.ring = std::make_unique<MpmcRing<Node*>>(kRingCapacity);
+    }
+  }
+}
 
 ReadyList::~ReadyList() {
   // A frame can recycle with tasks still queued (released successors the
@@ -103,8 +111,19 @@ void ReadyList::check_epoch_pop_path() {
 void ReadyList::reset_coverage_graph_held() {
   for (Node& n : nodes_) settle_queued(&n);
   for (unsigned s = 0; s < nshards(); ++s) {
-    ShardGuard guard(shards_[s], split_);
-    shards_[s].q.clear();
+    if (lockfree_) {
+      // Reset is only reachable quiesced (see above), so draining the ring
+      // single-threadedly is safe; the side deque rides its own mutex.
+      Node* dead = nullptr;
+      while (shards_[s].ring->try_pop(dead)) {
+      }
+      std::lock_guard lock(shards_[s].mu);
+      shards_[s].q.clear();
+      shards_[s].side.store(0, std::memory_order_relaxed);
+    } else {
+      ShardGuard guard(shards_[s], split_);
+      shards_[s].q.clear();
+    }
   }
   nready_.store(0, std::memory_order_relaxed);
   nodes_.clear();
@@ -115,6 +134,14 @@ void ReadyList::reset_coverage_graph_held() {
   extend_ready_scratch_.clear();
   max_span_ = 0;
   covered_count_ = 0;
+  if (lockfree_) {
+    // The retired chain and the lock-free index point into the nodes_
+    // storage just cleared; no reader can exist here (quiesced).
+    retire_head_.store(nullptr, std::memory_order_relaxed);
+    index_tab_.store(nullptr, std::memory_order_relaxed);
+    index_tabs_.clear();
+    index_count_ = 0;
+  }
 }
 
 void ReadyList::extend(unsigned shard) {
@@ -126,6 +153,10 @@ void ReadyList::extend(unsigned shard) {
   std::lock_guard lock(graph_mu_);
   shard = wrap_shard(shard);
   check_epoch_graph_held();
+  // Epoch boundary of the deferred-retirement scheme: the interval scans
+  // below must not walk intervals of long-completed predecessors (they
+  // would be skipped via `completed` anyway, but the scan cost compounds).
+  if (lockfree_) drain_retired_graph_held();
   const std::uint32_t published = frame_.size_acquire();
   if (covered_count_ >= published) return;
   Frame::Iterator it(frame_);
@@ -144,8 +175,14 @@ void ReadyList::extend(unsigned shard) {
   // the coverage stall the per-round cap exists to bound. Coverage order
   // is preserved; only the publication is batched.
   if (!extend_ready_scratch_.empty()) {
-    ShardGuard guard(shards_[shard], split_);
-    for (Node* n : extend_ready_scratch_) push_ready_shard_held(n, shard);
+    if (lockfree_) {
+      for (Node* n : extend_ready_scratch_) {
+        push_ready_lockfree(n, shard, nullptr);
+      }
+    } else {
+      ShardGuard guard(shards_[shard], split_);
+      for (Node* n : extend_ready_scratch_) push_ready_shard_held(n, shard);
+    }
     extend_ready_scratch_.clear();
   }
 }
@@ -176,10 +213,18 @@ void ReadyList::add_node_graph_held(Task* t, unsigned shard) {
   // the lazy sweep folds the completion in.
   if (s != TaskState::kInit) watch_graph_held(node);
 
+  // Lockfree: a +1 construction bias on npred. Predecessor completions no
+  // longer hold graph_mu_, so one could decrement a mid-construction
+  // node's count to zero and push it into a ring before the remaining
+  // accesses below have contributed their edges. The bias keeps the count
+  // positive until this function's closing fetch_sub, which is then the
+  // decision point for initially-ready.
+  if (lockfree_) node->npred.store(1, std::memory_order_relaxed);
+
   // Count conflicts against live (non-completed) predecessors' accesses.
   // npred stores are relaxed: the node is not published to any shard or
   // watcher until this function returns, and all graph-side writers hold
-  // graph_mu_.
+  // graph_mu_ (lockfree mode additionally rides the construction bias).
   for (std::uint32_t a = 0; a < t->naccesses; ++a) {
     const Access& acc = t->accesses[a];
     if (acc.mode == AccessMode::kNone || acc.mode == AccessMode::kScratch)
@@ -195,8 +240,22 @@ void ReadyList::add_node_graph_held(Task* t, unsigned shard) {
       if (e.node == node) continue;
       if (!accesses_conflict(*e.acc, acc)) continue;
       if (e.node->completed.load(std::memory_order_relaxed)) continue;
-      e.node->successors.push_back(node);
-      node->npred.fetch_add(1, std::memory_order_relaxed);
+      if (lockfree_) {
+        // The append must not race the predecessor's completion swapping
+        // its successor list out: take its edge spinlock and re-check.
+        // Either the edge lands before the swap (the completion will
+        // decrement it) or the completion is observed and no edge is
+        // counted — never an increment without a matching decrement.
+        edge_lock_acquire(e.node);
+        if (!e.node->completed.load(std::memory_order_relaxed)) {
+          e.node->successors.push_back(node);
+          node->npred.fetch_add(1, std::memory_order_relaxed);
+        }
+        edge_lock_release(e.node);
+      } else {
+        e.node->successors.push_back(node);
+        node->npred.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
 
@@ -212,6 +271,23 @@ void ReadyList::add_node_graph_held(Task* t, unsigned shard) {
     node->live_refs.push_back(itv);
   }
 
+  if (lockfree_) {
+    // Publish to the lock-free index only now: every field a lock-free
+    // completer touches is initialized, and the slot store's release
+    // makes them visible. (on_complete calls racing in before this line
+    // miss the table and block on graph_mu_, where the authoritative
+    // `index_` map — populated at the top — covers them.)
+    index_insert_graph_held(node);
+    // Release the construction bias. Observing 1 means every counted
+    // predecessor already decremented (or none existed): this decrement
+    // is the final one, and no concurrent completer can release the node
+    // — the initially-ready decision is ours alone.
+    if (node->npred.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+        t->load_state() == TaskState::kInit) {
+      extend_ready_scratch_.push_back(node);
+    }
+    return;
+  }
   if (node->npred.load(std::memory_order_relaxed) == 0 &&
       t->load_state() == TaskState::kInit) {
     // Deferred to extend()'s one batched shard-lock acquisition. A claim
@@ -222,8 +298,30 @@ void ReadyList::add_node_graph_held(Task* t, unsigned shard) {
   }
 }
 
-void ReadyList::on_complete(Task* t, unsigned shard) {
+void ReadyList::on_complete(Task* t, unsigned shard, WorkerStats* stats) {
   shard = wrap_shard(shard);
+  if (lockfree_) {
+    // The completion hot path: one lock-free index probe, then the
+    // edge-spinlock completion protocol — no mutex, so completions of
+    // different domains no longer serialize on graph_mu_ here.
+    check_epoch_pop_path();
+    if (Node* n = index_lookup_lockfree(t)) {
+      complete_node_lockfree(n, shard, stats);
+      return;
+    }
+    // Table miss: covered-but-not-yet-published (racing extend), or not
+    // covered at all. The authoritative map under graph_mu_ decides;
+    // recording an early completion must also happen under it.
+    std::lock_guard lock(graph_mu_);
+    check_epoch_graph_held();
+    auto found = index_.find(t);
+    if (found == index_.end()) {
+      early_completions_.emplace(t, true);
+      return;
+    }
+    complete_node_lockfree(found->second, shard, stats);
+    return;
+  }
   std::lock_guard lock(graph_mu_);
   check_epoch_graph_held();
   auto found = index_.find(t);
@@ -274,23 +372,239 @@ std::size_t ReadyList::complete_node_graph_held(Node* n, unsigned shard) {
   return released;
 }
 
-Task* ReadyList::pop_ready_claimed(unsigned shard) {
+// ---- lockfree-mode machinery ----------------------------------------------
+
+/// Pointer hash for the lock-free index: drop the alignment bits, then a
+/// Fibonacci multiply + fold so bump-allocated (arithmetically clustered)
+/// task addresses spread over the table.
+static std::size_t task_hash(const Task* t) {
+  std::uintptr_t x = reinterpret_cast<std::uintptr_t>(t) >> 4;
+  x *= 0x9E3779B97F4A7C15ull;
+  x ^= x >> 32;
+  return static_cast<std::size_t>(x);
+}
+
+void ReadyList::index_insert_graph_held(Node* n) {
+  // Linear-probe insert. Single writer (graph_mu_); the release store
+  // publishes the fully-initialized node to lock-free readers.
+  // Termination: the grow policy keeps every table below 0.7 load.
+  auto raw_insert = [](IndexTable* tab, Node* node, const Task* key) {
+    for (std::size_t i = task_hash(key) & tab->mask;;
+         i = (i + 1) & tab->mask) {
+      if (tab->slots[i].load(std::memory_order_relaxed) == nullptr) {
+        tab->slots[i].store(node, std::memory_order_release);
+        return;
+      }
+    }
+  };
+  IndexTable* tab = index_tab_.load(std::memory_order_relaxed);
+  if (tab == nullptr || (index_count_ + 1) * 10 > (tab->mask + 1) * 7) {
+    // Grow 2x (seed 1024), rehashing from the OLD TABLE, not the
+    // authoritative map: the map also holds every node that was already
+    // completed at coverage (those skip the table on purpose), so on
+    // owner-heavy frames it can exceed any table capacity derived from
+    // the table's own occupancy — rehashing from it could overfill the
+    // fresh table and turn the linear probe into an infinite loop.
+    // Completed nodes are dropped during the rehash as compaction (a
+    // lookup miss for them degrades to the graph_mu_ slow path, which
+    // finds the completed node in the map and no-ops). The defensive
+    // doubling loop keeps the surviving count below the 0.7 bound even
+    // when compaction removes nothing. The old table stays allocated in
+    // index_tabs_: a racing lookup may still be probing it, and a stale
+    // table only costs that lookup a miss (-> the graph_mu_ slow path),
+    // never a wrong hit.
+    std::size_t ncap = tab == nullptr ? 1024 : (tab->mask + 1) * 2;
+    while ((index_count_ + 2) * 10 > ncap * 7) ncap *= 2;
+    auto fresh = std::make_unique<IndexTable>(ncap);
+    std::size_t live = 0;
+    if (tab != nullptr) {
+      for (std::size_t i = 0; i <= tab->mask; ++i) {
+        Node* old = tab->slots[i].load(std::memory_order_relaxed);
+        if (old == nullptr) continue;
+        if (old->completed.load(std::memory_order_relaxed)) continue;
+        raw_insert(fresh.get(), old, old->task);
+        ++live;
+      }
+    }
+    raw_insert(fresh.get(), n, n->task);
+    ++live;
+    IndexTable* published = fresh.get();
+    index_tabs_.push_back(std::move(fresh));
+    index_tab_.store(published, std::memory_order_release);
+    index_count_ = live;
+    return;
+  }
+  raw_insert(tab, n, n->task);
+  ++index_count_;
+}
+
+ReadyList::Node* ReadyList::index_lookup_lockfree(const Task* t) const {
+  const IndexTable* tab = index_tab_.load(std::memory_order_acquire);
+  if (tab == nullptr) return nullptr;
+  for (std::size_t i = task_hash(t) & tab->mask;; i = (i + 1) & tab->mask) {
+    Node* n = tab->slots[i].load(std::memory_order_acquire);
+    if (n == nullptr) return nullptr;  // not in this table: caller's miss path
+    if (n->task == t) return n;
+  }
+}
+
+void ReadyList::drain_retired_graph_held() {
+  Node* n = retire_head_.exchange(nullptr, std::memory_order_acquire);
+  while (n != nullptr) {
+    for (auto itv : n->live_refs) live_.erase(itv);
+    n->live_refs.clear();
+    Node* next = n->retire_next;
+    n->retire_next = nullptr;
+    n = next;
+  }
+}
+
+/// Appends `n` to `shard`'s queue without holding any lock on the common
+/// path: the MPMC ring when it has room (and nothing is spilled), the
+/// mutex-guarded side deque otherwise. The side-deque divert rule — spill
+/// whenever the side deque is non-empty, even if the ring has room again —
+/// keeps per-shard pop order intact across a spill episode: every ring
+/// entry predates every side entry, and the shard self-heals back to
+/// ring-only pushes once poppers drain the side deque. (Concurrent pushes
+/// racing a spill can still interleave the two queues, but concurrent
+/// pushes have no defined order to preserve.)
+void ReadyList::push_ready_lockfree(Node* n, unsigned shard,
+                                    WorkerStats* stats) {
+  n->queued.store(static_cast<std::int32_t>(shard), std::memory_order_relaxed);
+  Shard& s = shards_[shard];
+  bool ringed = false;
+  if (s.side.load(std::memory_order_relaxed) == 0) {
+    std::uint64_t retries = 0;
+    ringed = s.ring->try_push(n, &retries);
+    if (stats != nullptr) stats->rl_ring_retries += retries;
+  }
+  if (!ringed) {
+    {
+      std::lock_guard lock(s.mu);
+      s.q.push_back(n);
+      s.side.fetch_add(1, std::memory_order_relaxed);
+    }
+    ring_spills_.fetch_add(1, std::memory_order_relaxed);
+    if (stats != nullptr) stats->rl_ring_spills++;
+  }
+  s.depth.fetch_add(1, std::memory_order_relaxed);
+  nready_.fetch_add(1, std::memory_order_relaxed);
+  if (board_ != nullptr) board_->add_ready(shard, 1);
+}
+
+/// Pops one entry without a mutex on the common path: per shard in rank
+/// order from `home`, the ring first, then — only when the side gauge says
+/// something spilled — the side deque under its mutex. The ring pop's
+/// seq acquire is the edge carrying the pushing finisher's writes.
+ReadyList::Node* ReadyList::pop_entry_lockfree(unsigned home, unsigned* from,
+                                               WorkerStats* stats) {
+  const unsigned ns = nshards();
+  for (unsigned k = 0; k < ns; ++k) {
+    const unsigned r = (home + k) % ns;
+    Shard& s = shards_[r];
+    Node* n = nullptr;
+    std::uint64_t retries = 0;
+    const bool got = s.ring->try_pop(n, &retries);
+    if (stats != nullptr) stats->rl_ring_retries += retries;
+    if (got) {
+      nready_.fetch_sub(1, std::memory_order_relaxed);
+      *from = r;
+      return n;
+    }
+    if (s.side.load(std::memory_order_relaxed) != 0) {
+      std::lock_guard lock(s.mu);
+      if (!s.q.empty()) {
+        n = s.q.front();
+        s.q.pop_front();
+        s.side.fetch_sub(1, std::memory_order_relaxed);
+        nready_.fetch_sub(1, std::memory_order_relaxed);
+        side_pops_.fetch_add(1, std::memory_order_relaxed);
+        if (stats != nullptr) stats->rl_side_pops++;
+        *from = r;
+        return n;
+      }
+    }
+  }
+  return nullptr;
+}
+
+/// Lock-free completion. The edge spinlock makes {completed := true, take
+/// successors} one atomic step against add_node's {check completed, append
+/// edge}, so the successor list can neither lose an append nor be read
+/// mid-reallocation. Successor decrements are acq_rel — the final
+/// decrementer observes every earlier completer's writes before it
+/// publishes the successor into a ring. Interval retirement is deferred
+/// to the Treiber stack (drained under graph_mu_ at the epoch
+/// boundaries); `completed` keeps the lingering intervals inert meanwhile.
+std::size_t ReadyList::complete_node_lockfree(Node* n, unsigned shard,
+                                              WorkerStats* stats) {
+  if (n->completed.load(std::memory_order_relaxed)) return 0;
+  edge_lock_acquire(n);
+  if (n->completed.load(std::memory_order_relaxed)) {
+    edge_lock_release(n);
+    return 0;
+  }
+  n->completed.store(true, std::memory_order_relaxed);
+  std::vector<Node*> succs = std::move(n->successors);
+  n->successors.clear();
+  edge_lock_release(n);
+  settle_queued(n);
+  if (!n->live_refs.empty()) {
+    // live_refs is stable from here on: add_node finished writing it
+    // before the node became findable, and only the graph_mu_ drain —
+    // which this push gates — clears it.
+    Node* head = retire_head_.load(std::memory_order_relaxed);
+    do {
+      n->retire_next = head;
+    } while (!retire_head_.compare_exchange_weak(head, n,
+                                                 std::memory_order_release,
+                                                 std::memory_order_relaxed));
+  }
+  std::size_t released = 0;
+  for (Node* succ : succs) {
+    // Every counted edge pairs exactly one increment with one decrement
+    // (the edge-lock protocol above), and the construction bias keeps the
+    // count positive until add_node finished — so a zero-crossing here is
+    // the unique release point.
+    const std::uint32_t prev =
+        succ->npred.fetch_sub(1, std::memory_order_acq_rel);
+    assert(prev != 0 && "npred underflow: unpaired edge decrement");
+    if (prev != 1) continue;
+    if (succ->completed.load(std::memory_order_relaxed)) continue;
+    push_ready_lockfree(succ, shard, stats);
+    ++released;
+  }
+  return released;
+}
+
+std::size_t ReadyList::complete_node_any(Node* n, unsigned shard) {
+  return lockfree_ ? complete_node_lockfree(n, shard, nullptr)
+                   : complete_node_graph_held(n, shard);
+}
+
+// ---------------------------------------------------------------------------
+
+Task* ReadyList::pop_ready_claimed(unsigned shard, std::uint64_t* shard_hits,
+                                   std::uint64_t* shard_misses) {
   Task* t = nullptr;
-  return pop_ready_claimed_batch(&t, 1, shard) == 1 ? t : nullptr;
+  return pop_ready_claimed_batch(&t, 1, shard, shard_hits, shard_misses) == 1
+             ? t
+             : nullptr;
 }
 
 std::size_t ReadyList::pop_ready_claimed_batch(Task** out, std::size_t max,
                                                unsigned shard,
                                                std::uint64_t* shard_hits,
-                                               std::uint64_t* shard_misses) {
+                                               std::uint64_t* shard_misses,
+                                               WorkerStats* stats) {
   shard = wrap_shard(shard);
-  if (!split_) {
+  if (mode_ == RlLockMode::kGlobal) {
     std::lock_guard lock(graph_mu_);
     check_epoch_graph_held();
     return pop_batch_global(out, max, shard, shard_hits, shard_misses);
   }
   check_epoch_pop_path();
-  return pop_batch_split(out, max, shard, shard_hits, shard_misses);
+  return pop_batch_split(out, max, shard, shard_hits, shard_misses, stats);
 }
 
 /// Global-mode batch pop: the whole call under graph_mu_, preserving the
@@ -424,19 +738,23 @@ void ReadyList::fold_or_watch(Node* n, unsigned home) {
   if (n->completed.load(std::memory_order_relaxed)) return;  // settled
   if (n->task->load_state() == TaskState::kTerm) {
     ++missed_folds_;
-    complete_node_graph_held(n, home);
+    complete_node_any(n, home);
   } else {
     watch_graph_held(n);
   }
 }
 
-/// Split-mode batch pop: per-entry shard locking, graph_mu_ only on the
-/// rare paths (claim-race folds, the dry-list sweep, and one batched watch
-/// registration before returning).
+/// Split- and lockfree-mode batch pop: per-entry shard locking (split) or
+/// mutex-free ring pops (lockfree), graph_mu_ only on the rare paths
+/// (claim-race folds, the dry-list sweep, and one batched watch
+/// registration before returning). The two modes share everything except
+/// the per-entry pop primitive, so the claim-race / watch / sweep
+/// machinery cannot drift between them.
 std::size_t ReadyList::pop_batch_split(Task** out, std::size_t max,
                                        unsigned home,
                                        std::uint64_t* shard_hits,
-                                       std::uint64_t* shard_misses) {
+                                       std::uint64_t* shard_misses,
+                                       WorkerStats* stats) {
   std::size_t got = 0;
   bool swept = false;
   int dry_probes = 0;
@@ -470,7 +788,8 @@ std::size_t ReadyList::pop_batch_split(Task** out, std::size_t max,
       continue;
     }
     unsigned from = home;
-    Node* node = pop_entry_split(home, &from);
+    Node* node = lockfree_ ? pop_entry_lockfree(home, &from, stats)
+                           : pop_entry_split(home, &from);
     if (node == nullptr) {
       // nready_ was stale: concurrent poppers drained the shards between
       // our read and our probes (or a push's count preceded visibility of
@@ -513,6 +832,11 @@ std::size_t ReadyList::pop_batch_split(Task** out, std::size_t max,
 /// sweeping popper's `shard`). Returns true when the fold released at
 /// least one task into a shard. Caller holds graph_mu_.
 bool ReadyList::sweep_watch_graph_held(unsigned shard) {
+  // The sweep's folds consult and mutate the graph; it is also the second
+  // epoch boundary of the deferred-retirement scheme (extend is the
+  // first) — drain before folding so a fold's released successors are
+  // computed against a current interval index.
+  if (lockfree_) drain_retired_graph_held();
   std::size_t released = 0;
   for (std::size_t n = watch_.size(); n > 0; --n) {
     Node* node = watch_.front();
@@ -524,7 +848,7 @@ bool ReadyList::sweep_watch_graph_held(unsigned shard) {
     if (node->task->load_state() == TaskState::kTerm) {
       ++missed_folds_;
       node->watched = false;
-      released += complete_node_graph_held(node, shard);
+      released += complete_node_any(node, shard);
       continue;
     }
     watch_.push_back(node);  // still in flight; keep watching, FIFO order
@@ -544,6 +868,13 @@ std::size_t ReadyList::ready_size() const {
 std::size_t ReadyList::shard_ready_size(unsigned shard) const {
   if (shard >= nshards()) return 0;
   auto& self = *const_cast<ReadyList*>(this);
+  if (lockfree_) {
+    // Ring occupancy is a racy estimate by construction; the side deque
+    // rides its mutex.
+    std::lock_guard lock(self.shards_[shard].mu);
+    return self.shards_[shard].ring->approx_size() +
+           self.shards_[shard].q.size();
+  }
   // Global mode guards the deques with graph_mu_, not the (unused) shard
   // mutexes — a no-op guard here would race writers under graph_mu_.
   std::unique_lock<std::mutex> graph_lock;
@@ -570,6 +901,18 @@ std::size_t ReadyList::early_completion_count() const {
 std::uint64_t ReadyList::missed_folds() const {
   std::lock_guard lock(graph_mu_);
   return missed_folds_;
+}
+
+std::size_t ReadyList::retire_pending() const {
+  // graph_mu_ excludes the drain; concurrent pushes only prepend ahead of
+  // the head we load, so the walked chain is stable.
+  std::lock_guard lock(graph_mu_);
+  std::size_t count = 0;
+  for (const Node* n = retire_head_.load(std::memory_order_acquire);
+       n != nullptr; n = n->retire_next) {
+    ++count;
+  }
+  return count;
 }
 
 }  // namespace xk

@@ -63,27 +63,67 @@
 // every public entry point, shard mutexes never touched — byte-for-byte
 // reproducing the old pop order (the ablation baseline and a debugging
 // fallback).
+//
+// XK_RL_LOCK=lockfree goes the rest of the way: the pop and completion hot
+// paths stop taking any mutex at all. graph_mu_ still guards coverage
+// growth (extend/add_node), the watch machinery and the rare fold paths —
+// those run at combiner cadence — but the per-task steady state becomes:
+//
+//  * each shard's primary queue is a bounded MPMC ring (support/ring.hpp,
+//    kRingCapacity entries, per-slot sequence counters). A full ring
+//    spills to the shard's mutex-guarded side deque — the old deque,
+//    demoted to overflow duty — and pushes keep landing there until the
+//    side deque drains, so ring entries always predate side entries and
+//    per-shard FIFO order survives the spill. The ring's seq
+//    release/acquire pair replaces the shard mutex as the edge handing a
+//    finisher's writes to the popper.
+//  * a completion looks its node up in a lock-free open-addressed index
+//    (atomic Node* slots keyed by Task*; inserted and grown only under
+//    graph_mu_, read with one acquire load per probe). A miss — racing
+//    grow, or a task covered after it completed — degrades to the old
+//    graph_mu_ slow path against the authoritative map.
+//  * the completion itself runs under the node's one-byte edge spinlock
+//    (leaf lock, spin-only): it marks the node completed and takes the
+//    successor list in O(1), so it cannot race extend() appending edges.
+//    add_node takes the same spinlock per conflict edge and re-checks
+//    `completed` under it — either the edge lands before the completion
+//    swallows the list (and gets decremented), or it observes the
+//    completion and never counts the predecessor.
+//  * live-access-interval retirement is deferred: a lock-free completion
+//    pushes its node onto a Treiber stack instead of erasing live_ (a
+//    graph_mu_ structure); extend() and the watch sweep — the places that
+//    next need an accurate interval index, and which already hold
+//    graph_mu_ — drain the stack first. Until then the completed
+//    predecessor's intervals linger but are skipped by add_node's
+//    `completed` check, exactly like the old same-lock path.
+//  * a node under construction carries a +1 npred bias so a concurrent
+//    predecessor completion can never release it mid-add_node (its edge
+//    and interval sets are still growing); add_node's final bias release
+//    is the decrement that decides initially-ready.
+//
+// Lock order gains one leaf level: graph_mu_ -> edge spinlock -> side-deque
+// mutex; no path acquires in the reverse direction. `split` and `global`
+// never touch the ring, the spinlock or the index table — their code paths
+// are untouched ablation baselines.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "core/config.hpp"  // RlLockMode
 #include "core/frame.hpp"
 #include "core/stats.hpp"
 #include "core/task.hpp"
 #include "support/cache.hpp"
+#include "support/ring.hpp"
 
 namespace xk {
-
-/// Locking discipline for a ReadyList (the XK_RL_LOCK ablation knob):
-/// kSplit = two-level graph/shard locking; kGlobal = the pre-split single
-/// mutex (graph_mu_ serializes everything, exact old behavior).
-enum class RlLockMode : std::uint8_t { kGlobal, kSplit };
 
 class ReadyList {
  public:
@@ -98,10 +138,13 @@ class ReadyList {
   ReadyList(const ReadyList&) = delete;
   ReadyList& operator=(const ReadyList&) = delete;
 
+  /// Ring capacity per shard in lockfree mode (power of two; overflow
+  /// spills to the shard's side deque). Public so tests can drive the
+  /// spill path deterministically.
+  static constexpr std::size_t kRingCapacity = 512;
+
   unsigned nshards() const { return static_cast<unsigned>(shards_.size()); }
-  RlLockMode lock_mode() const {
-    return split_ ? RlLockMode::kSplit : RlLockMode::kGlobal;
-  }
+  RlLockMode lock_mode() const { return mode_; }
 
   /// Extends coverage to every task currently published in the frame.
   /// Called by the combiner (steal mutex held); initially-ready tasks land
@@ -113,8 +156,14 @@ class ReadyList {
 
   /// Pops the oldest ready task — local `shard` first — and claims it
   /// (Init -> StolenClaim). Returns nullptr when no covered task is ready
-  /// and unclaimed in any shard.
-  Task* pop_ready_claimed(unsigned shard = 0);
+  /// and unclaimed in any shard. `shard_hits`/`shard_misses`, when
+  /// non-null, record whether the pop was served by the caller's own
+  /// shard or crossed into another domain's (same telemetry contract as
+  /// the batch form — previously the single-pop path discarded the split
+  /// and cross-shard pops were indistinguishable from local ones).
+  Task* pop_ready_claimed(unsigned shard = 0,
+                          std::uint64_t* shard_hits = nullptr,
+                          std::uint64_t* shard_misses = nullptr);
 
   /// Pops and claims up to `max` ready tasks (the batched-reply path: one
   /// combiner pass hands every waiting thief work). Pops drain the
@@ -130,17 +179,23 @@ class ReadyList {
   /// an unserved thief simply retries next round. Under XK_RL_LOCK=global
   /// the whole batch runs under one graph_mu_ acquisition, exactly the old
   /// single-lock semantics.
+  /// Under `lockfree`, pops are mutex-free (ring first, side deque on
+  /// spill) and `stats`, when given, receives the ring contention/spill
+  /// counters (rl_ring_retries / rl_side_pops).
   std::size_t pop_ready_claimed_batch(Task** out, std::size_t max,
                                       unsigned shard = 0,
                                       std::uint64_t* shard_hits = nullptr,
-                                      std::uint64_t* shard_misses = nullptr);
+                                      std::uint64_t* shard_misses = nullptr,
+                                      WorkerStats* stats = nullptr);
 
   /// Completion notification; must be invoked *before* the Term store by
   /// whoever finished the task, passing the finisher's domain `shard` (the
   /// producer-side routing: released successors join the finisher's
   /// shard). Unknown tasks (not yet covered) are recorded so a later
-  /// extend() does not resurrect them.
-  void on_complete(Task* t, unsigned shard = 0);
+  /// extend() does not resurrect them. Under `lockfree` the common case
+  /// (node indexed, successors released into the ring) never takes a
+  /// mutex; `stats`, when given, receives the ring telemetry.
+  void on_complete(Task* t, unsigned shard = 0, WorkerStats* stats = nullptr);
 
   /// Approximate live ready depth summed over every shard (relaxed reads
   /// of the per-shard depth gauges, no locks): the adaptive combiner's
@@ -164,6 +219,17 @@ class ReadyList {
   std::size_t watched_size() const;
   std::size_t early_completion_count() const;
   std::uint64_t missed_folds() const;
+  // Lockfree-mode internals telemetry (always 0 in split/global). The
+  // list-internal mirrors exist so white-box tests — which pass no
+  // WorkerStats — can still observe spills and contention.
+  std::uint64_t ring_spills() const {
+    return ring_spills_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t side_pops() const {
+    return side_pops_.load(std::memory_order_relaxed);
+  }
+  std::size_t retire_pending() const;  ///< completed nodes awaiting the
+                                       ///  next graph_mu_ retirement drain
 
  private:
   // Live-access interval index entry type (declared early: Node refs it).
@@ -201,7 +267,19 @@ class ReadyList {
     /// under graph_mu_ — the exchange itself is the only synchronization
     /// between them.
     std::atomic<std::int32_t> queued{-1};
-    std::vector<Node*> successors;       ///< guarded by graph_mu_
+    /// One-byte edge spinlock (lockfree mode only; split/global never
+    /// touch it). Serializes add_node's edge appends against the
+    /// completion's {mark completed, take successors} — the only two
+    /// touchers of `successors` once completions stop holding graph_mu_.
+    /// A leaf lock: held for a handful of instructions, never while
+    /// acquiring anything else.
+    std::atomic<std::uint8_t> edge_lock{0};
+    /// Treiber-stack link for deferred live-interval retirement (lockfree
+    /// mode): written once by the completing worker (before the CAS that
+    /// publishes the node on retire_head_), consumed under graph_mu_.
+    Node* retire_next = nullptr;
+    std::vector<Node*> successors;  ///< guarded by graph_mu_ (split/global)
+                                    ///  or by edge_lock (lockfree)
     std::vector<LiveMap::iterator> live_refs;  ///< guarded by graph_mu_
   };
 
@@ -210,15 +288,20 @@ class ReadyList {
     const Access* acc;
   };
 
-  /// One per-domain ready deque with its own lock (split mode; global mode
-  /// leaves the mutex untouched and relies on graph_mu_). `depth` counts
-  /// *live* queued nodes (the board-gauge mirror, maintained even without
-  /// a board); the deque itself may additionally hold dead entries whose
-  /// gauge was settled at completion.
+  /// One per-domain ready queue. Split mode: `q` is the primary deque
+  /// under `mu` (global mode leaves the mutex untouched and relies on
+  /// graph_mu_). Lockfree mode: `ring` is the primary queue and `q`+`mu`
+  /// are demoted to the overflow side deque (`side` mirrors its length so
+  /// the pop path can skip the mutex when there is nothing spilled).
+  /// `depth` counts *live* queued nodes (the board-gauge mirror,
+  /// maintained even without a board); the queues themselves may
+  /// additionally hold dead entries whose gauge was settled at completion.
   struct alignas(kCacheLine) Shard {
     std::mutex mu;
     std::deque<Node*> q;
     std::atomic<std::int64_t> depth{0};
+    std::unique_ptr<MpmcRing<Node*>> ring;  ///< allocated in lockfree mode
+    std::atomic<std::int64_t> side{0};      ///< spilled entries in q
   };
 
   /// RAII shard lock that collapses to a no-op in global mode (where
@@ -268,12 +351,59 @@ class ReadyList {
                                std::uint64_t* shard_misses);
   std::size_t pop_batch_split(Task** out, std::size_t max, unsigned home,
                               std::uint64_t* shard_hits,
-                              std::uint64_t* shard_misses);
+                              std::uint64_t* shard_misses,
+                              WorkerStats* stats);
   void fold_or_watch(Node* n, unsigned home);
+
+  // ---- lockfree-mode helpers (mode_ == kLockFree only) -----------------
+
+  /// One-byte test-and-set spin on Node::edge_lock (leaf lock; the
+  /// critical sections it guards are a few loads/stores, so plain
+  /// spinning beats any parking machinery).
+  static void edge_lock_acquire(Node* n) {
+    while (n->edge_lock.exchange(1, std::memory_order_acquire) != 0) {
+      while (n->edge_lock.load(std::memory_order_relaxed) != 0) {
+      }
+    }
+  }
+  static void edge_lock_release(Node* n) {
+    n->edge_lock.store(0, std::memory_order_release);
+  }
+
+  /// Lock-free probe of the open-addressed index. A null result is only
+  /// "not visible in the current table" — callers must fall back to the
+  /// graph_mu_ slow path against the authoritative `index_` map.
+  Node* index_lookup_lockfree(const Task* t) const;
+  /// Inserts into (growing, if needed) the lock-free table. Caller holds
+  /// graph_mu_; the node must be fully initialized — the slot store is
+  /// the release that publishes it to lock-free completers.
+  void index_insert_graph_held(Node* n);
+
+  /// Drains the deferred-retirement Treiber stack, erasing each drained
+  /// node's live_ intervals. Caller holds graph_mu_; called wherever the
+  /// interval index is about to be consulted or reset (extend, the watch
+  /// sweep, coverage reset) — the epoch boundaries of the scheme.
+  void drain_retired_graph_held();
+
+  /// Lock-free completion: edge_lock for the completed/successors
+  /// handoff, ring pushes for released successors, Treiber push for the
+  /// deferred interval retirement. Safe to call with or without graph_mu_
+  /// (the slow-lookup and sweep paths hold it; the hot path does not).
+  std::size_t complete_node_lockfree(Node* n, unsigned shard,
+                                     WorkerStats* stats);
+  /// Mode dispatch for the shared fold/sweep paths (caller holds
+  /// graph_mu_): split/global complete under the graph lock, lockfree
+  /// runs its own protocol.
+  std::size_t complete_node_any(Node* n, unsigned shard);
+
+  void push_ready_lockfree(Node* n, unsigned shard, WorkerStats* stats);
+  Node* pop_entry_lockfree(unsigned home, unsigned* from, WorkerStats* stats);
 
   Frame& frame_;
   StarvationBoard* board_;
-  const bool split_;
+  const RlLockMode mode_;
+  const bool split_;     ///< mode_ == kSplit: shard mutexes are primary
+  const bool lockfree_;  ///< mode_ == kLockFree: rings are primary
 
   /// Graph lock (and, in global mode, the single list-wide lock).
   mutable std::mutex graph_mu_;
@@ -282,6 +412,21 @@ class ReadyList {
   std::deque<Node> nodes_;  ///< stable addresses; grown by extend() only
   std::unordered_map<const Task*, Node*> index_;
   std::unordered_map<const Task*, bool> early_completions_;
+
+  /// Lock-free task->node index (lockfree mode): open-addressed, linear
+  /// probing, power-of-2 sized. Written (insert, grow) only under
+  /// graph_mu_; read with acquire loads and no lock by the completion
+  /// hot path. Old tables are retired into `index_tabs_` rather than
+  /// freed — a reader may still hold a pointer into one — and reclaimed
+  /// only at coverage reset / destruction, when no reader can exist.
+  struct IndexTable {
+    explicit IndexTable(std::size_t cap) : mask(cap - 1), slots(cap) {}
+    std::size_t mask;
+    std::vector<std::atomic<Node*>> slots;
+  };
+  std::atomic<IndexTable*> index_tab_{nullptr};
+  std::vector<std::unique_ptr<IndexTable>> index_tabs_;  ///< current + retired
+  std::size_t index_count_ = 0;  ///< entries in the current table
   std::uint32_t covered_count_ = 0;
   /// Frame incarnation the coverage state matches. Written only under
   /// graph_mu_; atomic so the split pop path can pre-check "did the frame
@@ -321,6 +466,20 @@ class ReadyList {
   /// deque contents; a stale read costs one spurious probe or one benign
   /// early "dry" verdict.
   std::atomic<std::size_t> nready_{0};
+
+  // ---- lockfree-mode shared state --------------------------------------
+
+  /// Deferred-retirement Treiber stack head: lock-free completions push
+  /// their node here (release CAS; Node::retire_next is the link) instead
+  /// of erasing live_ intervals; drained under graph_mu_ (acquire
+  /// exchange) at the epoch boundaries.
+  std::atomic<Node*> retire_head_{nullptr};
+
+  /// List-internal telemetry mirrors (see the accessors): counted
+  /// alongside the caller's WorkerStats so statless callers (tests,
+  /// extend's own pushes) still show up.
+  std::atomic<std::uint64_t> ring_spills_{0};
+  std::atomic<std::uint64_t> side_pops_{0};
 };
 
 }  // namespace xk

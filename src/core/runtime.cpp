@@ -32,11 +32,14 @@ Config Config::from_env() {
   cfg.shard_ready_list = env_bool("XK_RL_SHARD", cfg.shard_ready_list);
   if (auto lock = env_string("XK_RL_LOCK")) {
     if (*lock == "split") {
-      cfg.rl_lock_split = true;
+      cfg.rl_lock = RlLockMode::kSplit;
     } else if (*lock == "global") {
-      cfg.rl_lock_split = false;
+      cfg.rl_lock = RlLockMode::kGlobal;
+    } else if (*lock == "lockfree") {
+      cfg.rl_lock = RlLockMode::kLockFree;
     } else {
-      std::fprintf(stderr, "xk: ignoring unknown XK_RL_LOCK=%s (split|global)\n",
+      std::fprintf(stderr,
+                   "xk: ignoring unknown XK_RL_LOCK=%s (split|global|lockfree)\n",
                    lock->c_str());
     }
   }

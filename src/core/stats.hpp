@@ -46,6 +46,13 @@ struct WorkerStats {
                                    ///  queues)
   std::uint64_t shard_misses = 0;  ///< pops that crossed into another domain's
                                    ///  shard after the local one ran dry
+  std::uint64_t rl_ring_spills = 0;   ///< ready-ring pushes that overflowed to
+                                      ///  the mutex-guarded side deque
+                                      ///  (XK_RL_LOCK=lockfree)
+  std::uint64_t rl_ring_retries = 0;  ///< ring push/pop CAS races lost against
+                                      ///  another worker (ring contention)
+  std::uint64_t rl_side_pops = 0;     ///< pops served from a side deque instead
+                                      ///  of the ring (spill drain traffic)
   std::uint64_t starvation_escalations = 0;  ///< victim draws widened to remote
                                              ///  domains early by the shared
                                              ///  starvation signal
@@ -84,6 +91,9 @@ struct WorkerStats {
     readylist_pops += o.readylist_pops;
     shard_hits += o.shard_hits;
     shard_misses += o.shard_misses;
+    rl_ring_spills += o.rl_ring_spills;
+    rl_ring_retries += o.rl_ring_retries;
+    rl_side_pops += o.rl_side_pops;
     starvation_escalations += o.starvation_escalations;
     renames += o.renames;
     scan_visited += o.scan_visited;
@@ -110,6 +120,9 @@ inline std::ostream& operator<<(std::ostream& os, const WorkerStats& s) {
      << " aggregated=" << s.requests_aggregated
      << " splits=" << s.splitter_calls << " rl_pops=" << s.readylist_pops
      << " shard_hits=" << s.shard_hits << " shard_misses=" << s.shard_misses
+     << " ring_spills=" << s.rl_ring_spills
+     << " ring_retries=" << s.rl_ring_retries
+     << " side_pops=" << s.rl_side_pops
      << " starve_esc=" << s.starvation_escalations
      << " renames=" << s.renames << " parks=" << s.parks
      << " park_wakes=" << s.park_wakes

@@ -61,7 +61,7 @@ Worker::Worker(Runtime& rt, unsigned id, unsigned nworkers)
   steal_local_tries_ = rt.config().steal_local_tries;
   starve_rounds_ = std::max(rt.config().starve_rounds, 0);
   shard_ready_ = rt.config().shard_ready_list;
-  rl_lock_split_ = rt.config().rl_lock_split;
+  rl_lock_mode_ = rt.config().rl_lock;
   starvation_ = &rt.starvation();
   deterministic_victims_ = pl.deterministic;
   victim_rr_ = id_;  // stagger rotating thieves off a common first victim
@@ -256,7 +256,7 @@ void Worker::run_task(Task* t, Frame* src, bool stolen) {
     if (ReadyList* rl = src->ready_list.load(std::memory_order_acquire)) {
       // Before Term (see ReadyList locking notes); released successors
       // join this worker's domain shard — it just wrote their inputs.
-      rl->on_complete(t, domain_rank_);
+      rl->on_complete(t, domain_rank_, &stats_.value);
     }
   }
   t->state.store(TaskState::kTerm,
@@ -360,7 +360,7 @@ void Worker::wait_and_finalize(Task* t, Frame& f) {
     // so the renamed writes can land on their true targets.
     commit_renames(t);
     if (ReadyList* rl = f.ready_list.load(std::memory_order_acquire)) {
-      rl->on_complete(t, domain_rank_);
+      rl->on_complete(t, domain_rank_, &stats_.value);
     }
     t->state.store(TaskState::kTerm, std::memory_order_release);
   }
@@ -767,7 +767,7 @@ void Worker::pour_ready_list(ReadyList& rl, Frame& f,
   batch_scratch_.resize(pool_target - reply_scratch_.size());
   const std::size_t got = rl.pop_ready_claimed_batch(
       batch_scratch_.data(), batch_scratch_.size(), domain_rank_,
-      &stats_->shard_hits, &stats_->shard_misses);
+      &stats_->shard_hits, &stats_->shard_misses, &stats_.value);
   stats_->readylist_pops += got;
   if (got != 0) f.mark_steal_claimed();
   for (std::size_t k = 0; k < got; ++k) {
@@ -1076,13 +1076,13 @@ void Worker::combine_on(Worker& victim) {
     // forced shard (XK_RL_SHARD=0) would credit every domain's ready depth
     // to rank 0 and corrupt the starvation veto, so the unsharded ablation
     // runs without depth tracking (starvation falls back to pure
-    // failed-round counting). The lock mode (XK_RL_LOCK) picks between the
-    // two-level graph/shard locking and the single-mutex baseline.
-    const RlLockMode lock_mode =
-        rl_lock_split_ ? RlLockMode::kSplit : RlLockMode::kGlobal;
-    auto* rl = shard_ready_ ? new ReadyList(*hottest, rt_.ndomains(),
-                                            &rt_.starvation(), lock_mode)
-                            : new ReadyList(*hottest, 1, nullptr, lock_mode);
+    // failed-round counting). The lock mode (XK_RL_LOCK) picks between
+    // two-level graph/shard locking, the lock-free ring scheme, and the
+    // single-mutex baseline.
+    auto* rl = shard_ready_
+                   ? new ReadyList(*hottest, rt_.ndomains(),
+                                   &rt_.starvation(), rl_lock_mode_)
+                   : new ReadyList(*hottest, 1, nullptr, rl_lock_mode_);
     hottest->ready_list.store(rl, std::memory_order_release);
     rl->extend(domain_rank_);
     stats_->readylist_attach++;

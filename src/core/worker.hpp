@@ -422,7 +422,7 @@ class Worker {
   int steal_local_tries_ = 0;           ///< failed local rounds before escalating
   int starve_rounds_ = 0;               ///< domain-wide threshold (0 = off)
   bool shard_ready_ = true;             ///< attach domain-sharded ready lists
-  bool rl_lock_split_ = true;           ///< XK_RL_LOCK: two-level vs global
+  RlLockMode rl_lock_mode_ = RlLockMode::kSplit;  ///< XK_RL_LOCK discipline
   bool deterministic_victims_ = false;  ///< synthetic topo: rotate, don't draw
   unsigned victim_rr_ = 0;              ///< rotation cursor (deterministic mode)
   int local_fails_ = 0;                 ///< consecutive failed local-tier rounds

@@ -1,0 +1,136 @@
+// Bounded MPMC ring buffer (Vyukov's bounded queue): per-slot sequence
+// counters instead of a shared lock, so producers and consumers on
+// different slots never touch the same cache line and a full/empty verdict
+// costs one acquire load.
+//
+// Protocol: slot i's `seq` cycles through the values
+//   push-ready:  pos          (a producer may claim ticket pos)
+//   pop-ready:   pos + 1      (the value for ticket pos is published)
+//   reused:      pos + cap    (the slot is push-ready for the next lap)
+// A producer claims ticket `pos` by CASing the shared tail cursor, writes
+// the value, then publishes with seq.store(pos + 1, release); a consumer
+// claims ticket `pos` off the head cursor once it observes seq == pos + 1
+// (acquire — this load is the happens-before edge carrying the producer's
+// writes, both the value and everything the producer did before pushing),
+// reads the value, and recycles the slot with seq.store(pos + cap,
+// release). Cursors are 64-bit and never wrap in practice, so a lapped
+// sequence can't be mistaken for a current one (no ABA).
+//
+// try_push/try_pop are lock-free (a stalled *claimer* cannot block other
+// claimers — only the slot it owns stays unavailable for one lap) and
+// never spin-wait on a slot: full and empty return false immediately, so
+// callers can fall back (the ReadyList spills to a mutex-guarded side
+// deque) instead of blocking.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "support/cache.hpp"
+
+namespace xk {
+
+template <typename T>
+class MpmcRing {
+ public:
+  /// `capacity` must be a power of two (the index mask) and >= 2.
+  explicit MpmcRing(std::size_t capacity)
+      : slots_(new Slot[capacity]), mask_(capacity - 1) {
+    assert(capacity >= 2 && (capacity & (capacity - 1)) == 0 &&
+           "MpmcRing capacity must be a power of two");
+    for (std::size_t i = 0; i < capacity; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  /// False when the ring is full (the caller spills). `retries`, when
+  /// given, accumulates lost CAS races against other producers — the
+  /// ring-contention telemetry.
+  bool try_push(const T& v, std::uint64_t* retries = nullptr) {
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& s = slots_[pos & mask_];
+      const std::uint64_t seq = s.seq.load(std::memory_order_acquire);
+      if (seq == pos) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          s.value = v;
+          s.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS lost: `pos` was reloaded by compare_exchange; another
+        // producer claimed this ticket first.
+        if (retries != nullptr) ++*retries;
+      } else if (seq < pos) {
+        // The slot still holds the value from one lap ago: the ring is
+        // full (the consumer for ticket pos - capacity has not recycled
+        // it). Report full rather than wait on that consumer.
+        return false;
+      } else {
+        // seq > pos: another producer already claimed and published past
+        // this ticket; refetch the cursor.
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// False when the ring is empty. `retries` accumulates lost CAS races
+  /// against other consumers.
+  bool try_pop(T& out, std::uint64_t* retries = nullptr) {
+    std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& s = slots_[pos & mask_];
+      const std::uint64_t seq = s.seq.load(std::memory_order_acquire);
+      if (seq == pos + 1) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          out = s.value;
+          s.seq.store(pos + mask_ + 1, std::memory_order_release);
+          return true;
+        }
+        if (retries != nullptr) ++*retries;
+      } else if (seq < pos + 1) {
+        // Ticket pos has no published value yet: empty (or a claimed push
+        // is mid-write — indistinguishable, and waiting on it here would
+        // forfeit lock-freedom; the caller re-probes).
+        return false;
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Racy size estimate (relaxed cursor reads; may be momentarily
+  /// negative under concurrent claims, clamped to 0). Telemetry only.
+  std::size_t approx_size() const {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    return t > h ? static_cast<std::size_t>(t - h) : 0;
+  }
+
+ private:
+  /// One slot per cache line: neighbouring slots are claimed by different
+  /// workers in steady state, and sharing lines would turn every publish
+  /// into false-sharing traffic.
+  struct alignas(kCacheLine) Slot {
+    std::atomic<std::uint64_t> seq{0};
+    T value{};
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t mask_;
+  /// Producer and consumer cursors on their own lines (producers hammer
+  /// tail_, consumers hammer head_; sharing one line would couple them).
+  alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};
+  alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};
+};
+
+}  // namespace xk

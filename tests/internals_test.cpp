@@ -437,7 +437,8 @@ TEST(ReadyListShard, BoardTracksShardDepths) {
 // two pop implementations fails loudly.
 TEST(ReadyListLock, GlobalAndSplitAgreeOnPopOrder) {
   for (xk::RlLockMode mode :
-       {xk::RlLockMode::kGlobal, xk::RlLockMode::kSplit}) {
+       {xk::RlLockMode::kGlobal, xk::RlLockMode::kSplit,
+        xk::RlLockMode::kLockFree}) {
     RlFixture fx;
     double chain = 0, other = 0;
     xk::Task* t0 = fx.add(&chain, 8, xk::AccessMode::kReadWrite);
@@ -478,6 +479,97 @@ TEST(ReadyListLock, GlobalModeShardRoutingUnchanged) {
   EXPECT_EQ(out[0], t2);
   EXPECT_EQ(hits, 2u);
   EXPECT_EQ(misses, 1u);
+}
+
+// The lock-free mode's bounded ring spills to the mutex-guarded side deque
+// when full, and the side-nonempty divert rule keeps the combined order
+// FIFO: once anything sits in the side deque, later pushes go there too,
+// so ring entries always predate side entries. This covers the whole
+// overflow story in one shot — spill on push, FIFO across the boundary,
+// ring-first/side-second drain on pop, and the spill/side telemetry.
+TEST(ReadyListLockFree, RingOverflowSpillsToSideDequeInFifoOrder) {
+  constexpr std::size_t kTasks = xk::ReadyList::kRingCapacity + 96;
+  RlFixture fx;
+  fx.accesses.reserve(kTasks);  // stable storage for every access record
+  std::vector<double> slots(kTasks, 0.0);
+  std::vector<xk::Task*> tasks;
+  tasks.reserve(kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    tasks.push_back(fx.add(&slots[i], 8, xk::AccessMode::kWrite));
+  }
+  xk::ReadyList rl(fx.frame, 1, nullptr, xk::RlLockMode::kLockFree);
+  rl.extend();
+  EXPECT_EQ(rl.ready_size(), kTasks);
+  // Everything past the ring's capacity had to spill.
+  EXPECT_GE(rl.ring_spills(), kTasks - xk::ReadyList::kRingCapacity);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    ASSERT_EQ(rl.pop_ready_claimed(), tasks[i]) << "index " << i;
+  }
+  EXPECT_EQ(rl.pop_ready_claimed(), nullptr);
+  EXPECT_GE(rl.side_pops(), kTasks - xk::ReadyList::kRingCapacity);
+  EXPECT_EQ(rl.ready_size(), 0u);
+}
+
+// Regression: the lock-free index's grow path used to rehash from the
+// authoritative task->node map, which also holds every node that was
+// already completed when coverage reached it (those skip the table on
+// purpose). On owner-heavy frames — a 1-worker run where the owner FIFO
+// retires most tasks before extend() covers them — the map can exceed
+// any capacity derived from the table's own occupancy, so the rehash
+// overfilled the fresh table and the open-addressed probe spun forever.
+// 2200 pre-completed covers + 800 live inserts crosses the first grow
+// (at 716 live) with a map bigger than the 2048-slot table it used to
+// rehash into; pre-fix this test hangs.
+TEST(ReadyListLockFree, IndexGrowWithManyPreCompletedCoveredTasks) {
+  constexpr std::size_t kDone = 2200;
+  constexpr std::size_t kLive = 800;
+  RlFixture fx;
+  fx.accesses.reserve(kDone + kLive);
+  std::vector<double> slots(kDone + kLive, 0.0);
+  std::vector<xk::Task*> live;
+  live.reserve(kLive);
+  for (std::size_t i = 0; i < kDone; ++i) {
+    xk::Task* t = fx.add(&slots[i], 8, xk::AccessMode::kWrite);
+    t->state.store(xk::TaskState::kTerm);  // retired before coverage
+  }
+  for (std::size_t i = 0; i < kLive; ++i) {
+    live.push_back(fx.add(&slots[kDone + i], 8, xk::AccessMode::kWrite));
+  }
+  xk::ReadyList rl(fx.frame, 1, nullptr, xk::RlLockMode::kLockFree);
+  // Coverage is capped at 2048 tasks per round; two rounds cover all 3000.
+  rl.extend();
+  rl.extend();
+  EXPECT_EQ(rl.ready_size(), kLive);
+  for (std::size_t i = 0; i < kLive; ++i) {
+    xk::Task* t = rl.pop_ready_claimed();
+    ASSERT_EQ(t, live[i]) << "index " << i;
+    // Complete through the lock-free lookup so every probe walks the
+    // grown table (not just the insert path).
+    rl.on_complete(t);
+    t->state.store(xk::TaskState::kTerm);
+  }
+  EXPECT_EQ(rl.pop_ready_claimed(), nullptr);
+  EXPECT_EQ(rl.ready_size(), 0u);
+}
+
+// Single-pop shard telemetry (PR 7 satellite): the convenience single-task
+// pop_ready_claimed must attribute its cross-shard fallback exactly like
+// the batch form — a pop served by the home shard is a hit, one served by
+// another rank is a miss. It used to drop both counters on the floor.
+TEST(ReadyListShard, SinglePopRecordsShardHitAndMiss) {
+  RlFixture fx;
+  double a = 0, b = 0;
+  xk::Task* t0 = fx.add(&a, 8, xk::AccessMode::kWrite);
+  xk::Task* t1 = fx.add(&b, 8, xk::AccessMode::kWrite);
+  xk::ReadyList rl(fx.frame, 2);
+  rl.extend(/*shard=*/0);  // both tasks land in shard 0
+  std::uint64_t hits = 0, misses = 0;
+  EXPECT_EQ(rl.pop_ready_claimed(0, &hits, &misses), t0);
+  EXPECT_EQ(hits, 1u);    // served by the home shard
+  EXPECT_EQ(misses, 0u);
+  EXPECT_EQ(rl.pop_ready_claimed(1, &hits, &misses), t1);
+  EXPECT_EQ(hits, 1u);
+  EXPECT_EQ(misses, 1u);  // shard 1 was empty; shard 0 served the pop
 }
 
 // ---------------------------------------------------------------------------
@@ -528,7 +620,8 @@ TEST(ReadyListTest, PopAfterFrameRecycleServesNoStaleEntries) {
   // serve a prior-incarnation queue entry whose task pointer aliases
   // freshly recycled arena storage.
   for (xk::RlLockMode mode :
-       {xk::RlLockMode::kGlobal, xk::RlLockMode::kSplit}) {
+       {xk::RlLockMode::kGlobal, xk::RlLockMode::kSplit,
+        xk::RlLockMode::kLockFree}) {
     RlFixture fx;
     double slot = 0.0;
     xk::ReadyList rl(fx.frame, 1, nullptr, mode);

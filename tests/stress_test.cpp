@@ -383,17 +383,28 @@ TEST(Stress, ReadyListGlobalLockHammer) {
   readylist_lock_hammer(xk::RlLockMode::kGlobal);
 }
 
+// Lock-free leg (PR 7): the same storm, but pops drain the MPMC rings, the
+// completion path resolves nodes through the lock-free index, and the
+// npred release chain runs without any shard lock. The 4096-task waves
+// exceed kRingCapacity * kShards, so the side-deque spill path and its
+// FIFO divert rule get hammered too — under TSan this is the primary gate
+// for the ring's seq-counter release/acquire edges and the per-node edge
+// spinlock.
+TEST(Stress, ReadyListLockFreeHammer) {
+  readylist_lock_hammer(xk::RlLockMode::kLockFree);
+}
+
 // End-to-end: dataflow chains on the asymmetric 1x2+1x6 shape with a tiny
 // attach threshold, so real steal rounds attach, extend, pop and complete
 // sharded ready lists across both domains — under both lock modes. (The CI
 // topo matrix also runs this whole suite with XK_TOPO exported; the
 // explicit Config fields here make the shape deterministic even without.)
-void readylist_runtime_hammer(bool split_lock) {
+void readylist_runtime_hammer(xk::RlLockMode mode) {
   xk::Config c = cfg(8);
   c.topo = "1x2+1x6";
   c.place = "scatter";
   c.ready_list_threshold = 8;
-  c.rl_lock_split = split_lock;
+  c.rl_lock = mode;
   xk::Runtime rt(c);
   constexpr int kRows = 16, kSteps = 40, kSections = 3;
   std::vector<double> cells(kRows, 0.0);
@@ -412,11 +423,15 @@ void readylist_runtime_hammer(bool split_lock) {
 }
 
 TEST(Stress, ReadyListSplitLockAsymmetricTopo) {
-  readylist_runtime_hammer(/*split_lock=*/true);
+  readylist_runtime_hammer(xk::RlLockMode::kSplit);
 }
 
 TEST(Stress, ReadyListGlobalLockAsymmetricTopo) {
-  readylist_runtime_hammer(/*split_lock=*/false);
+  readylist_runtime_hammer(xk::RlLockMode::kGlobal);
+}
+
+TEST(Stress, ReadyListLockFreeAsymmetricTopo) {
+  readylist_runtime_hammer(xk::RlLockMode::kLockFree);
 }
 
 // ---------------------------------------------------------------------------
