@@ -239,7 +239,15 @@ void ReadyList::add_node_graph_held(Task* t, unsigned shard) {
       const ChainEntry& e = itv->second;
       if (e.node == node) continue;
       if (!accesses_conflict(*e.acc, acc)) continue;
-      if (e.node->completed.load(std::memory_order_relaxed)) continue;
+      // Acquire: skipping the edge can make this node initially-ready and
+      // publish it with NO predecessor decrement on its npred — so the
+      // skip itself must carry the predecessor's data writes. In lockfree
+      // mode the flag is release-stored by a completer that holds no
+      // mutex (complete_node_lockfree); this acquire pairs with it and
+      // hands those writes to whichever popper later claims the node. In
+      // split/global modes graph_mu_ already provides the edge and the
+      // acquire is redundant (and free on x86).
+      if (e.node->completed.load(std::memory_order_acquire)) continue;
       if (lockfree_) {
         // The append must not race the predecessor's completion swapping
         // its successor list out: take its edge spinlock and re-check.
@@ -468,12 +476,39 @@ void ReadyList::drain_retired_graph_held() {
 /// ring-only pushes once poppers drain the side deque. (Concurrent pushes
 /// racing a spill can still interleave the two queues, but concurrent
 /// pushes have no defined order to preserve.)
+///
+/// The divert gate is best-effort by design: `side` is read without the
+/// side-deque mutex, so a pusher can observe a stale 0 — from before a
+/// concurrent spill's increment became visible — and ring a node while
+/// older entries still sit in the side deque, inverting per-shard FIFO
+/// for that episode. Tolerated: oldest-ready order is a locality
+/// heuristic, not a correctness invariant (no entry is ever lost — the
+/// popper serves both queues), and closing the window would put the
+/// mutex back on every push. The acquire read does pin down the
+/// self-heal transition: a pusher that sees the 0 produced by the final
+/// side pop's release decrement is ordered after that drain, so once a
+/// spill episode is *observed* drained, subsequent ring entries are
+/// genuinely younger than everything the side deque held.
 void ReadyList::push_ready_lockfree(Node* n, unsigned shard,
                                     WorkerStats* stats) {
   n->queued.store(static_cast<std::int32_t>(shard), std::memory_order_relaxed);
   Shard& s = shards_[shard];
+  // Gauges BEFORE the entry becomes visible: a popper can pop the node
+  // the instant the ring push's release lands and run the matching
+  // decrements; were the increments ordered after the push, nready_
+  // (size_t) would transiently wrap to ~2^64 and the shard depth / board
+  // gauges would dip negative. Incremented first, the counts can only
+  // *lead* the visible entry — the staleness every reader already
+  // tolerates (pop_batch_split's dry retry, the board's relaxed gauge) —
+  // and the ring push's release (or the side deque's mutex) sequences
+  // each increment before the pop that triggers its decrement, so the
+  // pairs can never invert. Split mode needs none of this: its push and
+  // gauge bump share the shard lock.
+  s.depth.fetch_add(1, std::memory_order_relaxed);
+  nready_.fetch_add(1, std::memory_order_relaxed);
+  if (board_ != nullptr) board_->add_ready(shard, 1);
   bool ringed = false;
-  if (s.side.load(std::memory_order_relaxed) == 0) {
+  if (s.side.load(std::memory_order_acquire) == 0) {
     std::uint64_t retries = 0;
     ringed = s.ring->try_push(n, &retries);
     if (stats != nullptr) stats->rl_ring_retries += retries;
@@ -487,9 +522,6 @@ void ReadyList::push_ready_lockfree(Node* n, unsigned shard,
     ring_spills_.fetch_add(1, std::memory_order_relaxed);
     if (stats != nullptr) stats->rl_ring_spills++;
   }
-  s.depth.fetch_add(1, std::memory_order_relaxed);
-  nready_.fetch_add(1, std::memory_order_relaxed);
-  if (board_ != nullptr) board_->add_ready(shard, 1);
 }
 
 /// Pops one entry without a mutex on the common path: per shard in rank
@@ -516,7 +548,10 @@ ReadyList::Node* ReadyList::pop_entry_lockfree(unsigned home, unsigned* from,
       if (!s.q.empty()) {
         n = s.q.front();
         s.q.pop_front();
-        s.side.fetch_sub(1, std::memory_order_relaxed);
+        // Release: pairs with the push-side gate's acquire, so a pusher
+        // that observes the drained-to-0 gauge is ordered after this pop
+        // (see push_ready_lockfree's divert-rule comment).
+        s.side.fetch_sub(1, std::memory_order_release);
         nready_.fetch_sub(1, std::memory_order_relaxed);
         side_pops_.fetch_add(1, std::memory_order_relaxed);
         if (stats != nullptr) stats->rl_side_pops++;
@@ -544,7 +579,13 @@ std::size_t ReadyList::complete_node_lockfree(Node* n, unsigned shard,
     edge_lock_release(n);
     return 0;
   }
-  n->completed.store(true, std::memory_order_relaxed);
+  // Release: the completer holds no mutex here, and add_node's unlocked
+  // conflict-scan pre-check may observe this store and skip the edge —
+  // publishing the successor with no npred decrement from this
+  // predecessor. The release (paired with the pre-check's acquire) is the
+  // only happens-before edge carrying this task's body writes in that
+  // case; the edge-locked re-check path gets it from the spinlock instead.
+  n->completed.store(true, std::memory_order_release);
   std::vector<Node*> succs = std::move(n->successors);
   n->successors.clear();
   edge_lock_release(n);

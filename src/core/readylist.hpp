@@ -73,10 +73,13 @@
 //    kRingCapacity entries, per-slot sequence counters). A full ring
 //    spills to the shard's mutex-guarded side deque — the old deque,
 //    demoted to overflow duty — and pushes keep landing there until the
-//    side deque drains, so ring entries always predate side entries and
-//    per-shard FIFO order survives the spill. The ring's seq
-//    release/acquire pair replaces the shard mutex as the edge handing a
-//    finisher's writes to the popper.
+//    side deque drains, so ring entries predate side entries and
+//    per-shard FIFO order survives the spill (best-effort: the divert
+//    gate is read without the side mutex, and a pusher observing a stale
+//    empty gauge can ring a node ahead of older spilled entries — see
+//    push_ready_lockfree). The ring's seq release/acquire pair replaces
+//    the shard mutex as the edge handing a finisher's writes to the
+//    popper.
 //  * a completion looks its node up in a lock-free open-addressed index
 //    (atomic Node* slots keyed by Task*; inserted and grown only under
 //    graph_mu_, read with one acquire load per probe). A miss — racing
@@ -88,7 +91,11 @@
 //    add_node takes the same spinlock per conflict edge and re-checks
 //    `completed` under it — either the edge lands before the completion
 //    swallows the list (and gets decremented), or it observes the
-//    completion and never counts the predecessor.
+//    completion and never counts the predecessor. The scan's *unlocked*
+//    pre-check rides a dedicated release/acquire pair on `completed`
+//    instead: skipping an edge means the successor can publish with no
+//    decrement from that predecessor, so the flag load is the edge
+//    carrying its body writes.
 //  * live-access-interval retirement is deferred: a lock-free completion
 //    pushes its node onto a Treiber stack instead of erasing live_ (a
 //    graph_mu_ structure); extend() and the watch sweep — the places that
@@ -247,10 +254,15 @@ class ReadyList {
     /// into the successor's publication even though pops never take
     /// graph_mu_ (all writers do hold graph_mu_; see the header comment).
     std::atomic<std::uint32_t> npred{0};
-    /// Graph-side completion flag, written under graph_mu_. Atomic so the
-    /// lock-free pop path can skip settled (dead) deque entries with a
-    /// relaxed read instead of paying a graph_mu_ round trip; false->true
-    /// is the only transition, so a stale false merely costs the lock.
+    /// Graph-side completion flag, written under graph_mu_ (split/global)
+    /// or by the mutex-free completer (lockfree). Atomic so the pop path
+    /// can skip settled (dead) deque entries with a relaxed read instead
+    /// of paying a graph_mu_ round trip; false->true is the only
+    /// transition, so a stale false merely costs the lock. In lockfree
+    /// mode the completer's store is a RELEASE and add_node's unlocked
+    /// conflict-scan pre-check loads it with ACQUIRE: observing the flag
+    /// there skips the conflict edge, so the flag itself must carry the
+    /// predecessor's body writes to the successor it stops gating.
     std::atomic<bool> completed{false};
     /// In the watch deque right now (guarded by graph_mu_). The dedupe
     /// flag: a node can qualify for watching more than once (covered while
