@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "support/cpu.hpp"
 #include "support/env.hpp"
 #include "support/table.hpp"
@@ -126,7 +127,7 @@ class JsonReport {
       }
     }
     if (!e) {
-      entries_.push_back({ctx_.name, ctx_.nworkers, ctx_.items, {}});
+      entries_.push_back({ctx_.name, ctx_.nworkers, ctx_.items, {}, {}});
       e = &entries_.back();
     }
     e->items = ctx_.items;
@@ -272,6 +273,12 @@ inline void json_drop_current() { JsonReport::instance().drop_current(); }
 inline void json_counters(
     std::vector<std::pair<std::string, std::uint64_t>> kv) {
   JsonReport::instance().counters(std::move(kv));
+}
+
+/// Same, from a runtime metrics snapshot (Runtime::metrics_snapshot()):
+/// embeds every scheduler counter, not a hand-picked subset.
+inline void json_counters(const xk::obs::MetricsSnapshot& m) {
+  JsonReport::instance().counters(m.counters);
 }
 
 /// Per-repetition wall times of `fn` (after `warmups` unmeasured runs).

@@ -57,38 +57,6 @@ void dataflow_grid(std::vector<double>& cells, int rows, int steps,
   xk::sync();
 }
 
-std::vector<std::pair<std::string, std::uint64_t>> counter_set(
-    const xk::WorkerStats& s) {
-  return {
-      {"steal_attempts", s.steal_attempts},
-      {"steals_ok", s.steals_ok},
-      {"steals_local", s.steals_local},
-      {"steals_remote", s.steals_remote},
-      {"steal_tasks", s.steal_tasks},
-      {"combiner_rounds", s.combiner_rounds},
-      {"requests_served", s.requests_served},
-      {"requests_aggregated", s.requests_aggregated},
-      {"scan_visited", s.scan_visited},
-      {"scan_entries", s.scan_entries},
-      {"scan_rebuilds", s.scan_rebuilds},
-      {"readylist_attach", s.readylist_attach},
-      {"readylist_pops", s.readylist_pops},
-      {"shard_hits", s.shard_hits},
-      {"shard_misses", s.shard_misses},
-      {"rl_ring_spills", s.rl_ring_spills},
-      {"rl_ring_retries", s.rl_ring_retries},
-      {"rl_side_pops", s.rl_side_pops},
-      {"starvation_escalations", s.starvation_escalations},
-      {"parks", s.parks},
-      {"park_wakes", s.park_wakes},
-      {"probes_skipped", s.probes_skipped},
-      {"adaptive_flips", s.adaptive_flips},
-      {"steals_half", s.steals_half},
-      {"quiesce_folds", s.quiesce_folds},
-      {"join_wakes", s.join_wakes},
-  };
-}
-
 void add_counter_row(xk::Table& table, const char* shape, unsigned cores,
                      double t, const xk::WorkerStats& s) {
   const double per_round =
@@ -152,7 +120,7 @@ int main() {
       });
     });
     xk::WorkerStats s = rt.stats_snapshot();
-    xkbench::json_counters(counter_set(s));
+    xkbench::json_counters(rt.metrics_snapshot());
     add_counter_row(table, "fib-tail", cores, t_fib, s);
 
     rt.reset_stats();
@@ -161,7 +129,7 @@ int main() {
     const double t_grid = xkbench::time_best(
         [&] { rt.run([&] { dataflow_grid(cells, rows, steps, work); }); });
     s = rt.stats_snapshot();
-    xkbench::json_counters(counter_set(s));
+    xkbench::json_counters(rt.metrics_snapshot());
     add_counter_row(table, "dataflow-grid", cores, t_grid, s);
   }
 
@@ -199,7 +167,7 @@ int main() {
         rt.run([&] { dataflow_grid(cells, abl_rows, steps, work); });
       });
       const xk::WorkerStats s = rt.stats_snapshot();
-      xkbench::json_counters(counter_set(s));
+      xkbench::json_counters(rt.metrics_snapshot());
       add_counter_row(table, m.name, cores, t, s);
     }
   }
@@ -224,7 +192,7 @@ int main() {
       const double t = xkbench::time_best(
           [&] { rt.run([&] { dataflow_grid(cells, rows, steps, work); }); });
       const xk::WorkerStats s = rt.stats_snapshot();
-      xkbench::json_counters(counter_set(s));
+      xkbench::json_counters(rt.metrics_snapshot());
       add_counter_row(table, name, cores, t, s);
     }
   }

@@ -38,6 +38,12 @@ if(XK_LTO)
   endif()
 endif()
 
+if(NOT XK_OBS)
+  # Turns every obs emit/span helper into an empty inline (src/obs/trace.hpp)
+  # — the instrumentation-free baseline the CI overhead gate compares against.
+  target_compile_definitions(xk_build_flags INTERFACE XK_OBS_OFF)
+endif()
+
 find_package(Threads REQUIRED)
 target_link_libraries(xk_build_flags INTERFACE Threads::Threads)
 

@@ -17,6 +17,13 @@ with --baseline-series the check becomes
 for the ready-list lock ablation: the XK_RL_LOCK=split series must not lose
 to the =global baseline.
 
+A third mode gates across *files*: --baseline-file reads the baseline
+series from a second schema-v1 report instead of the same one. Combined
+with the default --baseline-series (the series itself), this compares the
+same series between two builds — CI's trace-off overhead gate runs
+micro_spawn from an instrumented build against an XK_OBS=OFF build and
+requires the ratio to stay under 1.05.
+
 Exit codes: 0 ok, 1 scaling regression, 2 malformed/missing input.
 
 Examples:
@@ -25,6 +32,8 @@ Examples:
   scripts/check_scaling.py BENCH_micro_steal.json \
       --series dataflow-grid-rl-split \
       --baseline-series dataflow-grid-rl-global --fast 8 --max-ratio 1.05
+  scripts/check_scaling.py BENCH_spawn_obs.json --series "BM_spawn/8" \
+      --baseline-file BENCH_spawn_noobs.json --fast 8 --max-ratio 1.05
 """
 
 import argparse
@@ -48,6 +57,11 @@ def main() -> int:
                     help="compare --series against this series at --fast "
                          "workers instead of scaling --series across worker "
                          "counts (ablation mode; passes on a tie)")
+    ap.add_argument("--baseline-file", default=None,
+                    help="read the baseline series from this schema-v1 file "
+                         "instead of json_file (cross-build mode; implies "
+                         "ablation mode with --baseline-series defaulting "
+                         "to --series)")
     ap.add_argument("--slow", type=int, default=1,
                     help="baseline worker count (default 1; ignored in "
                          "ablation mode)")
@@ -72,24 +86,40 @@ def main() -> int:
 
     medians = series_medians(doc, args.series)
 
-    if args.baseline_series is not None:
-        base = series_medians(doc, args.baseline_series)
+    if args.baseline_series is not None or args.baseline_file is not None:
+        base_doc = doc
+        if args.baseline_file is not None:
+            try:
+                with open(args.baseline_file) as fh:
+                    base_doc = json.load(fh)
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"error: cannot read {args.baseline_file}: {exc}",
+                      file=sys.stderr)
+                return 2
+            if base_doc.get("schema_version") != 1:
+                print("error: unexpected schema_version in baseline file",
+                      file=sys.stderr)
+                return 2
+        base_name = args.baseline_series or args.series
+        base_label = base_name if base_doc is doc else \
+            f"{base_name} ({args.baseline_file})"
+        base = series_medians(base_doc, base_name)
         if args.fast not in medians or args.fast not in base:
             print(f"error: need worker count {args.fast} in both "
                   f"'{args.series}' (have {sorted(medians)}) and "
-                  f"'{args.baseline_series}' (have {sorted(base)})",
+                  f"'{base_label}' (have {sorted(base)})",
                   file=sys.stderr)
             return 2
         base_s, new_s = base[args.fast], medians[args.fast]
         ratio = new_s / base_s if base_s > 0 else float("inf")
         ok = ratio <= args.max_ratio
         verdict = "ok" if ok else "REGRESSION"
-        print(f"{args.series} vs {args.baseline_series} @{args.fast}w: "
+        print(f"{args.series} vs {base_label} @{args.fast}w: "
               f"{new_s * 1e3:.3f}ms vs {base_s * 1e3:.3f}ms "
               f"ratio={ratio:.3f} (limit {args.max_ratio}) -> {verdict}")
         if not ok:
             print(f"error: '{args.series}' must not lose to "
-                  f"'{args.baseline_series}' by more than "
+                  f"'{base_label}' by more than "
                   f"{args.max_ratio}x at {args.fast} workers",
                   file=sys.stderr)
             return 1

@@ -131,6 +131,27 @@ struct Config {
   /// per-thief escalation, the PR 3 behavior).
   int starve_rounds = 8;
 
+  /// Chrome trace-event output path (XK_TRACE). Non-empty arms the
+  /// per-worker trace rings: every scheduler hook records into its
+  /// worker's ring and Runtime::end() drains them into this file (one pid
+  /// per runtime, one tid per worker; see src/obs/ and
+  /// docs/OBSERVABILITY.md). Empty defers to the XK_TRACE environment
+  /// variable (the topo/cpuset idiom), so directly-constructed Configs
+  /// still honor a CI-provided path; empty both ways disables recording
+  /// entirely — the hooks reduce to one thread-local load and a branch.
+  std::string trace_path;
+
+  /// Per-worker trace-ring capacity in events (XK_TRACE_CAP, rounded up
+  /// to a power of two; one event is a cache line). The ring overwrites
+  /// its oldest events on overflow — the drop count lands in the trace
+  /// file. 0 defers to XK_TRACE_CAP, else 16384 (~1 MiB per worker).
+  std::size_t trace_cap = 0;
+
+  /// XK_STATS: dump the aggregated WorkerStats counters and the
+  /// starvation board's per-domain gauges to stderr at every section end
+  /// (Runtime::end()), so counter telemetry needs no bench harness.
+  bool stats_dump = false;
+
   /// Builds a config from XK_* environment variables layered over defaults.
   static Config from_env();
 

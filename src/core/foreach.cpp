@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "core/runtime.hpp"
+#include "obs/trace.hpp"
 
 namespace xk::detail {
 
@@ -163,6 +164,7 @@ void foreach_run(ForeachWork& w, Worker& self) {
     std::int64_t lo = 0;
     const std::int64_t n = w.interval.pop_front(sh.grain, &lo);
     if (n > 0) {
+      const std::uint64_t chunk_t0 = obs::span_begin();
       try {
         sh.invoke(sh.ctx, lo, lo + n, wid);
       } catch (...) {
@@ -171,6 +173,9 @@ void foreach_run(ForeachWork& w, Worker& self) {
       }
       sh.done.fetch_add(n, std::memory_order_acq_rel);
       self.stats().foreach_chunks++;
+      obs::emit_span(obs::Ev::kForeachChunk, chunk_t0,
+                     static_cast<std::uint64_t>(lo),
+                     static_cast<std::uint64_t>(n));
       continue;
     }
     if (!claim_reserved_slice(sh, w, self)) break;

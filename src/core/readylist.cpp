@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.hpp"
+
 namespace xk {
 
 ReadyList::ReadyList(Frame& frame, unsigned nshards, StarvationBoard* board,
@@ -63,12 +65,15 @@ void ReadyList::settle_queued(Node* n) {
 void ReadyList::push_ready_shard_held(Node* n, unsigned shard) {
   n->queued.store(static_cast<std::int32_t>(shard), std::memory_order_relaxed);
   shards_[shard].q.push_back(n);
-  shards_[shard].depth.fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t depth =
+      shards_[shard].depth.fetch_add(1, std::memory_order_relaxed) + 1;
   nready_.fetch_add(1, std::memory_order_relaxed);
   // The board's ready-depth update rides the same shard lock as the deque
   // push, so a starvation reader never sees depth lag the queue by more
   // than the relaxed-gauge staleness it already tolerates.
   if (board_ != nullptr) board_->add_ready(shard, 1);
+  obs::emit(obs::Ev::kRlPush, shard, obs::kProvDeque,
+            static_cast<std::uint64_t>(depth > 0 ? depth : 0));
 }
 
 void ReadyList::check_epoch_graph_held() {
@@ -504,7 +509,8 @@ void ReadyList::push_ready_lockfree(Node* n, unsigned shard,
   // each increment before the pop that triggers its decrement, so the
   // pairs can never invert. Split mode needs none of this: its push and
   // gauge bump share the shard lock.
-  s.depth.fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t depth =
+      s.depth.fetch_add(1, std::memory_order_relaxed) + 1;
   nready_.fetch_add(1, std::memory_order_relaxed);
   if (board_ != nullptr) board_->add_ready(shard, 1);
   bool ringed = false;
@@ -522,6 +528,9 @@ void ReadyList::push_ready_lockfree(Node* n, unsigned shard,
     ring_spills_.fetch_add(1, std::memory_order_relaxed);
     if (stats != nullptr) stats->rl_ring_spills++;
   }
+  obs::emit(obs::Ev::kRlPush, shard,
+            ringed ? obs::kProvRing : obs::kProvSide,
+            static_cast<std::uint64_t>(depth > 0 ? depth : 0));
 }
 
 /// Pops one entry without a mutex on the common path: per shard in rank
@@ -541,6 +550,7 @@ ReadyList::Node* ReadyList::pop_entry_lockfree(unsigned home, unsigned* from,
     if (got) {
       nready_.fetch_sub(1, std::memory_order_relaxed);
       *from = r;
+      obs::emit(obs::Ev::kRlPop, home, r, obs::kProvRing);
       return n;
     }
     if (s.side.load(std::memory_order_relaxed) != 0) {
@@ -556,6 +566,7 @@ ReadyList::Node* ReadyList::pop_entry_lockfree(unsigned home, unsigned* from,
         side_pops_.fetch_add(1, std::memory_order_relaxed);
         if (stats != nullptr) stats->rl_side_pops++;
         *from = r;
+        obs::emit(obs::Ev::kRlPop, home, r, obs::kProvSide);
         return n;
       }
     }
@@ -677,6 +688,7 @@ std::size_t ReadyList::pop_batch_global(Task** out, std::size_t max,
     Node* node = shards_[shard].q.front();
     shards_[shard].q.pop_front();
     nready_.fetch_sub(1, std::memory_order_relaxed);
+    obs::emit(obs::Ev::kRlPop, home, shard, obs::kProvDeque);
     settle_queued(node);  // no-op for dead entries settled at completion
     Task* t = node->task;
     if (t->try_claim(TaskState::kStolenClaim)) {
@@ -841,6 +853,9 @@ std::size_t ReadyList::pop_batch_split(Task** out, std::size_t max,
       continue;
     }
     dry_probes = 0;
+    // Lockfree pops record inside pop_entry_lockfree (they know ring-vs-
+    // side provenance); split-mode deque pops are uniform, record here.
+    if (!lockfree_) obs::emit(obs::Ev::kRlPop, home, from, obs::kProvDeque);
     settle_queued(node);  // no-op for dead entries settled at completion
     Task* t = node->task;
     if (t->try_claim(TaskState::kStolenClaim)) {

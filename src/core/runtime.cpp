@@ -1,8 +1,11 @@
 #include "core/runtime.hpp"
 
 #include <cstdio>
+#include <iostream>
 #include <stdexcept>
+#include <string>
 
+#include "obs/chrome_writer.hpp"
 #include "support/cpu.hpp"
 #include "support/env.hpp"
 
@@ -45,6 +48,10 @@ Config Config::from_env() {
   }
   cfg.starve_rounds =
       static_cast<int>(env_int("XK_STARVE_ROUNDS", cfg.starve_rounds));
+  cfg.trace_path = env_string("XK_TRACE").value_or(cfg.trace_path);
+  cfg.trace_cap = static_cast<std::size_t>(
+      env_int("XK_TRACE_CAP", static_cast<std::int64_t>(cfg.trace_cap)));
+  cfg.stats_dump = env_bool("XK_STATS", cfg.stats_dump);
   return cfg;
 }
 
@@ -89,6 +96,35 @@ Runtime::Runtime(Config cfg) : cfg_(cfg) {
   for (unsigned i = 0; i < nw; ++i) {
     workers_.push_back(std::make_unique<Worker>(*this, i, nw));
   }
+
+  // Observability arming. The rings must exist before any pool thread
+  // starts (worker_main binds its ring right after its worker TLS).
+  stats_dump_ = cfg_.stats_dump || env_bool("XK_STATS", false);
+#ifdef XK_OBS_OFF
+  // The -DXK_OBS=OFF baseline build stubs every record helper, so a trace
+  // would be all metadata and no events — don't write one at all.
+  const std::string trace_path;
+#else
+  const std::string trace_path =
+      !cfg_.trace_path.empty() ? cfg_.trace_path
+                               : env_string("XK_TRACE").value_or("");
+#endif
+  if (!trace_path.empty()) {
+    std::size_t cap = cfg_.trace_cap != 0
+                          ? cfg_.trace_cap
+                          : static_cast<std::size_t>(
+                                env_int("XK_TRACE_CAP", 16384));
+    if (cap == 0) cap = 16384;
+    trace_rings_.reserve(nw);
+    for (unsigned i = 0; i < nw; ++i) {
+      trace_rings_.push_back(std::make_unique<obs::TraceRing>(cap));
+    }
+    auto& writer = obs::ChromeTraceWriter::instance();
+    writer.set_path(trace_path);
+    trace_pid_ = writer.add_process(
+        "xk runtime (" + std::to_string(nw) + " workers)", nw);
+  }
+
   threads_.reserve(nw > 0 ? nw - 1 : 0);
   for (unsigned i = 1; i < nw; ++i) {
     threads_.emplace_back(&Runtime::worker_main, this, i);
@@ -108,6 +144,7 @@ Runtime::~Runtime() {
 void Runtime::worker_main(unsigned index) {
   Worker& w = *workers_[index];
   detail::set_this_worker(&w);
+  obs::bind_thread_ring(trace_ring(index));
   if (cfg_.bind_threads) bind_self_to_core(placement_.slots[index].cpu_os_id);
   std::uint64_t seen = 0;
   for (;;) {
@@ -128,6 +165,7 @@ void Runtime::worker_main(unsigned index) {
     w.steal_idle(
         [&] { return !section_active_.load(std::memory_order_acquire); });
   }
+  obs::bind_thread_ring(nullptr);
   detail::set_this_worker(nullptr);
 }
 
@@ -140,6 +178,8 @@ void Runtime::begin() {
   }
   Worker& w0 = *workers_[0];
   detail::set_this_worker(&w0);
+  obs::bind_thread_ring(trace_ring(0));
+  section_t0_ = obs::span_begin();
   if (cfg_.bind_threads) bind_self_to_core(placement_.slots[0].cpu_os_id);
   // The previous section's end-of-work famine saturated the failed-round
   // gauges; a fresh section starts with no domain pre-declared starving.
@@ -181,6 +221,13 @@ void Runtime::end() {
   w0.pop_frame();
   starvation_.disarm_quiesce();  // no-op after a normal fire (defensive)
   section_open_ = false;
+  // The section span closes before the drain (it must be in this drain's
+  // batch), and the drain waits the pool quiescent — so every ring is
+  // final for this section when it is copied out.
+  obs::emit_span(obs::Ev::kSection, section_t0_, nworkers());
+  section_t0_ = 0;
+  drain_observability();
+  obs::bind_thread_ring(nullptr);
   detail::set_this_worker(nullptr);
   if (exc) std::rethrow_exception(exc);
 }
@@ -198,6 +245,44 @@ WorkerStats Runtime::stats_snapshot() const {
   WorkerStats total;
   for (const auto& w : workers_) total += *w->stats_;
   return total;
+}
+
+obs::MetricsSnapshot Runtime::metrics_snapshot() const {
+  obs::MetricsSnapshot m;
+  m.nworkers = nworkers();
+  const WorkerStats total = stats_snapshot();
+  m.counters.reserve(kWorkerStatCount);
+  total.for_each([&](const char* name, std::uint64_t v) {
+    m.counters.emplace_back(name, v);
+  });
+  m.domains.reserve(starvation_.ndomains());
+  for (unsigned r = 0; r < starvation_.ndomains(); ++r) {
+    m.domains.push_back(obs::MetricsSnapshot::DomainGauge{
+        r, starvation_.ready_depth(r), starvation_.failed_rounds(r),
+        starvation_.domain_occupied(r)});
+  }
+  m.root_occupied = starvation_.root_occupied();
+  return m;
+}
+
+void Runtime::drain_observability() {
+  if (trace_pid_ == 0 && !stats_dump_) return;
+  // quiesce_pool (inside stats_snapshot / directly) waits every pool
+  // worker back into its between-sections park; the park mutex is the
+  // ordering edge that makes their last ring writes visible here.
+  const obs::MetricsSnapshot m = metrics_snapshot();
+  if (stats_dump_) m.dump(std::cerr);
+  if (trace_pid_ == 0) return;
+  auto& writer = obs::ChromeTraceWriter::instance();
+  std::vector<obs::TraceEvent> events;
+  for (unsigned i = 0; i < trace_rings_.size(); ++i) {
+    obs::TraceRing& ring = *trace_rings_[i];
+    events.clear();
+    ring.drain(events);
+    writer.add_events(trace_pid_, i, events, ring.dropped());
+    ring.clear();
+  }
+  writer.add_metrics(trace_pid_, m);
 }
 
 void Runtime::reset_stats() {

@@ -26,6 +26,8 @@
 #include "core/stats.hpp"
 #include "core/task.hpp"
 #include "core/worker.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/parker.hpp"
 #include "topo/topology.hpp"
 
@@ -89,8 +91,23 @@ class Runtime {
   /// Aggregated scheduler counters across all workers.
   WorkerStats stats_snapshot() const;
 
+  /// Machine-readable telemetry: the aggregated counters in declaration
+  /// order plus the starvation board's per-domain gauges (ready depth,
+  /// failed rounds, occupancy) and the root occupancy count. The shape
+  /// benches embed into their JSON reports, the trace file carries under
+  /// "metrics", and XK_STATS dumps to stderr.
+  obs::MetricsSnapshot metrics_snapshot() const;
+
   /// Resets all counters (between benchmark repetitions).
   void reset_stats();
+
+  /// True when XK_TRACE armed the per-worker trace rings at construction.
+  bool tracing() const { return trace_pid_ != 0; }
+
+  /// Worker `i`'s trace ring, or nullptr when tracing is off (tests).
+  obs::TraceRing* trace_ring(unsigned i) {
+    return i < trace_rings_.size() ? trace_rings_[i].get() : nullptr;
+  }
 
   /// Serialization guard for cumulative-write (reduction) task bodies: two
   /// CW tasks on overlapping regions are independent for the scheduler but
@@ -143,6 +160,13 @@ class Runtime {
   void worker_main(unsigned index);
   void end_silent();  // end() that never throws (exception cleanup path)
 
+  /// End-of-section observability: records the section span, drains every
+  /// worker's trace ring into the global Chrome writer (after quiescing
+  /// the pool — the same mutex edge stats_snapshot rides, so no ring is
+  /// drained while its owner can still record), refreshes the writer's
+  /// metrics snapshot, and honors XK_STATS. No-op when neither is armed.
+  void drain_observability();
+
   /// Blocks until every pool worker is back in its between-sections wait
   /// (no-op while a section is open). Gives counter reads a defined order.
   void quiesce_pool() const;
@@ -169,6 +193,15 @@ class Runtime {
   bool shutdown_ = false;
   std::atomic<bool> section_active_{false};
   bool section_open_ = false;
+
+  // Observability (src/obs/): one owner-written trace ring per worker when
+  // XK_TRACE armed tracing, the runtime's pid in the process-global Chrome
+  // writer (0 = untraced), the section span's start stamp, and the
+  // XK_STATS stderr-dump flag.
+  std::vector<std::unique_ptr<obs::TraceRing>> trace_rings_;
+  int trace_pid_ = 0;
+  std::uint64_t section_t0_ = 0;
+  bool stats_dump_ = false;
 
   std::vector<Padded<std::mutex>> cw_locks_{kCwLocks};
 };

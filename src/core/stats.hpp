@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <ostream>
 #include <vector>
@@ -24,6 +25,47 @@
 #include "support/parker.hpp"
 
 namespace xk {
+
+/// Every WorkerStats counter, in declaration order. The aggregation
+/// (operator+=), the dump (operator<<) and the metrics snapshot are all
+/// generated from this one list, so a counter cannot be summed but
+/// silently missing from a dump again; the static_assert below the
+/// struct catches a field added to the struct but not to the list.
+#define XK_WORKER_COUNTERS(X) \
+  X(tasks_spawned)            \
+  X(tasks_run_owner)          \
+  X(tasks_run_thief)          \
+  X(steal_attempts)           \
+  X(steals_ok)                \
+  X(steal_tasks)              \
+  X(steals_local)             \
+  X(steals_remote)            \
+  X(steal_reclaims)           \
+  X(combiner_rounds)          \
+  X(requests_served)          \
+  X(requests_aggregated)      \
+  X(splitter_calls)           \
+  X(readylist_attach)         \
+  X(readylist_pops)           \
+  X(shard_hits)               \
+  X(shard_misses)             \
+  X(rl_ring_spills)           \
+  X(rl_ring_retries)          \
+  X(rl_side_pops)             \
+  X(starvation_escalations)   \
+  X(renames)                  \
+  X(scan_visited)             \
+  X(scan_entries)             \
+  X(scan_retired)             \
+  X(scan_rebuilds)            \
+  X(parks)                    \
+  X(park_wakes)               \
+  X(probes_skipped)           \
+  X(adaptive_flips)           \
+  X(steals_half)              \
+  X(quiesce_folds)            \
+  X(join_wakes)               \
+  X(foreach_chunks)
 
 struct WorkerStats {
   std::uint64_t tasks_spawned = 0;
@@ -74,63 +116,43 @@ struct WorkerStats {
   std::uint64_t foreach_chunks = 0;
 
   WorkerStats& operator+=(const WorkerStats& o) {
-    tasks_spawned += o.tasks_spawned;
-    tasks_run_owner += o.tasks_run_owner;
-    tasks_run_thief += o.tasks_run_thief;
-    steal_attempts += o.steal_attempts;
-    steals_ok += o.steals_ok;
-    steal_tasks += o.steal_tasks;
-    steals_local += o.steals_local;
-    steals_remote += o.steals_remote;
-    steal_reclaims += o.steal_reclaims;
-    combiner_rounds += o.combiner_rounds;
-    requests_served += o.requests_served;
-    requests_aggregated += o.requests_aggregated;
-    splitter_calls += o.splitter_calls;
-    readylist_attach += o.readylist_attach;
-    readylist_pops += o.readylist_pops;
-    shard_hits += o.shard_hits;
-    shard_misses += o.shard_misses;
-    rl_ring_spills += o.rl_ring_spills;
-    rl_ring_retries += o.rl_ring_retries;
-    rl_side_pops += o.rl_side_pops;
-    starvation_escalations += o.starvation_escalations;
-    renames += o.renames;
-    scan_visited += o.scan_visited;
-    scan_entries += o.scan_entries;
-    scan_retired += o.scan_retired;
-    scan_rebuilds += o.scan_rebuilds;
-    parks += o.parks;
-    park_wakes += o.park_wakes;
-    probes_skipped += o.probes_skipped;
-    adaptive_flips += o.adaptive_flips;
-    steals_half += o.steals_half;
-    quiesce_folds += o.quiesce_folds;
-    join_wakes += o.join_wakes;
-    foreach_chunks += o.foreach_chunks;
+#define XK_STAT_ADD(f) f += o.f;
+    XK_WORKER_COUNTERS(XK_STAT_ADD)
+#undef XK_STAT_ADD
     return *this;
+  }
+
+  /// Visits (name, value) for every counter in declaration order — the one
+  /// enumeration path behind operator<< and the metrics snapshot.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+#define XK_STAT_VISIT(f) fn(#f, f);
+    XK_WORKER_COUNTERS(XK_STAT_VISIT)
+#undef XK_STAT_VISIT
   }
 };
 
+/// Counters in the X-macro list.
+inline constexpr std::size_t kWorkerStatCount = []() {
+  std::size_t n = 0;
+#define XK_STAT_COUNT(f) ++n;
+  XK_WORKER_COUNTERS(XK_STAT_COUNT)
+#undef XK_STAT_COUNT
+  return n;
+}();
+
+// Every field is a std::uint64_t, so a field present in the struct but
+// missing from XK_WORKER_COUNTERS (or vice versa) changes one side of
+// this equality.
+static_assert(sizeof(WorkerStats) == kWorkerStatCount * sizeof(std::uint64_t),
+              "WorkerStats fields and XK_WORKER_COUNTERS out of sync");
+
 inline std::ostream& operator<<(std::ostream& os, const WorkerStats& s) {
-  os << "spawned=" << s.tasks_spawned << " run_owner=" << s.tasks_run_owner
-     << " run_thief=" << s.tasks_run_thief << " steals_ok=" << s.steals_ok
-     << " local=" << s.steals_local << " remote=" << s.steals_remote
-     << " attempts=" << s.steal_attempts << " combiner=" << s.combiner_rounds
-     << " aggregated=" << s.requests_aggregated
-     << " splits=" << s.splitter_calls << " rl_pops=" << s.readylist_pops
-     << " shard_hits=" << s.shard_hits << " shard_misses=" << s.shard_misses
-     << " ring_spills=" << s.rl_ring_spills
-     << " ring_retries=" << s.rl_ring_retries
-     << " side_pops=" << s.rl_side_pops
-     << " starve_esc=" << s.starvation_escalations
-     << " renames=" << s.renames << " parks=" << s.parks
-     << " park_wakes=" << s.park_wakes
-     << " probes_skipped=" << s.probes_skipped
-     << " adaptive_flips=" << s.adaptive_flips
-     << " steals_half=" << s.steals_half
-     << " quiesce_folds=" << s.quiesce_folds
-     << " join_wakes=" << s.join_wakes;
+  bool first = true;
+  s.for_each([&](const char* name, std::uint64_t v) {
+    os << (first ? "" : " ") << name << "=" << v;
+    first = false;
+  });
   return os;
 }
 

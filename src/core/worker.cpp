@@ -13,6 +13,7 @@
 #include "core/adaptive.hpp"
 #include "core/readylist.hpp"
 #include "core/runtime.hpp"
+#include "obs/trace.hpp"
 
 namespace xk {
 
@@ -89,7 +90,9 @@ Frame& Worker::push_frame() {
   // victim draw reads stays read-mostly. Published after the depth store:
   // a thief that sees the bit and probes finds the frame already there.
   if (d == 0) {
-    stats_->quiesce_folds += starvation_->publish_occupied(id_, true);
+    const unsigned folds = starvation_->publish_occupied(id_, true);
+    stats_->quiesce_folds += folds;
+    if (folds != 0) obs::emit(obs::Ev::kQuiesceFold, folds, 1);
   }
   return f;
 }
@@ -119,7 +122,9 @@ void Worker::pop_frame() {
     // board's domain/root counts. On worker 0's root-frame pop this is the
     // quiescence edge that fires the section-end wake (Runtime::end).
     if (d == 1) {
-      stats_->quiesce_folds += starvation_->publish_occupied(id_, false);
+      const unsigned folds = starvation_->publish_occupied(id_, false);
+      stats_->quiesce_folds += folds;
+      if (folds != 0) obs::emit(obs::Ev::kQuiesceFold, folds, 0);
     }
     return;
   }
@@ -149,7 +154,9 @@ void Worker::pop_frame() {
   }
   f.reset();
   if (d == 1) {
-    stats_->quiesce_folds += starvation_->publish_occupied(id_, false);
+    const unsigned folds = starvation_->publish_occupied(id_, false);
+    stats_->quiesce_folds += folds;
+    if (folds != 0) obs::emit(obs::Ev::kQuiesceFold, folds, 0);
   }
 }
 
@@ -212,6 +219,10 @@ void Worker::run_task(Task* t, Frame* src, bool stolen) {
   } else {
     stats_->tasks_run_owner++;
   }
+  // The task span covers body + child drain (the frame's lifetime), not
+  // the rename-commit / successor-release tail — that tail is what the
+  // steal/ready events attribute.
+  const std::uint64_t span_t0 = obs::span_begin();
   push_frame();
   try {
     if (t->naccesses != 0) {
@@ -234,6 +245,8 @@ void Worker::run_task(Task* t, Frame* src, bool stolen) {
     if (!t->exception) t->exception = std::current_exception();
   }
   pop_frame();
+  obs::emit_span(stolen ? obs::Ev::kTaskThief : obs::Ev::kTaskOwner, span_t0,
+                 depth_.load(std::memory_order_relaxed));
 
   if (stolen && t->renames != nullptr) {
     // The body wrote into rename buffers; the frame owner commits them in
@@ -451,6 +464,9 @@ bool Worker::try_steal_once() {
     return false;
   }
   stats_->steal_attempts++;
+  // Steal round-trip span: request post -> reply consumed. Started before
+  // the post so combiner self-election time is attributed to the request.
+  const std::uint64_t req_t0 = obs::span_begin();
 
   if (adaptive_steal_) {
     // Evaluate the steal-width feedback once per posted request: the last
@@ -517,11 +533,14 @@ bool Worker::try_steal_once() {
       slot.status.store(StealRequest::kEmpty, std::memory_order_release);
       stats_->steals_ok++;
       stats_->steal_tasks += won;
-      if (victim->domain() == domain_) {
-        stats_->steals_local++;
-      } else {
+      const bool remote = victim->domain() != domain_;
+      if (remote) {
         stats_->steals_remote++;
+      } else {
+        stats_->steals_local++;
       }
+      obs::emit_span(obs::Ev::kStealServed, req_t0, victim->id(), won,
+                     remote ? 1 : 0);
       // Any success re-engages the local-first preference and clears the
       // domain's shared failed-round gauge (work is reaching it again).
       local_fails_ = 0;
@@ -540,6 +559,7 @@ bool Worker::try_steal_once() {
     }
     if (s == StealRequest::kFailed) {
       slot.status.store(StealRequest::kEmpty, std::memory_order_relaxed);
+      obs::emit_span(obs::Ev::kStealFailed, req_t0, victim->id());
       if (local_phase) {
         ++local_fails_;
         if (starve_rounds_ > 0) starvation_->record_failed_round(domain_rank_);
@@ -913,6 +933,7 @@ std::size_t Worker::deal_pool(std::vector<PendingReq>& pending,
 
 void Worker::combine_on(Worker& victim) {
   stats_->combiner_rounds++;
+  const std::uint64_t round_t0 = obs::span_begin();
   const bool aggregate = rt_.config().steal_aggregation;
   StealRequest* const self_slot = &victim.request_slot(id_);
   std::vector<PendingReq>& pending = pending_scratch_;
@@ -936,7 +957,10 @@ void Worker::combine_on(Worker& victim) {
       }
     }
   }
-  if (pending.empty()) return;
+  if (pending.empty()) {
+    obs::emit_span(obs::Ev::kCombine, round_t0, victim.id(), 0, 0);
+    return;
+  }
 
   std::size_t served = 0;
   const std::uint64_t round = ++victim.scan_round_;
@@ -1086,6 +1110,7 @@ void Worker::combine_on(Worker& victim) {
     hottest->ready_list.store(rl, std::memory_order_release);
     rl->extend(domain_rank_);
     stats_->readylist_attach++;
+    obs::emit(obs::Ev::kRlAttach, hottest->size_acquire());
     pour_ready_list(*rl, *hottest, pool_target_for(served),
                     pending.size() - served);
     served = deal_pool(pending, served, self_slot);
@@ -1101,6 +1126,8 @@ void Worker::combine_on(Worker& victim) {
     pending[i].slot->status.store(StealRequest::kFailed,
                                   std::memory_order_release);
   }
+  obs::emit_span(obs::Ev::kCombine, round_t0, victim.id(), pending.size(),
+                 served);
 }
 
 }  // namespace xk

@@ -25,6 +25,7 @@
 #include "core/frame.hpp"
 #include "core/stats.hpp"
 #include "core/task.hpp"
+#include "obs/trace.hpp"
 #include "support/cache.hpp"
 #include "support/parker.hpp"
 #include "support/rng.hpp"
@@ -240,7 +241,10 @@ class Worker {
         continue;
       }
       stats_->parks++;
-      if (parker.park(epoch, park_timeout(failures))) stats_->park_wakes++;
+      const std::uint64_t park_t0 = obs::span_begin();
+      const bool woken = parker.park(epoch, park_timeout(failures));
+      if (woken) stats_->park_wakes++;
+      obs::emit_span(obs::Ev::kPark, park_t0, woken ? 1 : 0);
       parker.retract();
     }
   }

@@ -1,0 +1,152 @@
+#include "obs/chrome_writer.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "obs/event.hpp"
+
+namespace xk::obs {
+
+namespace {
+
+/// ts/dur in Chrome traces are microseconds; emit the nanosecond
+/// remainder as three decimals so no precision is lost.
+void write_us(std::ostream& os, std::uint64_t ns) {
+  os << ns / 1000;
+  const auto frac = static_cast<unsigned>(ns % 1000);
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), ".%03u", frac);
+  os << buf;
+}
+
+void write_args(std::ostream& os, const EventInfo& info, const TraceEvent& e) {
+  os << "\"args\":{";
+  bool first = true;
+  for (int i = 0; i < 3; ++i) {
+    if (info.arg[i] == nullptr) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << info.arg[i] << "\":" << e.arg[i];
+  }
+  os << "}";
+}
+
+}  // namespace
+
+ChromeTraceWriter& ChromeTraceWriter::instance() {
+  static ChromeTraceWriter w;
+  return w;
+}
+
+void ChromeTraceWriter::set_path(const std::string& path) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (path_.empty()) path_ = path;
+}
+
+bool ChromeTraceWriter::enabled() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return !path_.empty();
+}
+
+int ChromeTraceWriter::add_process(const std::string& name,
+                                   unsigned nworkers) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const int pid = static_cast<int>(procs_.size()) + 1;
+  procs_.push_back(Process{pid, name, nworkers});
+  return pid;
+}
+
+void ChromeTraceWriter::add_events(int pid, unsigned tid,
+                                   const std::vector<TraceEvent>& events,
+                                   std::uint64_t dropped) {
+  std::lock_guard<std::mutex> lk(mu_);
+  rows_.reserve(rows_.size() + events.size());
+  for (const TraceEvent& e : events) rows_.push_back(Row{pid, tid, e});
+  for (Process& p : procs_) {
+    if (p.pid == pid) {
+      p.dropped += dropped;
+      break;
+    }
+  }
+}
+
+void ChromeTraceWriter::add_metrics(int pid, const MetricsSnapshot& m) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (Process& p : procs_) {
+    if (p.pid == pid) {
+      p.metrics_json = m.to_json(4);
+      break;
+    }
+  }
+}
+
+void ChromeTraceWriter::flush() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (path_.empty()) return;
+  std::ofstream os(path_);
+  if (!os) {
+    std::fprintf(stderr, "[xk] XK_TRACE: cannot open '%s' for writing\n",
+                 path_.c_str());
+    return;
+  }
+
+  // Re-base to the earliest drained timestamp so the viewer's time axis
+  // starts near zero instead of at steady-clock boot offset.
+  std::uint64_t epoch = std::numeric_limits<std::uint64_t>::max();
+  for (const Row& r : rows_) {
+    if (r.ev.ts < epoch) epoch = r.ev.ts;
+  }
+  if (rows_.empty()) epoch = 0;
+
+  os << "{\n\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&]() -> std::ostream& {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    return os;
+  };
+
+  for (const Process& p : procs_) {
+    sep() << "{\"ph\":\"M\",\"pid\":" << p.pid
+          << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\""
+          << p.name << "\"}}";
+    for (unsigned t = 0; t < p.nworkers; ++t) {
+      sep() << "{\"ph\":\"M\",\"pid\":" << p.pid << ",\"tid\":" << t
+            << ",\"name\":\"thread_name\",\"args\":{\"name\":\"worker " << t
+            << "\"}}";
+    }
+  }
+
+  for (const Row& r : rows_) {
+    const auto kind = static_cast<std::size_t>(r.ev.kind);
+    if (kind >= kEventKinds) continue;  // corrupt slot: skip, don't crash
+    const EventInfo& info = kEventInfo[kind];
+    sep() << "{\"name\":\"" << info.name << "\",\"cat\":\"" << info.cat
+          << "\",\"ph\":\"" << (info.span ? "X" : "i") << "\",\"pid\":" << r.pid
+          << ",\"tid\":" << r.tid << ",\"ts\":";
+    write_us(os, r.ev.ts - epoch);
+    if (info.span) {
+      os << ",\"dur\":";
+      write_us(os, r.ev.dur);
+    } else {
+      os << ",\"s\":\"t\"";  // instant scope: thread
+    }
+    os << ",";
+    write_args(os, info, r.ev);
+    os << "}";
+  }
+
+  os << "\n],\n\"displayTimeUnit\":\"ns\",\n\"metrics\":[";
+  first = true;
+  for (const Process& p : procs_) {
+    sep() << "  {\"pid\":" << p.pid << ",\"name\":\"" << p.name
+          << "\",\"dropped\":" << p.dropped << ",\"snapshot\":"
+          << (p.metrics_json.empty() ? "null" : p.metrics_json) << "}";
+  }
+  os << "\n]\n}\n";
+}
+
+ChromeTraceWriter::~ChromeTraceWriter() { flush(); }
+
+}  // namespace xk::obs

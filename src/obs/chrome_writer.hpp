@@ -1,0 +1,89 @@
+// Chrome trace-event JSON export — the drain side of the xk_obs
+// subsystem.
+//
+// One process-global writer accumulates the drained per-worker rings of
+// every traced Runtime in the process and serializes them once, to the
+// XK_TRACE path, as Chrome's JSON object format:
+//
+//   {"traceEvents":[...], "displayTimeUnit":"ns", "metrics":[...]}
+//
+// loadable in chrome://tracing and https://ui.perfetto.dev. Each Runtime
+// instance becomes one pid (micro_steal constructs a runtime per sweep
+// point — each shows up as its own process track), each worker one tid,
+// with process_name/thread_name metadata events naming the tracks. The
+// extra top-level "metrics" key (ignored by viewers, consumed by
+// scripts/check_trace.py) carries one MetricsSnapshot per pid plus the
+// ring-overflow drop count.
+//
+// The file is written once, from the writer's destructor at process exit
+// (same discipline as bench JsonReport) or an explicit flush(); draining
+// a section therefore costs one ring copy, not a file rewrite per
+// section. Timestamps are re-based to the earliest drained event and
+// emitted as microseconds with nanosecond decimals.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace xk::obs {
+
+class ChromeTraceWriter {
+ public:
+  /// The process-global writer (constructed on first use, flushed at
+  /// static destruction).
+  static ChromeTraceWriter& instance();
+
+  /// Sets the output path. First non-empty path wins — every traced
+  /// Runtime in the process shares one file, so a second Runtime created
+  /// with a different XK_TRACE value keeps appending to the first file.
+  void set_path(const std::string& path);
+
+  bool enabled() const;
+
+  /// Registers one Runtime as a trace process. Returns its pid (1-based)
+  /// and queues the process_name / thread_name metadata events.
+  int add_process(const std::string& name, unsigned nworkers);
+
+  /// Appends worker `tid`'s drained events under process `pid`.
+  /// `dropped` is the ring's wrap-overwrite count for the drain.
+  void add_events(int pid, unsigned tid, const std::vector<TraceEvent>& events,
+                  std::uint64_t dropped);
+
+  /// Attaches the end-of-run metrics snapshot for process `pid`.
+  void add_metrics(int pid, const MetricsSnapshot& m);
+
+  /// Serializes everything accumulated so far to the path (overwriting).
+  /// Idempotent and callable mid-process (tests); the destructor calls it
+  /// for the normal at-exit write.
+  void flush();
+
+  ~ChromeTraceWriter();
+
+ private:
+  ChromeTraceWriter() = default;
+
+  struct Row {
+    int pid;
+    unsigned tid;
+    TraceEvent ev;
+  };
+  struct Process {
+    int pid;
+    std::string name;
+    unsigned nworkers;
+    std::uint64_t dropped = 0;
+    std::string metrics_json;  // empty until add_metrics
+  };
+
+  mutable std::mutex mu_;
+  std::string path_;
+  std::vector<Process> procs_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace xk::obs

@@ -5,9 +5,21 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace xk {
+
+/// Monotonic nanoseconds since an arbitrary (per-process) epoch — the
+/// timestamp source of the trace rings (src/obs/). Same steady clock as
+/// Timer, exposed raw so an event record is one clock read and one store,
+/// with the epoch subtraction deferred to trace-drain time.
+inline std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Monotonic wall-clock timer with double-seconds reads.
 class Timer {
