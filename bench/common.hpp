@@ -81,7 +81,7 @@ inline std::size_t reps() {
 //         "nworkers": <worker count>,
 //         "reps": <sample count>,
 //         "median_s": <median wall seconds>, "p95_s": <p95 wall seconds>,
-//         "min_s": ..., "mean_s": ...,
+//         "p99_s": <p99 wall seconds>, "min_s": ..., "mean_s": ...,
 //         "throughput": <items-per-rep / median_s; items defaults to 1,
 //                        so plain series report runs-per-second>,
 //         "counters": {"<name>": <integer>, ...}   // optional } ] }
@@ -214,16 +214,18 @@ class JsonReport {
       std::sort(sorted.begin(), sorted.end());
       const double median = quantile(sorted, 0.5);
       const double p95 = quantile(sorted, 0.95);
+      const double p99 = quantile(sorted, 0.99);
       double mean = 0.0;
       for (double s : sorted) mean += s;
       mean /= static_cast<double>(sorted.size());
       const double throughput = median > 0.0 ? e.items / median : 0.0;
       std::fprintf(f,
                    "    {\"name\": \"%s\", \"nworkers\": %u, \"reps\": %zu, "
-                   "\"median_s\": %.9g, \"p95_s\": %.9g, \"min_s\": %.9g, "
+                   "\"median_s\": %.9g, \"p95_s\": %.9g, \"p99_s\": %.9g, "
+                   "\"min_s\": %.9g, "
                    "\"mean_s\": %.9g, \"throughput\": %.9g",
                    escape(e.name).c_str(), e.nworkers, sorted.size(), median,
-                   p95, sorted.front(), mean, throughput);
+                   p95, p99, sorted.front(), mean, throughput);
       if (!e.counters.empty()) {
         std::fprintf(f, ", \"counters\": {");
         for (std::size_t c = 0; c < e.counters.size(); ++c) {

@@ -1,0 +1,176 @@
+// Micro — service-mode tail latency: open-loop job submission.
+//
+// The service runtime's contract is "submit() from anywhere, jobs finish
+// soon"; the honest way to measure "soon" is an *open-loop* driver. A
+// seeded Poisson process schedules arrival times in advance and the
+// submitter sticks to that clock no matter how the runtime is doing —
+// unlike a closed loop, a slow runtime cannot throttle its own load, so
+// queueing delay shows up in the tail instead of hiding in a depressed
+// throughput number (coordinated omission).
+//
+// Per-job latency = completion stamp - *scheduled* arrival stamp (not the
+// actual submit call, which may itself be late when the driver falls
+// behind). Each job's latency lands in the JSON report as one sample, so
+// the schema-v1 median_s/p95_s/p99_s fields are true per-job latency
+// quantiles over thousands of jobs — not quantiles over a handful of
+// whole-run repetitions. CI gates p95_s via scripts/check_scaling.py
+// --metric p95_s --max-seconds.
+//
+// Knobs: XKREPRO_SVC_JOBS (arrivals per sweep point), XKREPRO_SVC_RATE
+// (offered load, jobs/s), XKREPRO_SVC_WORK (spin iterations per job),
+// XKREPRO_SVC_TENANTS (round-robin tenant spread), XKREPRO_SVC_SEED.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/xkaapi.hpp"
+#include "support/timing.hpp"
+
+namespace {
+
+/// Spin kernel: enough arithmetic that a job is real work, small enough
+/// that queueing (not service time) dominates the tail at smoke sizes.
+double job_work(int iters) {
+  double x = 1.0;
+  for (int i = 0; i < iters; ++i) x = x * 1.0000001 + 1e-9;
+  return x;
+}
+
+}  // namespace
+
+int main() {
+  xkbench::json_begin("micro_service");
+  xkbench::preamble("Micro (service tail latency)",
+                    "open-loop Poisson arrivals into Runtime::submit()");
+  const std::size_t jobs = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, xk::env_int("XKREPRO_SVC_JOBS", 2000)));
+  const double rate =
+      static_cast<double>(std::max<std::int64_t>(
+          1, xk::env_int("XKREPRO_SVC_RATE", 10000)));  // jobs per second
+  const int work =
+      static_cast<int>(xk::env_int("XKREPRO_SVC_WORK", 2000));
+  const unsigned tenants = static_cast<unsigned>(
+      std::max<std::int64_t>(1, xk::env_int("XKREPRO_SVC_TENANTS", 2)));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(xk::env_int("XKREPRO_SVC_SEED", 42));
+
+  xk::Table table({"cores", "offered(1/s)", "achieved(1/s)", "p50(us)",
+                   "p95(us)", "p99(us)", "max(us)", "rejected"});
+
+  for (unsigned cores : xkbench::core_counts()) {
+    xk::Config cfg = xk::Config::from_env();
+    cfg.nworkers = cores;
+    xk::Runtime rt(cfg);
+
+    // Warmup: spin up the dispatcher thread and fault in the pool before
+    // the measured arrival clock starts.
+    {
+      std::vector<xk::JobToken> warm;
+      warm.reserve(128);
+      for (int i = 0; i < 128; ++i) {
+        warm.push_back(rt.submit([work] { job_work(work); }));
+      }
+      for (auto& t : warm) t.wait();
+    }
+    rt.reset_stats();
+    // ServiceStats counters are cumulative (reset_stats covers worker
+    // counters only): diff against the post-warmup baseline.
+    const xk::ServiceStats s0 = rt.service_stats();
+
+    // Pre-draw the whole arrival schedule (exponential gaps = Poisson
+    // process) so the hot loop does no RNG work.
+    std::mt19937_64 rng(seed);
+    std::exponential_distribution<double> gap(rate);
+    std::vector<std::uint64_t> sched_ns(jobs);
+    double t_arrival = 0.0;
+    for (std::size_t i = 0; i < jobs; ++i) {
+      t_arrival += gap(rng);
+      sched_ns[i] = static_cast<std::uint64_t>(t_arrival * 1e9);
+    }
+
+    // One slot per job, written exactly once by the job body; 0 marks a
+    // rejected (never-run) job. kCancelled/kFailed cannot happen here.
+    std::vector<std::uint64_t> done_ns(jobs, 0);
+    std::vector<xk::JobToken> tokens(jobs);
+
+    const std::uint64_t t0 = xk::monotonic_ns();
+    for (std::size_t i = 0; i < jobs; ++i) {
+      // Open loop: busy-wait until the *scheduled* instant; never let a
+      // late completion push the arrival clock (sleep_for is too coarse
+      // at 10k/s gaps, and the spin is the driver's cost, not the
+      // runtime's).
+      while (xk::monotonic_ns() - t0 < sched_ns[i]) {
+      }
+      xk::SubmitOptions opts;
+      opts.tenant = static_cast<unsigned>(i) % tenants;
+      std::uint64_t* slot = &done_ns[i];
+      tokens[i] = rt.submit([slot, work] {
+        job_work(work);
+        *slot = xk::monotonic_ns();
+      }, opts);
+    }
+    for (auto& t : tokens) t.wait();
+    const std::uint64_t t_end = xk::monotonic_ns();
+
+    std::vector<double> lat_s;
+    lat_s.reserve(jobs);
+    std::size_t rejected = 0;
+    for (std::size_t i = 0; i < jobs; ++i) {
+      if (done_ns[i] == 0) {
+        ++rejected;
+        continue;
+      }
+      const std::uint64_t abs_sched = t0 + sched_ns[i];
+      lat_s.push_back(done_ns[i] > abs_sched
+                          ? static_cast<double>(done_ns[i] - abs_sched) * 1e-9
+                          : 0.0);
+    }
+    if (lat_s.empty()) {
+      std::fprintf(stderr, "micro_service: every job rejected at %u cores\n",
+                   cores);
+      return 1;
+    }
+    xkbench::json_context("open-loop", cores);
+    xkbench::json_record(lat_s);
+    xkbench::json_counters(rt.metrics_snapshot());
+
+    std::vector<double> sorted = lat_s;
+    std::sort(sorted.begin(), sorted.end());
+    auto q = [&](double p) {
+      const std::size_t idx = static_cast<std::size_t>(
+          p * static_cast<double>(sorted.size() - 1));
+      return sorted[idx] * 1e6;
+    };
+    const double span_s = static_cast<double>(t_end - t0) * 1e-9;
+    const double achieved =
+        span_s > 0.0 ? static_cast<double>(lat_s.size()) / span_s : 0.0;
+    table.add_row({std::to_string(cores), xk::Table::num(rate, 0),
+                   xk::Table::num(achieved, 0), xk::Table::num(q(0.50), 1),
+                   xk::Table::num(q(0.95), 1), xk::Table::num(q(0.99), 1),
+                   xk::Table::num(sorted.back() * 1e6, 1),
+                   std::to_string(rejected)});
+
+    const xk::ServiceStats s = rt.service_stats();
+    if (s.completed - s0.completed != lat_s.size() ||
+        s.rejected - s0.rejected != rejected) {
+      std::fprintf(stderr,
+                   "micro_service: accounting mismatch at %u cores "
+                   "(completed=%llu lat=%zu rejected=%llu/%zu)\n",
+                   cores,
+                   static_cast<unsigned long long>(s.completed - s0.completed),
+                   lat_s.size(),
+                   static_cast<unsigned long long>(s.rejected - s0.rejected),
+                   rejected);
+      xkbench::json_drop_current();
+      return 1;
+    }
+  }
+
+  table.print_auto(std::cout);
+  return 0;
+}

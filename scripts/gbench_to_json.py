@@ -3,7 +3,7 @@
 
 Usage: gbench_to_json.py <gbench.json> <out.json>
 
-Groups per-repetition entries by run_name and reports median/p95/min/mean
+Groups per-repetition entries by run_name and reports median/p95/p99/min/mean
 of real_time (converted to seconds) plus items_per_second as throughput —
 the same fields bench/common.hpp's JsonReport writes, so the perf
 trajectory treats table benches and google-benchmark benches uniformly.
@@ -56,6 +56,7 @@ def main():
             "reps": len(times),
             "median_s": median,
             "p95_s": quantile(times, 0.95),
+            "p99_s": quantile(times, 0.99),
             "min_s": times[0],
             "mean_s": sum(times) / len(times),
             "throughput": throughput,

@@ -2,7 +2,7 @@
 # Runs the figure/ablation benchmarks and writes one schema-stable
 # BENCH_<benchmark>.json per binary (schema v1, documented in
 # bench/common.hpp): benchmark id + per-series {name, nworkers, reps,
-# median_s, p95_s, min_s, mean_s, throughput}.
+# median_s, p95_s, p99_s, min_s, mean_s, throughput}.
 #
 # Usage:
 #   scripts/run_bench.sh [--smoke] [--build-dir DIR] [--out-dir DIR] [name...]
@@ -50,7 +50,7 @@ mkdir -p "$log_dir"
 
 table_benches=(fig1_fib fig2_cholesky_dense fig3_foreach fig6_epx_loops
                fig7_skyline fig8_epx_overall ablation_adaptive ablation_steal
-               micro_steal micro_locality)
+               micro_steal micro_locality micro_service)
 
 if [[ $smoke -eq 1 ]]; then
   # Tiny instances: prove the binaries run and the JSON contract holds.
@@ -74,6 +74,9 @@ if [[ $smoke -eq 1 ]]; then
   export XKREPRO_STEAL_WORK=50
   export XKREPRO_LOC_N=65536
   export XKREPRO_LOC_PASSES=2
+  export XKREPRO_SVC_JOBS=500
+  export XKREPRO_SVC_RATE=5000
+  export XKREPRO_SVC_WORK=500
   gbench_flags=(--benchmark_repetitions=2 --benchmark_min_time=0.01)
 else
   gbench_flags=(--benchmark_repetitions=5)
@@ -134,7 +137,7 @@ assert doc["schema_version"] == 1, "schema_version"
 assert isinstance(doc["benchmark"], str) and doc["benchmark"], "benchmark"
 assert doc["results"], "empty results"
 for r in doc["results"]:
-    for key in ("name", "nworkers", "reps", "median_s", "p95_s",
+    for key in ("name", "nworkers", "reps", "median_s", "p95_s", "p99_s",
                 "min_s", "mean_s", "throughput"):
         assert key in r, f"missing {key}"
     assert r["median_s"] >= 0 and r["p95_s"] >= r["median_s"] * 0.999

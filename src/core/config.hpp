@@ -152,6 +152,46 @@ struct Config {
   /// (Runtime::end()), so counter telemetry needs no bench harness.
   bool stats_dump = false;
 
+  /// Maximum concurrently open parallel sections (XK_SECTIONS). Each
+  /// section binds its opening thread to a master worker slot; slots
+  /// beyond the first are extra Worker instances placed alongside the
+  /// pool (ids >= nworkers), stealable like any other victim but never
+  /// backed by a pool thread. begin() throws when every slot is busy.
+  /// Clamped to >= 1. The service dispatcher claims one of these, so a
+  /// client mixing Runtime::submit with its own run()/begin() sections
+  /// needs at least 2 (the default).
+  unsigned sections = 2;
+
+  /// Service-mode admission control (XK_SVC_QUEUE_CAP): per-tenant queued
+  /// job cap. A submit to a full tenant lane is rejected immediately
+  /// (JobStatus::kRejected) instead of queued — open-loop overload sheds
+  /// at the door rather than growing an unbounded backlog. 0 = unbounded.
+  std::size_t svc_queue_cap = 4096;
+
+  /// Jobs the service dispatcher spawns per scheduling burst before it
+  /// re-consults the tenant scheduler (XK_SVC_BATCH). Small values track
+  /// priority changes tightly; larger ones amortize queue locking.
+  std::size_t svc_batch = 32;
+
+  /// Microseconds the dispatcher keeps its section open waiting for new
+  /// arrivals after the queue runs dry (XK_SVC_IDLE_US). Absorbs bursts
+  /// without paying a section close/reopen per lull; after the grace the
+  /// section closes and the pool parks.
+  std::uint64_t svc_idle_us = 200;
+
+  /// Jobs dispatched into one service section before it is closed and
+  /// reopened (XK_SVC_SECTION_CAP). Spawned task descriptors live in the
+  /// section's root frame arena until the section ends, so an unbounded
+  /// section would grow memory with the job stream; recycling bounds it.
+  std::size_t svc_section_cap = 8192;
+
+  /// Per-tenant scheduling weights (XK_SVC_WEIGHTS, comma list "4,2,1"
+  /// for tenants 0,1,2). Unlisted tenants weigh 1. The dispatcher picks
+  /// tenants by smooth weighted round-robin over non-empty lanes, so a
+  /// weight-4 tenant gets 4 of every 5 picks against a weight-1 tenant
+  /// while the weight-1 lane still drains (no starvation).
+  std::string svc_weights;
+
   /// Builds a config from XK_* environment variables layered over defaults.
   static Config from_env();
 

@@ -278,8 +278,9 @@ void foreach_execute(ForeachShared& sh, std::int64_t first, std::int64_t last,
 
   // Root work: claims its own reserved slice up front (slice 0 in flat
   // mode, preserving the original behavior; the caller's own domain-homed
-  // slice in domain mode).
-  const unsigned root_slot = sh.domain_mode ? w.id() : 0u;
+  // slice in domain mode). A master slot (id >= nworkers) folds onto the
+  // pool slot whose placement it shares — slices stay one-per-pool-worker.
+  const unsigned root_slot = sh.domain_mode ? (w.id() % nw) : 0u;
   ForeachWork root;
   root.shared = &sh;
   sh.slices[root_slot]->taken.store(true, std::memory_order_relaxed);

@@ -52,11 +52,28 @@ Config Config::from_env() {
   cfg.trace_cap = static_cast<std::size_t>(
       env_int("XK_TRACE_CAP", static_cast<std::int64_t>(cfg.trace_cap)));
   cfg.stats_dump = env_bool("XK_STATS", cfg.stats_dump);
+  cfg.sections = static_cast<unsigned>(
+      env_int("XK_SECTIONS", static_cast<std::int64_t>(cfg.sections)));
+  cfg.svc_queue_cap = static_cast<std::size_t>(env_int(
+      "XK_SVC_QUEUE_CAP", static_cast<std::int64_t>(cfg.svc_queue_cap)));
+  cfg.svc_batch = static_cast<std::size_t>(
+      env_int("XK_SVC_BATCH", static_cast<std::int64_t>(cfg.svc_batch)));
+  cfg.svc_idle_us = static_cast<std::uint64_t>(
+      env_int("XK_SVC_IDLE_US", static_cast<std::int64_t>(cfg.svc_idle_us)));
+  cfg.svc_section_cap = static_cast<std::size_t>(env_int(
+      "XK_SVC_SECTION_CAP", static_cast<std::int64_t>(cfg.svc_section_cap)));
+  cfg.svc_weights = env_string("XK_SVC_WEIGHTS").value_or(cfg.svc_weights);
   return cfg;
 }
 
 Runtime::Runtime(Config cfg) : cfg_(cfg) {
   const unsigned nw = cfg_.workers();
+  nw_ = nw;
+  // Master slots back overlapping sections: worker 0 (the traditional
+  // master, kept first so single-section runs bind exactly as before)
+  // plus sections-1 extra Worker instances appended after the pool.
+  const unsigned extra = std::max(cfg_.sections, 1u) - 1;
+  const unsigned nw_total = nw + extra;
 
   // Topology + placement first: workers snapshot their domain and victim
   // order from placement_ in their constructors. Empty topo/place fields
@@ -82,20 +99,38 @@ Runtime::Runtime(Config cfg) : cfg_(cfg) {
                    cpuset.c_str());
     }
   }
+  // Extra master slots reuse an existing pool slot's placement (slot
+  // id % nw): they inherit its domain/rank — so occupancy folds, ready
+  // shards and victim orders see a valid rank — without changing the pool
+  // placement or the domain count. Masters are never CPU-bound (their
+  // threads are the sections' callers) except slot 0, which keeps the old
+  // bind-the-caller behavior.
+  if (!placement_.slots.empty()) {
+    const std::size_t npool = placement_.slots.size();
+    for (unsigned id = nw; id < nw_total; ++id) {
+      placement_.slots.push_back(placement_.slots[id % npool]);
+    }
+  }
+
   // The starvation board must exist before the first worker constructor
   // caches its pointer; its size is the dense domain-rank count. The
-  // occupancy side is keyed by worker id with the domain rank folded in.
+  // occupancy side is keyed by worker id (masters included) with the
+  // domain rank folded in.
   starvation_.init(placement_.ndomains);
-  std::vector<unsigned> worker_ranks(nw, 0);
-  for (unsigned i = 0; i < nw && i < placement_.slots.size(); ++i) {
+  std::vector<unsigned> worker_ranks(nw_total, 0);
+  for (unsigned i = 0; i < nw_total && i < placement_.slots.size(); ++i) {
     worker_ranks[i] = placement_.slots[i].domain_rank;
   }
   starvation_.init_occupancy(worker_ranks);
 
-  workers_.reserve(nw);
-  for (unsigned i = 0; i < nw; ++i) {
-    workers_.push_back(std::make_unique<Worker>(*this, i, nw));
+  workers_.reserve(nw_total);
+  for (unsigned i = 0; i < nw_total; ++i) {
+    workers_.push_back(std::make_unique<Worker>(*this, i, nw_total));
   }
+  master_slots_.push_back(0);
+  for (unsigned id = nw; id < nw_total; ++id) master_slots_.push_back(id);
+  master_open_.assign(master_slots_.size(), 0);
+  section_t0_.assign(nw_total, 0);
 
   // Observability arming. The rings must exist before any pool thread
   // starts (worker_main binds its ring right after its worker TLS).
@@ -115,14 +150,14 @@ Runtime::Runtime(Config cfg) : cfg_(cfg) {
                           : static_cast<std::size_t>(
                                 env_int("XK_TRACE_CAP", 16384));
     if (cap == 0) cap = 16384;
-    trace_rings_.reserve(nw);
-    for (unsigned i = 0; i < nw; ++i) {
+    trace_rings_.reserve(nw_total);
+    for (unsigned i = 0; i < nw_total; ++i) {
       trace_rings_.push_back(std::make_unique<obs::TraceRing>(cap));
     }
     auto& writer = obs::ChromeTraceWriter::instance();
     writer.set_path(trace_path);
     trace_pid_ = writer.add_process(
-        "xk runtime (" + std::to_string(nw) + " workers)", nw);
+        "xk runtime (" + std::to_string(nw) + " workers)", nw_total);
   }
 
   threads_.reserve(nw > 0 ? nw - 1 : 0);
@@ -132,7 +167,17 @@ Runtime::Runtime(Config cfg) : cfg_(cfg) {
 }
 
 Runtime::~Runtime() {
-  if (section_open_) end_silent();
+  // The service dispatcher goes first: its destructor runs every job
+  // still queued and closes its sections, all of which needs the pool.
+  service_live_.store(nullptr, std::memory_order_release);
+  service_.reset();
+  // A section left open by the destroying thread itself (begin without
+  // end) is closed on its behalf; sections owned by *other* threads
+  // cannot be drained from here and are a caller bug.
+  if (Worker* w = this_worker();
+      w != nullptr && &w->runtime() == this && in_section()) {
+    end_silent();
+  }
   {
     std::lock_guard lock(park_mutex_);
     shutdown_ = true;
@@ -170,63 +215,105 @@ void Runtime::worker_main(unsigned index) {
 }
 
 void Runtime::begin() {
-  if (section_open_) {
-    throw std::logic_error("xk::Runtime::begin: section already open");
-  }
   if (this_worker() != nullptr) {
     throw std::logic_error("xk::Runtime::begin: thread already bound");
   }
-  Worker& w0 = *workers_[0];
-  detail::set_this_worker(&w0);
-  obs::bind_thread_ring(trace_ring(0));
-  section_t0_ = obs::span_begin();
-  if (cfg_.bind_threads) bind_self_to_core(placement_.slots[0].cpu_os_id);
-  // The previous section's end-of-work famine saturated the failed-round
-  // gauges; a fresh section starts with no domain pre-declared starving.
-  starvation_.reset_rounds();
-  // Arm the quiescence event *before* the root frame publishes worker 0's
-  // occupancy: from here to Runtime::end the root occupied count stays
-  // >= 1 (the master's stack is non-empty for the whole section), so the
-  // only 1->0 root edge — the master's root-frame pop in end() — is the
-  // one that fires, waking parked workers exactly once at section close.
-  starvation_.arm_quiesce(&work_parker_, &progress_parker_);
-  w0.push_frame();  // root frame
-  section_open_ = true;
-  {
-    std::lock_guard lock(park_mutex_);
-    ++epoch_;
-    section_active_.store(true, std::memory_order_release);
+  std::lock_guard lock(section_mu_);
+  unsigned id = 0;
+  bool found = false;
+  for (std::size_t k = 0; k < master_slots_.size(); ++k) {
+    if (!master_open_[k]) {
+      master_open_[k] = 1;
+      id = master_slots_[k];
+      found = true;
+      break;
+    }
   }
-  park_cv_.notify_all();
+  if (!found) {
+    throw std::logic_error(
+        "xk::Runtime::begin: all section slots busy (raise XK_SECTIONS)");
+  }
+  Worker& w = *workers_[id];
+  detail::set_this_worker(&w);
+  obs::bind_thread_ring(trace_ring(id));
+  section_t0_[id] = obs::span_begin();
+  if (cfg_.bind_threads && id == 0) {
+    bind_self_to_core(placement_.slots[0].cpu_os_id);
+  }
+  const bool first =
+      open_sections_.load(std::memory_order_relaxed) == 0;
+  if (first) {
+    // The previous batch's end-of-work famine saturated the failed-round
+    // gauges; a fresh batch starts with no domain pre-declared starving.
+    // (Only the first of a set of overlapping sections resets: a reset
+    // mid-batch would erase live famine signals of the running sections —
+    // the cross-section gauge bleed this lock exists to prevent.)
+    starvation_.reset_rounds();
+    // Arm the quiescence event *before* any root frame publishes a
+    // master's occupancy. Every root push/pop happens under section_mu_,
+    // so from here until the *last* overlapping section closes the root
+    // occupied count stays >= 1 and the only 1->0 root edge — the final
+    // root-frame pop in end() — is the one that fires, waking parked
+    // workers exactly once when the whole batch is over.
+    starvation_.arm_quiesce(&work_parker_, &progress_parker_);
+  }
+  w.push_frame();  // root frame
+  open_sections_.fetch_add(1, std::memory_order_release);
+  if (first) {
+    {
+      std::lock_guard plock(park_mutex_);
+      ++epoch_;
+      section_active_.store(true, std::memory_order_release);
+    }
+    park_cv_.notify_all();
+  }
 }
 
 void Runtime::end() {
-  if (!section_open_) {
+  Worker* w = this_worker();
+  const bool master =
+      w != nullptr && &w->runtime() == this &&
+      (w->id() == 0 || w->id() >= nw_);
+  if (!master || !in_section()) {
     throw std::logic_error("xk::Runtime::end: no open section");
   }
-  Worker& w0 = *workers_[0];
   std::exception_ptr exc;
   try {
-    w0.drain_current_frame();
+    w->drain_current_frame();
   } catch (...) {
     exc = std::current_exception();
   }
-  section_active_.store(false, std::memory_order_release);
-  // No explicit broadcasts here: the root-frame pop below clears worker
-  // 0's occupancy bit, the board fold sees the machine-wide root count hit
-  // zero — quiescence — and fires the armed parkers exactly once. A worker
-  // about to park re-validates the section predicate inside its announce
-  // window (after the release store above), so it either sees the close or
-  // its prepare()-epoch park is cut short by the fire's seq bump.
-  w0.pop_frame();
-  starvation_.disarm_quiesce();  // no-op after a normal fire (defensive)
-  section_open_ = false;
-  // The section span closes before the drain (it must be in this drain's
-  // batch), and the drain waits the pool quiescent — so every ring is
-  // final for this section when it is copied out.
-  obs::emit_span(obs::Ev::kSection, section_t0_, nworkers());
-  section_t0_ = 0;
-  drain_observability();
+  const unsigned id = w->id();
+  {
+    std::lock_guard lock(section_mu_);
+    const bool last = open_sections_.load(std::memory_order_relaxed) == 1;
+    if (last) section_active_.store(false, std::memory_order_release);
+    // No explicit broadcasts here: when this is the last open section the
+    // root-frame pop below clears the final master occupancy bit, the
+    // board fold sees the machine-wide root count hit zero — quiescence —
+    // and fires the armed parkers exactly once. A worker about to park
+    // re-validates the section predicate inside its announce window
+    // (after the release store above), so it either sees the close or its
+    // prepare()-epoch park is cut short by the fire's seq bump. A
+    // non-last close pops under the same lock while some other master's
+    // root frame is still pushed, so the root count never dips to zero
+    // and nothing fires early.
+    w->pop_frame();
+    open_sections_.fetch_sub(1, std::memory_order_release);
+    if (last) starvation_.disarm_quiesce();  // defensive; fold consumed it
+    // The section span closes before the final drain (it must be in that
+    // drain's batch). Non-last sections leave their span in the master's
+    // ring; the last close copies every ring out after quiescing the
+    // pool — all under section_mu_, so no begin() can re-open (and no
+    // worker can record) while rings are being copied: one drain per
+    // batch, never two.
+    obs::emit_span(obs::Ev::kSection, section_t0_[id], nworkers());
+    section_t0_[id] = 0;
+    if (last) drain_observability();
+    for (std::size_t k = 0; k < master_slots_.size(); ++k) {
+      if (master_slots_[k] == id) master_open_[k] = 0;
+    }
+  }
   obs::bind_thread_ring(nullptr);
   detail::set_this_worker(nullptr);
   if (exc) std::rethrow_exception(exc);
@@ -295,10 +382,10 @@ void Runtime::quiesce_pool() const {
   // wait for every pool worker to re-enter the park_cv_ wait so the mutex
   // provides the ordering edge that makes their final writes visible. With
   // a section open the caller owns the raciness (documented in stats.hpp).
-  if (section_open_) return;
+  if (in_section()) return;
   std::unique_lock lock(park_mutex_);
   idle_cv_.wait(lock, [&] {
-    return idle_workers_ + 1 == workers_.size() || shutdown_;
+    return idle_workers_ == threads_.size() || shutdown_;
   });
 }
 

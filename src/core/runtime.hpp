@@ -5,13 +5,24 @@
 // calling thread is registered as worker 0; `workers() - 1` additional
 // threads are spawned and parked between parallel sections.
 //
-// Two usage styles:
+// Three usage styles:
 //   Runtime rt(cfg);
 //   rt.run([&]{ xk::spawn(...); xk::sync(); });          // scoped section
 // or
 //   rt.begin();  ...spawn/sync from the calling thread...  rt.end();
+// or
+//   JobToken t = rt.submit([]{ ... });  t.wait();        // service mode
 // The second style backs long-lived clients such as the QUARK ABI layer
-// (insert tasks / barrier / finalize).
+// (insert tasks / barrier / finalize); the third is the async job
+// submission surface (see core/service.hpp and docs/SERVICE.md).
+//
+// Sections may overlap: up to Config::sections threads can hold open
+// begin()/end() pairs concurrently. Each open section binds its caller to
+// a distinct *master slot* — worker 0 plus Config::sections - 1 extra
+// Worker instances that exist beyond the pool (ids >= nworkers()). All
+// masters' frames are stealable by the pool; quiescence detection, the
+// starvation gauges and the trace drain key off the *last* section
+// closing, serialized by section_mu_.
 #pragma once
 
 #include <atomic>
@@ -23,6 +34,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/service.hpp"
 #include "core/stats.hpp"
 #include "core/task.hpp"
 #include "core/worker.hpp"
@@ -42,7 +54,19 @@ class Runtime {
   Runtime& operator=(const Runtime&) = delete;
 
   const Config& config() const { return cfg_; }
-  unsigned nworkers() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Pool worker count (what benches, foreach partitioning and the victim
+  /// draw's "how parallel is this machine" questions mean by "workers").
+  unsigned nworkers() const { return nw_; }
+
+  /// Pool workers plus the extra master slots (Config::sections - 1) that
+  /// back overlapping sections. Protocol-level scans — join-waiter wakes,
+  /// reqbox sizing, trace-ring drains — must span this count: a master's
+  /// frames are stealable and its joins parkable like any pool worker's.
+  unsigned nworkers_total() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
   Worker& worker(unsigned i) { return *workers_[i]; }
 
   /// The machine shape this runtime was placed on (real sysfs discovery or
@@ -63,12 +87,17 @@ class Runtime {
   StarvationBoard& starvation() { return starvation_; }
   const StarvationBoard& starvation() const { return starvation_; }
 
-  /// Opens a parallel section: registers the caller as worker 0, pushes the
-  /// root frame and wakes the pool. Calls cannot nest.
+  /// Opens a parallel section: binds the caller to a free master slot
+  /// (worker 0 when available), pushes its root frame and — if this is the
+  /// first open section — wakes the pool. Throws std::logic_error when the
+  /// calling thread is already bound (nesting) or when every one of the
+  /// Config::sections master slots is busy.
   void begin();
 
-  /// Closes the section: drains the root frame (implicit sync), parks the
-  /// pool and unregisters the caller. Rethrows the first task exception.
+  /// Closes the caller's section: drains its root frame (implicit sync),
+  /// releases the master slot and unregisters the caller. The last section
+  /// to close parks the pool and drains observability. Rethrows the first
+  /// task exception.
   void end();
 
   /// Scoped section: begin(); fn(); end(). fn runs on the caller thread as
@@ -85,8 +114,32 @@ class Runtime {
     end();
   }
 
-  /// True while a section is open (spawn/sync are legal).
-  bool in_section() const { return section_open_; }
+  /// True while at least one section is open (spawn/sync are legal on the
+  /// threads bound to those sections).
+  bool in_section() const {
+    return open_sections_.load(std::memory_order_acquire) > 0;
+  }
+
+  // ---- service mode (async job submission; see core/service.hpp) --------
+
+  /// Submits a job from any thread (worker or not). The job body runs on
+  /// the pool inside a dispatcher-owned section; the returned token
+  /// supports completion waiting, cooperative + pre-execution
+  /// cancellation, and error retrieval. A submit to a full tenant lane
+  /// (Config::svc_queue_cap) returns an already-terminal kRejected token.
+  /// The first submit lazily starts the service dispatcher thread.
+  JobToken submit(std::function<void()> fn, SubmitOptions opts = {});
+
+  /// Cancellation-aware variant: the body receives a JobContext to poll
+  /// for cooperative cancellation (JobToken::request_cancel).
+  JobToken submit(std::function<void(JobContext&)> fn,
+                  SubmitOptions opts = {});
+
+  /// Sets tenant `tenant`'s scheduling weight (see Config::svc_weights).
+  void set_tenant_weight(unsigned tenant, unsigned weight);
+
+  /// Service accounting (zeros when no submit ever happened).
+  ServiceStats service_stats() const;
 
   /// Aggregated scheduler counters across all workers.
   WorkerStats stats_snapshot() const;
@@ -156,9 +209,13 @@ class Runtime {
 
  private:
   friend class Worker;
+  friend struct detail::ServiceState;
 
   void worker_main(unsigned index);
   void end_silent();  // end() that never throws (exception cleanup path)
+
+  /// Lazily constructs the service dispatcher (first submit).
+  detail::ServiceState& service();
 
   /// End-of-section observability: records the section span, drains every
   /// worker's trace ring into the global Chrome writer (after quiescing
@@ -174,11 +231,33 @@ class Runtime {
   static constexpr std::size_t kCwLocks = 64;
 
   Config cfg_;
+  unsigned nw_ = 0;  ///< pool worker count (workers_ also holds masters)
   Topology topo_;
   Placement placement_;
   StarvationBoard starvation_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
+
+  // Section lifecycle. section_mu_ serializes every master-slot claim /
+  // release, the root-frame push/pop of each section, and the first-open /
+  // last-close transitions (quiesce arming, pool wake, observability
+  // drain) — so overlapping sections cannot double-drain a trace ring,
+  // bleed starvation gauges across each other, or race a begin() against
+  // the previous batch's ring copy-out. The invariant it maintains: while
+  // the lock is free, open_sections_ equals the number of pushed master
+  // root frames, so the board's root-occupancy count stays >= 1 for as
+  // long as any section is open and the only firing 1->0 edge is the last
+  // section's root pop. Lock order: section_mu_ before park_mutex_.
+  std::mutex section_mu_;
+  std::atomic<unsigned> open_sections_{0};
+  std::vector<unsigned> master_slots_;  ///< worker ids usable as masters
+  std::vector<char> master_open_;       ///< parallel to master_slots_
+
+  // Service mode (lazily created by the first submit; destroyed first in
+  // ~Runtime so the dispatcher's sections close before pool shutdown).
+  std::mutex service_mu_;
+  std::atomic<detail::ServiceState*> service_live_{nullptr};
+  std::unique_ptr<detail::ServiceState> service_;
 
   // Between-sections park/wake machinery (pool idle between begin/end
   // pairs). In-section idle parking goes through the Parkers instead.
@@ -192,15 +271,14 @@ class Runtime {
   std::uint64_t epoch_ = 0;
   bool shutdown_ = false;
   std::atomic<bool> section_active_{false};
-  bool section_open_ = false;
 
-  // Observability (src/obs/): one owner-written trace ring per worker when
-  // XK_TRACE armed tracing, the runtime's pid in the process-global Chrome
-  // writer (0 = untraced), the section span's start stamp, and the
-  // XK_STATS stderr-dump flag.
+  // Observability (src/obs/): one owner-written trace ring per worker
+  // (masters included) when XK_TRACE armed tracing, the runtime's pid in
+  // the process-global Chrome writer (0 = untraced), each master slot's
+  // section span start stamp, and the XK_STATS stderr-dump flag.
   std::vector<std::unique_ptr<obs::TraceRing>> trace_rings_;
   int trace_pid_ = 0;
-  std::uint64_t section_t0_ = 0;
+  std::vector<std::uint64_t> section_t0_;
   bool stats_dump_ = false;
 
   std::vector<Padded<std::mutex>> cw_locks_{kCwLocks};

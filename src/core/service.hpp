@@ -1,0 +1,340 @@
+// Service mode: async job submission from non-worker threads.
+//
+// The paper's runtime is entered one closed parallel region at a time; a
+// server substrate instead absorbs an open stream of independent jobs.
+// This header is the submission surface:
+//
+//  * `JobToken` — the caller's handle: completion waiting (wait/wait_for),
+//    pre-execution cancellation (cancel: a single CAS against the job's
+//    state machine, it wins iff the body has not started), cooperative
+//    in-flight cancellation (request_cancel + JobContext polling), and
+//    error retrieval (get rethrows the body's exception).
+//  * `ServiceQueue` — per-tenant admission-controlled lanes drained by
+//    smooth weighted round-robin. Deterministic (no clock, no RNG): given
+//    the same push sequence it yields the same pick sequence, which is
+//    what the seeded priority tests pin.
+//  * `detail::ServiceState` — the dispatcher: one thread that parks on a
+//    submit eventcount, opens a runtime section on one of the master
+//    slots (see Runtime::begin), spawns queued jobs as ordinary tasks
+//    (stealable by the whole pool), and closes the section after an idle
+//    grace so bursts don't pay a begin/end per job.
+//
+// Job state machine (one atomic byte):
+//
+//   kQueued --submit            kQueued  -> kRunning   (executor's CAS)
+//   kQueued --cancel()--------> kCancelled             (caller's CAS)
+//   kRunning -> kDone | kFailed                        (executor store)
+//   full lane at submit ------> kRejected              (never queued)
+//
+// Exactly one of the two CASes out of kQueued wins; every terminal store
+// notifies the job's parker, so waiters never sleep past completion.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "support/parker.hpp"
+
+namespace xk {
+
+class Runtime;
+class JobContext;
+
+enum class JobStatus : std::uint8_t {
+  kQueued,     ///< admitted, waiting for the dispatcher
+  kRunning,    ///< body executing on some worker
+  kDone,       ///< body returned normally
+  kFailed,     ///< body threw; JobToken::get rethrows
+  kCancelled,  ///< cancel() won before execution; body never ran
+  kRejected,   ///< admission control refused it (full tenant lane)
+};
+
+namespace detail {
+
+struct JobState {
+  std::atomic<std::uint8_t> status{
+      static_cast<std::uint8_t>(JobStatus::kQueued)};
+  std::atomic<bool> cancel_requested{false};
+  std::exception_ptr exc;  ///< written before the kFailed release store
+  std::function<void(JobContext&)> fn;
+  unsigned tenant = 0;
+  Parker done;  ///< notified on every terminal transition
+
+  JobStatus load_status() const {
+    return static_cast<JobStatus>(status.load(std::memory_order_acquire));
+  }
+
+  bool terminal() const {
+    const JobStatus s = load_status();
+    return s != JobStatus::kQueued && s != JobStatus::kRunning;
+  }
+
+  /// Terminal store + waiter wake (executor side).
+  void finish(JobStatus s) {
+    status.store(static_cast<std::uint8_t>(s), std::memory_order_release);
+    done.notify_all();
+  }
+};
+
+struct ServiceState;
+
+}  // namespace detail
+
+/// Handed to cancellation-aware job bodies; polling is the only
+/// cooperation channel (the runtime never interrupts a running body).
+class JobContext {
+ public:
+  explicit JobContext(detail::JobState* st) : st_(st) {}
+  bool cancel_requested() const {
+    return st_->cancel_requested.load(std::memory_order_acquire);
+  }
+
+ private:
+  detail::JobState* st_;
+};
+
+struct SubmitOptions {
+  /// Tenant lane (folded into [0, ServiceQueue::kMaxTenants)). Lanes have
+  /// independent admission caps and scheduling weights.
+  unsigned tenant = 0;
+};
+
+/// Caller-side job handle. Copyable; an empty (default) token is invalid.
+class JobToken {
+ public:
+  JobToken() = default;
+
+  bool valid() const { return st_ != nullptr; }
+
+  JobStatus status() const { return st_->load_status(); }
+
+  /// True once the job reached kDone/kFailed/kCancelled/kRejected.
+  bool done() const { return st_->terminal(); }
+
+  /// Pre-execution cancellation: wins iff the body has not started (and
+  /// was not already cancelled/rejected). On success the body will never
+  /// run and waiters wake immediately. Always sets the cooperative flag,
+  /// so a body that already started can still observe the request.
+  bool cancel() {
+    st_->cancel_requested.store(true, std::memory_order_release);
+    std::uint8_t expected = static_cast<std::uint8_t>(JobStatus::kQueued);
+    if (st_->status.compare_exchange_strong(
+            expected, static_cast<std::uint8_t>(JobStatus::kCancelled),
+            std::memory_order_acq_rel, std::memory_order_acquire)) {
+      st_->done.notify_all();
+      return true;
+    }
+    return false;
+  }
+
+  /// Cooperative-only cancellation: sets the flag a JobContext-polling
+  /// body sees, without trying to stop a queued job from starting.
+  void request_cancel() {
+    st_->cancel_requested.store(true, std::memory_order_release);
+  }
+
+  bool cancel_requested() const {
+    return st_->cancel_requested.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until the job is terminal (eventcount park with a timed
+  /// backstop, same discipline as the scheduler's idle parking).
+  void wait() const {
+    while (!st_->terminal()) {
+      const std::uint32_t e = st_->done.prepare();
+      st_->done.announce();
+      if (st_->terminal()) {
+        st_->done.retract();
+        return;
+      }
+      st_->done.park(e, std::chrono::milliseconds(2));
+      st_->done.retract();
+    }
+  }
+
+  /// wait() with a deadline; true when the job turned terminal in time.
+  bool wait_for(std::chrono::nanoseconds timeout) const {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (!st_->terminal()) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return st_->terminal();
+      const std::uint32_t e = st_->done.prepare();
+      st_->done.announce();
+      if (st_->terminal()) {
+        st_->done.retract();
+        return true;
+      }
+      st_->done.park(e, std::min<std::chrono::nanoseconds>(
+                            deadline - now, std::chrono::milliseconds(2)));
+      st_->done.retract();
+    }
+    return true;
+  }
+
+  /// wait(), then rethrows a kFailed body's exception; a kRejected token
+  /// throws std::runtime_error (the job never ran).
+  void get() const {
+    wait();
+    const JobStatus s = st_->load_status();
+    if (s == JobStatus::kFailed && st_->exc) {
+      std::rethrow_exception(st_->exc);
+    }
+    if (s == JobStatus::kRejected) {
+      throw std::runtime_error("xk::JobToken::get: job rejected (full lane)");
+    }
+  }
+
+ private:
+  friend class Runtime;
+  friend struct detail::ServiceState;
+  explicit JobToken(std::shared_ptr<detail::JobState> st)
+      : st_(std::move(st)) {}
+
+  std::shared_ptr<detail::JobState> st_;
+};
+
+/// Service accounting, all monotonically increasing except `queued`.
+/// Cancel/complete counts are settled by the dispatcher when it pops the
+/// job, so they can lag the token-visible state by one scheduling round.
+struct ServiceStats {
+  std::uint64_t submitted = 0;   ///< admitted into a lane
+  std::uint64_t rejected = 0;    ///< refused at admission
+  std::uint64_t completed = 0;   ///< bodies that returned (kDone)
+  std::uint64_t failed = 0;      ///< bodies that threw (kFailed)
+  std::uint64_t cancelled = 0;   ///< cancel() wins observed at dispatch
+  std::uint64_t sections = 0;    ///< dispatcher sections opened
+  std::uint64_t queued = 0;      ///< currently waiting in lanes
+  std::uint64_t max_queued = 0;  ///< lane-total high-water mark
+};
+
+/// Per-tenant admission + smooth weighted round-robin pick. Thread-safe;
+/// one mutex (the dispatcher is the only popper, submitters only push).
+/// Deterministic by construction — the priority tests replay it.
+class ServiceQueue {
+ public:
+  static constexpr unsigned kMaxTenants = 32;
+
+  /// `cap` = per-tenant queued-job limit (0 = unbounded).
+  explicit ServiceQueue(std::size_t cap) : cap_(cap) {}
+
+  static unsigned fold_tenant(unsigned tenant) {
+    return tenant % kMaxTenants;
+  }
+
+  void set_weight(unsigned tenant, unsigned weight) {
+    std::lock_guard lock(mu_);
+    Lane& l = lane(fold_tenant(tenant));
+    l.weight = std::max(weight, 1u);
+  }
+
+  /// Admission: false when the tenant's lane is at cap (caller marks the
+  /// job kRejected; it was never queued).
+  bool push(std::shared_ptr<detail::JobState> job) {
+    std::lock_guard lock(mu_);
+    Lane& l = lane(fold_tenant(job->tenant));
+    if (cap_ != 0 && l.q.size() >= cap_) return false;
+    l.q.push_back(std::move(job));
+    ++depth_;
+    if (depth_ > max_depth_) max_depth_ = depth_;
+    return true;
+  }
+
+  /// Smooth weighted round-robin over non-empty lanes: each pick adds
+  /// every contender's weight to its credit, takes the highest-credit
+  /// lane (lowest tenant id on ties) and charges it the contenders' total
+  /// weight. A weight-w lane gets w picks per sum-of-weights rounds and a
+  /// weight-1 lane is never starved. Returns null when everything is dry.
+  std::shared_ptr<detail::JobState> pop() {
+    std::lock_guard lock(mu_);
+    std::int64_t total = 0;
+    Lane* best = nullptr;
+    for (Lane& l : lanes_) {
+      if (l.q.empty()) continue;
+      l.credit += l.weight;
+      total += l.weight;
+      if (best == nullptr || l.credit > best->credit) best = &l;
+    }
+    if (best == nullptr) return nullptr;
+    best->credit -= total;
+    auto job = std::move(best->q.front());
+    best->q.pop_front();
+    --depth_;
+    return job;
+  }
+
+  std::size_t depth() const {
+    std::lock_guard lock(mu_);
+    return depth_;
+  }
+
+  std::size_t max_depth() const {
+    std::lock_guard lock(mu_);
+    return max_depth_;
+  }
+
+ private:
+  struct Lane {
+    std::deque<std::shared_ptr<detail::JobState>> q;
+    std::int64_t credit = 0;
+    unsigned weight = 1;
+  };
+
+  /// Lanes materialize on first touch (mu_ held).
+  Lane& lane(unsigned t) {
+    if (t >= lanes_.size()) lanes_.resize(t + 1);
+    return lanes_[t];
+  }
+
+  mutable std::mutex mu_;
+  std::vector<Lane> lanes_;
+  std::size_t cap_;
+  std::size_t depth_ = 0;
+  std::size_t max_depth_ = 0;
+};
+
+namespace detail {
+
+/// The dispatcher: owns the queue, the submit eventcount and the thread
+/// that turns queued jobs into spawned tasks inside master-slot sections.
+/// Created lazily by Runtime::submit; destroyed first in ~Runtime (stops,
+/// runs every job still queued — admission is a promise — then joins).
+struct ServiceState {
+  explicit ServiceState(Runtime& rt);
+  ~ServiceState();
+
+  JobToken submit(std::function<void(JobContext&)> fn,
+                  const SubmitOptions& opts);
+  ServiceStats stats() const;
+
+  Runtime& rt;
+  ServiceQueue queue;
+  Parker submit_parker;  ///< dispatcher sleeps here between arrivals
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::atomic<std::uint64_t> cancelled{0};
+  std::atomic<std::uint64_t> sections{0};
+  std::thread thread;
+
+ private:
+  void dispatcher_main();
+  void run_open_section();
+  void spawn_job(std::shared_ptr<JobState> job);
+};
+
+}  // namespace detail
+
+}  // namespace xk

@@ -65,7 +65,9 @@ namespace xk {
   X(steals_half)              \
   X(quiesce_folds)            \
   X(join_wakes)               \
-  X(foreach_chunks)
+  X(foreach_chunks)           \
+  X(svc_jobs_run)             \
+  X(svc_jobs_skipped)
 
 struct WorkerStats {
   std::uint64_t tasks_spawned = 0;
@@ -114,6 +116,11 @@ struct WorkerStats {
   std::uint64_t join_wakes = 0;        ///< targeted wakes of a registered join
                                        ///  waiter after a stolen-task completion
   std::uint64_t foreach_chunks = 0;
+  std::uint64_t svc_jobs_run = 0;      ///< service jobs whose body this worker
+                                       ///  executed (owner or thief)
+  std::uint64_t svc_jobs_skipped = 0;  ///< service job tasks claimed but not
+                                       ///  run: the job was cancelled while
+                                       ///  still queued
 
   WorkerStats& operator+=(const WorkerStats& o) {
 #define XK_STAT_ADD(f) f += o.f;

@@ -299,7 +299,9 @@ void Worker::wake_joiner(Task* t) {
   // seq_cst state re-check is ordered after our final state store and it
   // never parks on a completed task. At most one worker (the frame owner)
   // can be registered on a given live task, so the wake stays targeted.
-  const unsigned n = rt_.nworkers();
+  // The scan spans the master slots too: a section's master draining its
+  // root frame joins stolen tasks exactly like a pool worker.
+  const unsigned n = rt_.nworkers_total();
   for (unsigned i = 0; i < n; ++i) {
     Worker& w = rt_.worker(i);
     if (w.join_target_.load(std::memory_order_seq_cst) == t) {
@@ -441,7 +443,9 @@ Worker* Worker::pick_victim(bool& local_phase) {
 }
 
 bool Worker::try_steal_once() {
-  const unsigned nw = rt_.nworkers();
+  // Master slots count as victims (and thieves): a one-worker pool with a
+  // service section open still moves work between the two.
+  const unsigned nw = rt_.nworkers_total();
   if (nw < 2) return false;
   // Helping while suspended nests the stolen subtree on this C++ stack;
   // refuse new work near the frame-stack ceiling and just wait instead.

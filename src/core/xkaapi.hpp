@@ -17,6 +17,7 @@
 #include "core/foreach.hpp"      // IWYU pragma: export
 #include "core/reduce.hpp"       // IWYU pragma: export
 #include "core/runtime.hpp"      // IWYU pragma: export
+#include "core/service.hpp"      // IWYU pragma: export
 #include "core/spawn.hpp"        // IWYU pragma: export
 #include "core/stats.hpp"        // IWYU pragma: export
 #include "core/task.hpp"         // IWYU pragma: export

@@ -39,8 +39,10 @@ enum class Ev : std::uint32_t {
                   ///  board fold (args: levels climbed, now occupied?)
   // -- cat "foreach": adaptive-loop chunk execution -----------------------
   kForeachChunk,  ///< span: one grain invocation (args: lo, n)
-  // -- cat "section": parallel-section lifetime (worker 0 only) -----------
+  // -- cat "section": parallel-section lifetime (master slots) ------------
   kSection,       ///< span: Runtime::begin() -> Runtime::end() drain
+  // -- cat "job": service-mode job execution (Runtime::submit) ------------
+  kJob,           ///< span: one submitted job's body (args: tenant)
 
   kCount_  // sentinel
 };
@@ -76,6 +78,7 @@ inline constexpr EventInfo kEventInfo[kEventKinds] = {
     {"idle.quiesce_fold", "idle", false, {"levels", "occupied", nullptr}},
     {"foreach.chunk", "foreach", true, {"lo", "n", nullptr}},
     {"section", "section", true, {"nworkers", nullptr, nullptr}},
+    {"job", "job", true, {"tenant", nullptr, nullptr}},
 };
 
 inline constexpr const EventInfo& event_info(Ev e) {

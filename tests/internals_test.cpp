@@ -911,6 +911,7 @@ void counter_fib(std::uint64_t* r, int n) {
 TEST(TopoSteal, WorkersSnapshotLocalBeforeRemoteOrder) {
   xk::Config cfg;
   cfg.nworkers = 4;
+  cfg.sections = 1;       // pool-only geometry: no extra master slots
   cfg.topo = "2x2";      // two domains of two cores
   cfg.place = "compact";  // pin: the domain assertions below assume it
   xk::Runtime rt(cfg);
@@ -921,6 +922,35 @@ TEST(TopoSteal, WorkersSnapshotLocalBeforeRemoteOrder) {
     ASSERT_EQ(w.victim_order().size(), 3u) << i;
     EXPECT_EQ(w.nlocal_victims(), 1u) << i;
     // Local tier strictly precedes every remote entry; self never appears.
+    for (unsigned k = 0; k < w.victim_order().size(); ++k) {
+      const unsigned v = w.victim_order()[k];
+      EXPECT_NE(v, i);
+      const bool local = rt.worker(v).domain() == w.domain();
+      EXPECT_EQ(local, k < w.nlocal_victims()) << "worker " << i << " k " << k;
+    }
+  }
+}
+
+TEST(TopoSteal, MasterSlotsJoinVictimOrdersWithPoolPlacement) {
+  // With XK_SECTIONS > 1 the extra master slots (ids >= nworkers) are
+  // full Worker instances sharing a pool slot's placement: every worker's
+  // victim order spans them (their root frames are stealable), the
+  // local-before-remote tiering still holds, and the pool placement /
+  // domain count is unchanged.
+  xk::Config cfg;
+  cfg.nworkers = 4;
+  cfg.sections = 3;  // two extra master slots: ids 4 (slot 0), 5 (slot 1)
+  cfg.topo = "2x2";
+  cfg.place = "compact";
+  xk::Runtime rt(cfg);
+  ASSERT_EQ(rt.nworkers(), 4u);
+  ASSERT_EQ(rt.nworkers_total(), 6u);
+  ASSERT_EQ(rt.ndomains(), 2u);
+  EXPECT_EQ(rt.worker(4).domain(), rt.worker(0).domain());
+  EXPECT_EQ(rt.worker(5).domain(), rt.worker(1).domain());
+  for (unsigned i = 0; i < rt.nworkers_total(); ++i) {
+    xk::Worker& w = rt.worker(i);
+    ASSERT_EQ(w.victim_order().size(), rt.nworkers_total() - 1) << i;
     for (unsigned k = 0; k < w.victim_order().size(); ++k) {
       const unsigned v = w.victim_order()[k];
       EXPECT_NE(v, i);

@@ -162,7 +162,11 @@ std::string slurp(const std::string& path) {
 }
 
 // One trace-file test per process: the writer is a process-global
-// singleton and the first configured path owns the file.
+// singleton and the first configured path owns the file. This one test
+// therefore covers the whole drain surface — a plain run() section, two
+// client sections held open *concurrently* from external threads, and
+// service-mode jobs (the dispatcher's own overlapping section) — because
+// the drain-at-last-close rule is exactly what overlap could corrupt.
 TEST(TraceFile, RoundTripValidates) {
   const std::string path =
       (std::filesystem::temp_directory_path() / "xk_obs_test_trace.json")
@@ -172,6 +176,7 @@ TEST(TraceFile, RoundTripValidates) {
     xk::Config c = cfg(2);
     c.trace_path = path;
     c.trace_cap = 4096;
+    c.sections = 3;  // two client masters + the service dispatcher
     xk::Runtime rt(c);
     EXPECT_TRUE(rt.tracing());
     ASSERT_NE(rt.trace_ring(0), nullptr);
@@ -186,6 +191,37 @@ TEST(TraceFile, RoundTripValidates) {
       });
     });
     EXPECT_EQ(sum.load(), 256 + 10000);
+
+    // Overlap phase: both clients hold their sections open at once (the
+    // handshake guarantees it) while service jobs flow through the
+    // dispatcher's section. Every ring drains exactly once, at the last
+    // close — duplicated or dropped spans would fail the validator's
+    // per-lane monotonicity below.
+    std::atomic<int> open_clients{0};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 2; ++t) {
+      clients.emplace_back([&] {
+        rt.begin();
+        open_clients.fetch_add(1, std::memory_order_acq_rel);
+        while (open_clients.load(std::memory_order_acquire) < 2) {
+          std::this_thread::yield();
+        }
+        for (int i = 0; i < 64; ++i) {
+          xk::spawn([&] { sum.fetch_add(1, std::memory_order_relaxed); });
+        }
+        xk::sync();
+        rt.end();
+      });
+    }
+    std::vector<xk::JobToken> tokens;
+    for (int i = 0; i < 32; ++i) {
+      tokens.push_back(rt.submit([&] {
+        sum.fetch_add(1, std::memory_order_relaxed);
+      }));
+    }
+    for (auto& t : clients) t.join();
+    for (auto& tok : tokens) tok.wait();
+    EXPECT_EQ(sum.load(), 256 + 10000 + 2 * 64 + 32);
   }
   xk::obs::ChromeTraceWriter::instance().flush();
 
@@ -199,6 +235,7 @@ TEST(TraceFile, RoundTripValidates) {
   EXPECT_NE(text.find("\"task.owner\""), std::string::npos);
   EXPECT_NE(text.find("\"foreach.chunk\""), std::string::npos);
   EXPECT_NE(text.find("\"section\""), std::string::npos);
+  EXPECT_NE(text.find("\"job\""), std::string::npos);
   EXPECT_NE(text.find("\"metrics\""), std::string::npos);
   EXPECT_NE(text.find("\"counters\""), std::string::npos);
   EXPECT_NE(text.find("\"tasks_spawned\""), std::string::npos);
@@ -213,7 +250,7 @@ TEST(TraceFile, RoundTripValidates) {
     GTEST_SKIP() << "check_trace.py not reachable from " << __FILE__;
   }
   const std::string cmd = "python3 \"" + script.string() + "\" \"" + path +
-                          "\" --require-cats task,section,foreach "
+                          "\" --require-cats task,section,foreach,job "
                           "--require-metrics";
   EXPECT_EQ(std::system(cmd.c_str()), 0) << cmd;
   std::remove(path.c_str());
