@@ -44,6 +44,14 @@ if(NOT XK_OBS)
   target_compile_definitions(xk_build_flags INTERFACE XK_OBS_OFF)
 endif()
 
+if(XK_CHECK)
+  # Compiles the XK_EXPECT invariant assertions into the scheduler seams
+  # (src/check/check.hpp). Off by default: the unchecked build defines
+  # nothing and every hook is an empty macro, so the hot paths are
+  # byte-identical to a tree without the checker.
+  target_compile_definitions(xk_build_flags INTERFACE XK_CHECK_ON)
+endif()
+
 find_package(Threads REQUIRED)
 target_link_libraries(xk_build_flags INTERFACE Threads::Threads)
 

@@ -89,7 +89,8 @@ std::int64_t find_first(const T* in, std::int64_t n, Pred pred) {
       }
     }
   });
-  return best.load();
+  // Relaxed: parallel_for's join already ordered every worker's CAS.
+  return best.load(std::memory_order_relaxed);
 }
 
 /// Exclusive prefix sum: out[i] = sum of in[0..i). Two-pass blocked scan —

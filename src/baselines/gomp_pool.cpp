@@ -101,7 +101,9 @@ void GompLikePool::worker_main() {
     {
       std::unique_lock lock(mu_);
       work_cv_.wait(lock, [&] {
-        return shutdown_ || (!queue_.empty() && region_active_.load()) ||
+        return shutdown_ ||
+               (!queue_.empty() &&
+                region_active_.load(std::memory_order_acquire)) ||
                epoch_ > seen;
       });
       if (shutdown_) return;

@@ -88,6 +88,8 @@ void LoopTeam::run(std::int64_t first, std::int64_t last, LoopSchedule schedule,
   desc_.schedule = schedule;
   desc_.chunk = chunk;
   desc_.body = &body;
+  // xk-order: the epoch bump under mu_ just below is the publication edge
+  // (workers read desc_ only after observing the new epoch under mu_).
   desc_.next.store(first, std::memory_order_relaxed);
   {
     std::lock_guard lock(mu_);

@@ -43,6 +43,8 @@ ClassicWS::TaskRec* ClassicWS::allocate(unsigned self) {
       TaskRec* t = head;
       head = t->pool_next;
       t->pool_next = nullptr;
+      // xk-order: recycling an owner-local free-list record; the deque
+      // publish that makes it stealable carries the release edge.
       t->children.store(0, std::memory_order_relaxed);
       return t;
     }

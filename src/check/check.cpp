@@ -1,0 +1,97 @@
+// Violation accounting and reporting for the checked build. This file is
+// compiled only under -DXK_CHECK=ON (src/check/CMakeLists.txt builds the
+// module as INTERFACE otherwise), so the registry state costs the default
+// build nothing at all.
+#include "check/check.hpp"
+
+#ifdef XK_CHECK_ON
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/trace.hpp"
+
+namespace xk::check {
+
+namespace {
+
+std::atomic<std::uint64_t> g_violations[kInvariantCount] = {};
+
+// -1 = unresolved; otherwise a Mode value. Resolution reads the
+// environment exactly once (first violation or first mode() query);
+// set_mode stores unconditionally and wins from then on. getenv directly,
+// not xk::env_string: check sits below support in the link order (support
+// headers hook into it), so it must not call into the support library.
+std::atomic<int> g_mode{-1};
+
+Mode resolve_mode() {
+  int m = g_mode.load(std::memory_order_acquire);
+  if (m >= 0) return static_cast<Mode>(m);
+  Mode resolved = Mode::kAbort;
+  if (const char* raw = std::getenv("XK_CHECK_MODE")) {
+    if (std::strcmp(raw, "count") == 0) {
+      resolved = Mode::kCount;
+    } else if (raw[0] != '\0' && std::strcmp(raw, "abort") != 0) {
+      std::fprintf(stderr, "xk_check: ignoring unknown XK_CHECK_MODE=%s "
+                           "(abort|count)\n", raw);
+    }
+  }
+  // Racing resolvers agree (same environment); either store wins.
+  g_mode.store(static_cast<int>(resolved), std::memory_order_release);
+  return resolved;
+}
+
+}  // namespace
+
+Mode mode() { return resolve_mode(); }
+
+void set_mode(Mode m) {
+  g_mode.store(static_cast<int>(m), std::memory_order_release);
+}
+
+std::uint64_t violations(Inv i) {
+  return g_violations[static_cast<std::size_t>(i)].load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t violations_total() {
+  std::uint64_t total = 0;
+  for (const auto& c : g_violations) {
+    total += c.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void reset_violations() {
+  for (auto& c : g_violations) c.store(0, std::memory_order_relaxed);
+}
+
+void fail(Inv inv, const char* cond, const char* file, int line,
+          std::uint64_t a0, std::uint64_t a1, std::uint64_t a2) {
+  const InvariantInfo& info = invariant_info(inv);
+  g_violations[static_cast<std::size_t>(inv)].fetch_add(
+      1, std::memory_order_relaxed);
+  // Violations ride the obs trace ring (when the thread has one bound):
+  // a checked trace run places each violation on the worker timeline next
+  // to the task/steal/ready spans that led up to it.
+  obs::emit(obs::Ev::kCheckViolation, static_cast<std::uint64_t>(inv), a0,
+            a1);
+  std::fprintf(stderr,
+               "xk_check: VIOLATION %s [%s]: %s\n"
+               "  failed: %s\n"
+               "  at %s:%d  args=[%llu, %llu, %llu]\n",
+               info.name, info.family, info.what, cond, file, line,
+               static_cast<unsigned long long>(a0),
+               static_cast<unsigned long long>(a1),
+               static_cast<unsigned long long>(a2));
+  if (resolve_mode() == Mode::kAbort) {
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+}  // namespace xk::check
+
+#endif  // XK_CHECK_ON

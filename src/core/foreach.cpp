@@ -283,6 +283,9 @@ void foreach_execute(ForeachShared& sh, std::int64_t first, std::int64_t last,
   const unsigned root_slot = sh.domain_mode ? (w.id() % nw) : 0u;
   ForeachWork root;
   root.shared = &sh;
+  // xk-order: pre-publication init — `sh` is invisible to thieves until
+  // the adaptive root task lands in the frame below; that publication
+  // carries the release edge for these stores.
   sh.slices[root_slot]->taken.store(true, std::memory_order_relaxed);
   root.interval.b = sh.slices[root_slot]->b;
   root.interval.e = sh.slices[root_slot]->e;

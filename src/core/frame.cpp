@@ -38,13 +38,16 @@ void Frame::reset() {
   // the deferred-retirement stack and the lock-free task->node index —
   // both hold pointers into the node storage the reset frees, and both
   // are keyed by task addresses this recycle is about to reissue.
+  // xk-order: owner-only quiesced recycle — the Dekker handshake excluded
+  // every scanner before reset() runs, and the next push_frame publishes
+  // the recycled frame with its own release edge.
   delete ready_list.load(std::memory_order_relaxed);
   ready_list.store(nullptr, std::memory_order_relaxed);
-  head_.next.store(nullptr, std::memory_order_relaxed);
+  head_.next.store(nullptr, std::memory_order_relaxed);  // xk-order: ditto
   tail_ = &head_;
   ntasks_.store(0, std::memory_order_relaxed);
   epoch_.fetch_add(1, std::memory_order_relaxed);
-  steal_claimed_.store(false, std::memory_order_relaxed);
+  steal_claimed_.store(false, std::memory_order_relaxed);  // xk-order: ditto
   exec_chunk_ = &head_;
   exec_index_ = 0;
   exec_slot_ = 0;

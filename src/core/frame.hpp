@@ -140,6 +140,8 @@ class Frame {
   /// covered by the Dekker handshake (the flag is written only while the
   /// scan window is open).
   void mark_steal_claimed() {
+    // xk-order: the Dekker handshake above is the ordering edge — the
+    // flag is only written inside an open scan window the owner waits out.
     steal_claimed_.store(true, std::memory_order_relaxed);
   }
   bool steal_claimed() const {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
+#include "check/check.hpp"
 #include "obs/trace.hpp"
 
 namespace xk {
@@ -32,11 +34,35 @@ ReadyList::~ReadyList() {
   // completion arrived. No locks: destruction is owner-only, after the
   // Dekker handshake has excluded every scanner and every task reached
   // Term (see Worker::pop_frame / Frame::reset).
+  if constexpr (check::kEnabled) verify_accounting_quiesced("~ReadyList");
   if (board_ == nullptr) return;
   for (Node& n : nodes_) {
     const std::int32_t q = n.queued.load(std::memory_order_relaxed);
     if (q >= 0) board_->add_ready(static_cast<unsigned>(q), -1);
   }
+}
+
+void ReadyList::verify_accounting_quiesced(const char* where) {
+  if constexpr (!check::kEnabled) {
+    (void)where;
+    return;
+  }
+  // Quiesced by contract (owner-only destruction, or a graph-held coverage
+  // reset with no concurrent popper), so the relaxed reads below are exact:
+  // the ring's cursors cannot move and the deques have no writer. Dead
+  // entries count on both sides — nready_ tracks queue occupancy, not
+  // liveness.
+  std::uint64_t entries = 0;
+  for (Shard& s : shards_) {
+    if (lockfree_ && s.ring != nullptr) entries += s.ring->approx_size();
+    entries += s.q.size();
+  }
+  const std::uint64_t counted = nready_.load(std::memory_order_relaxed);
+  if (entries != counted) {
+    std::fprintf(stderr, "xk_check: ready-list accounting audited at %s\n",
+                 where);
+  }
+  XK_EXPECT(rl_accounting, entries == counted, entries, counted);
 }
 
 unsigned ReadyList::wrap_shard(unsigned shard) const {
@@ -53,6 +79,8 @@ unsigned ReadyList::wrap_shard(unsigned shard) const {
 /// The atomic exchange is the whole synchronization: the two callers
 /// share no lock.
 void ReadyList::settle_queued(Node* n) {
+  // xk-order: the exchange's atomicity alone elects the single settler;
+  // the value gates nothing but the relaxed gauge decrements below.
   const std::int32_t q = n->queued.exchange(-1, std::memory_order_relaxed);
   if (q < 0) return;
   shards_[static_cast<unsigned>(q)].depth.fetch_sub(1,
@@ -63,6 +91,8 @@ void ReadyList::settle_queued(Node* n) {
 /// Appends `n` to `shard`'s deque. Caller holds the shard's mutex (split)
 /// or graph_mu_ (global).
 void ReadyList::push_ready_shard_held(Node* n, unsigned shard) {
+  // xk-order: the shard lock (or graph_mu_) the caller holds is the
+  // publication edge; poppers read `queued` only after taking it too.
   n->queued.store(static_cast<std::int32_t>(shard), std::memory_order_relaxed);
   shards_[shard].q.push_back(n);
   const std::int64_t depth =
@@ -79,6 +109,9 @@ void ReadyList::push_ready_shard_held(Node* n, unsigned shard) {
 void ReadyList::check_epoch_graph_held() {
   const std::uint64_t e = frame_.epoch();
   if (e == frame_epoch_.load(std::memory_order_relaxed)) return;
+  // xk-order: written under graph_mu_; the lock-free pop-path probe that
+  // races this store upgrades to graph_mu_ on any mismatch, so a stale
+  // read costs one slow-path round, never a wrong verdict.
   frame_epoch_.store(e, std::memory_order_relaxed);
   reset_coverage_graph_held();
 }
@@ -114,6 +147,7 @@ void ReadyList::check_epoch_pop_path() {
 /// destroy it first; its steady-state cost is one relaxed epoch compare
 /// per public entry point.
 void ReadyList::reset_coverage_graph_held() {
+  if constexpr (check::kEnabled) verify_accounting_quiesced("reset_coverage");
   for (Node& n : nodes_) settle_queued(&n);
   for (unsigned s = 0; s < nshards(); ++s) {
     if (lockfree_) {
@@ -124,12 +158,15 @@ void ReadyList::reset_coverage_graph_held() {
       }
       std::lock_guard lock(shards_[s].mu);
       shards_[s].q.clear();
+      // xk-order: quiesced reset (no concurrent pusher/popper exists, see
+      // the function comment); the side mutex held here is belt-and-braces.
       shards_[s].side.store(0, std::memory_order_relaxed);
     } else {
       ShardGuard guard(shards_[s], split_);
       shards_[s].q.clear();
     }
   }
+  // xk-order: same quiesced-reset contract as the shard drains above.
   nready_.store(0, std::memory_order_relaxed);
   nodes_.clear();
   index_.clear();
@@ -140,8 +177,8 @@ void ReadyList::reset_coverage_graph_held() {
   max_span_ = 0;
   covered_count_ = 0;
   if (lockfree_) {
-    // The retired chain and the lock-free index point into the nodes_
-    // storage just cleared; no reader can exist here (quiesced).
+    // xk-order: the retired chain and the lock-free index point into the
+    // nodes_ storage just cleared; no reader can exist here (quiesced).
     retire_head_.store(nullptr, std::memory_order_relaxed);
     index_tab_.store(nullptr, std::memory_order_relaxed);
     index_tabs_.clear();
@@ -169,7 +206,7 @@ void ReadyList::extend(unsigned shard) {
   std::uint32_t added = 0;
   extend_ready_scratch_.clear();
   while (covered_count_ < published && added < kMaxPerRound) {
-    add_node_graph_held(it.get(), shard);
+    add_node_graph_held(it.get());
     it.advance();
     ++covered_count_;
     ++added;
@@ -198,7 +235,7 @@ void ReadyList::watch_graph_held(Node* n) {
   watch_.push_back(n);
 }
 
-void ReadyList::add_node_graph_held(Task* t, unsigned shard) {
+void ReadyList::add_node_graph_held(Task* t) {
   nodes_.emplace_back();
   Node* node = &nodes_.back();
   node->task = t;
@@ -209,6 +246,8 @@ void ReadyList::add_node_graph_held(Task* t, unsigned shard) {
   const bool already_done =
       s == TaskState::kTerm || early_completions_.count(t) != 0;
   if (already_done) {
+    // xk-order: mid-construction node, not yet published to any shard,
+    // watcher or index; graph_mu_ covers every reader that can find it.
     node->completed.store(true, std::memory_order_relaxed);
     early_completions_.erase(t);
     return;
@@ -224,6 +263,8 @@ void ReadyList::add_node_graph_held(Task* t, unsigned shard) {
   // accesses below have contributed their edges. The bias keeps the count
   // positive until this function's closing fetch_sub, which is then the
   // decision point for initially-ready.
+  // xk-order: pre-publication bias store — the node reaches the index (and
+  // thus any decrementer) only via index_insert's release store below.
   if (lockfree_) node->npred.store(1, std::memory_order_relaxed);
 
   // Count conflicts against live (non-completed) predecessors' accesses.
@@ -355,6 +396,8 @@ void ReadyList::on_complete(Task* t, unsigned shard, WorkerStats* stats) {
 /// number of successors released.
 std::size_t ReadyList::complete_node_graph_held(Node* n, unsigned shard) {
   if (n->completed.load(std::memory_order_relaxed)) return 0;
+  // xk-order: graph_mu_ is held (every graph-side reader takes it); the
+  // body-writes handoff to poppers rides the shard lock taken below.
   n->completed.store(true, std::memory_order_relaxed);
   // A node can complete while still sitting in a shard deque (the owner's
   // FIFO claimed and ran it); its entry stays queued as a dead one until a
@@ -372,6 +415,8 @@ std::size_t ReadyList::complete_node_graph_held(Node* n, unsigned shard) {
       // coverage with one decrement at the predecessor's single
       // completion. acq_rel on the decrement chains the memory effects of
       // every non-final completer into the final one (see readylist.hpp).
+      XK_EXPECT(rl_npred_underflow,
+                succ->npred.load(std::memory_order_relaxed) != 0);
       if (succ->npred.load(std::memory_order_relaxed) == 0) continue;
       if (succ->npred.fetch_sub(1, std::memory_order_acq_rel) != 1) continue;
       if (succ->completed.load(std::memory_order_relaxed)) continue;
@@ -464,6 +509,16 @@ ReadyList::Node* ReadyList::index_lookup_lockfree(const Task* t) const {
 void ReadyList::drain_retired_graph_held() {
   Node* n = retire_head_.exchange(nullptr, std::memory_order_acquire);
   while (n != nullptr) {
+    // A node only joins the Treiber stack after its completion published
+    // `completed` and settle_queued() returned its gauge contribution
+    // (complete_node_lockfree orders both before the CAS push) — a retired
+    // node that is still live, or still holding a gauge, escaped the
+    // completion protocol.
+    XK_EXPECT(rl_retire_incomplete,
+              n->completed.load(std::memory_order_relaxed));
+    XK_EXPECT(rl_retire_unsettled, n->queued.load(std::memory_order_relaxed) < 0,
+              static_cast<std::uint64_t>(
+                  n->queued.load(std::memory_order_relaxed)));
     for (auto itv : n->live_refs) live_.erase(itv);
     n->live_refs.clear();
     Node* next = n->retire_next;
@@ -496,6 +551,8 @@ void ReadyList::drain_retired_graph_held() {
 /// genuinely younger than everything the side deque held.
 void ReadyList::push_ready_lockfree(Node* n, unsigned shard,
                                     WorkerStats* stats) {
+  // xk-order: the ring push's per-slot seq release (or the side-deque
+  // mutex on spill) publishes the entry; `queued` travels behind it.
   n->queued.store(static_cast<std::int32_t>(shard), std::memory_order_relaxed);
   Shard& s = shards_[shard];
   // Gauges BEFORE the entry becomes visible: a popper can pop the node
@@ -621,6 +678,7 @@ std::size_t ReadyList::complete_node_lockfree(Node* n, unsigned shard,
     const std::uint32_t prev =
         succ->npred.fetch_sub(1, std::memory_order_acq_rel);
     assert(prev != 0 && "npred underflow: unpaired edge decrement");
+    XK_EXPECT(rl_npred_underflow, prev != 0, prev);
     if (prev != 1) continue;
     if (succ->completed.load(std::memory_order_relaxed)) continue;
     push_ready_lockfree(succ, shard, stats);

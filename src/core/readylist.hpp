@@ -346,7 +346,7 @@ class ReadyList {
   // is the only lock anywhere).
   void check_epoch_graph_held();
   void check_epoch_pop_path();  // no locks held; takes graph_mu_ on mismatch
-  void add_node_graph_held(Task* t, unsigned shard);
+  void add_node_graph_held(Task* t);
   std::size_t complete_node_graph_held(Node* n, unsigned shard);
   bool sweep_watch_graph_held(unsigned shard);
   void watch_graph_held(Node* n);
@@ -410,6 +410,15 @@ class ReadyList {
 
   void push_ready_lockfree(Node* n, unsigned shard, WorkerStats* stats);
   Node* pop_entry_lockfree(unsigned home, unsigned* from, WorkerStats* stats);
+
+  /// Checked-build accounting audit (XK_EXPECT(rl_accounting)): at a
+  /// quiesced fold point — destruction, or a coverage reset — nready_
+  /// must equal the entries still sitting in the shard queues (ring +
+  /// side/deque), dead entries included: every push paired one increment
+  /// with exactly one pop-side decrement, so any drift is a lost or
+  /// double-counted entry. Only meaningful quiesced (the gauges are
+  /// deliberately stale mid-flight); callers gate on check::kEnabled.
+  void verify_accounting_quiesced(const char* where);
 
   Frame& frame_;
   StarvationBoard* board_;

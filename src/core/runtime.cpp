@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "check/check.hpp"
 #include "obs/chrome_writer.hpp"
 #include "support/cpu.hpp"
 #include "support/env.hpp"
@@ -13,16 +14,41 @@ namespace xk {
 
 Config Config::from_env() {
   Config cfg;
-  cfg.nworkers = static_cast<unsigned>(env_int("XK_NCPU", 0));
+  // Clamped readers: the raw static_casts this function used to do turned
+  // XK_SECTIONS=-1 into 4294967295 master slots (and a negative queue cap
+  // into "unbounded"); a value the cast cannot represent now falls back to
+  // the compiled-in default, with a warning so a typoed deployment knob is
+  // visible instead of silently shaping the runtime. Upper bounds are
+  // generous — they reject sign-wraps and absurdities, not big tunings.
+  const auto env_unsigned = [](const char* name, unsigned dflt,
+                               unsigned max = 1u << 20) -> unsigned {
+    const std::int64_t v =
+        env_int(name, static_cast<std::int64_t>(dflt));
+    if (v < 0 || v > static_cast<std::int64_t>(max)) {
+      std::fprintf(stderr, "xk: ignoring out-of-range %s=%lld (default %u)\n",
+                   name, static_cast<long long>(v), dflt);
+      return dflt;
+    }
+    return static_cast<unsigned>(v);
+  };
+  const auto env_size = [](const char* name, std::size_t dflt) -> std::size_t {
+    const std::int64_t v =
+        env_int(name, static_cast<std::int64_t>(dflt));
+    if (v < 0) {
+      std::fprintf(stderr, "xk: ignoring out-of-range %s=%lld (default %zu)\n",
+                   name, static_cast<long long>(v), dflt);
+      return dflt;
+    }
+    return static_cast<std::size_t>(v);
+  };
+  cfg.nworkers = env_unsigned("XK_NCPU", 0, 4096);
   cfg.bind_threads = env_bool("XK_BIND", true);
   cfg.steal_aggregation = env_bool("XK_AGGREGATION", true);
-  cfg.ready_list_threshold = static_cast<std::size_t>(
-      env_int("XK_READYLIST_THRESHOLD",
-              static_cast<std::int64_t>(cfg.ready_list_threshold)));
+  cfg.ready_list_threshold =
+      env_size("XK_READYLIST_THRESHOLD", cfg.ready_list_threshold);
   cfg.renaming = env_bool("XK_RENAMING", false);
   cfg.steal_backoff = static_cast<int>(env_int("XK_BACKOFF", cfg.steal_backoff));
-  cfg.steal_batch = static_cast<std::size_t>(env_int(
-      "XK_STEAL_BATCH", static_cast<std::int64_t>(cfg.steal_batch)));
+  cfg.steal_batch = env_size("XK_STEAL_BATCH", cfg.steal_batch);
   cfg.steal_adaptive = env_bool("XK_STEAL_ADAPTIVE", cfg.steal_adaptive);
   cfg.occupancy_hint = env_bool("XK_OCC_HINT", cfg.occupancy_hint);
   cfg.park_threshold =
@@ -49,19 +75,25 @@ Config Config::from_env() {
   cfg.starve_rounds =
       static_cast<int>(env_int("XK_STARVE_ROUNDS", cfg.starve_rounds));
   cfg.trace_path = env_string("XK_TRACE").value_or(cfg.trace_path);
-  cfg.trace_cap = static_cast<std::size_t>(
-      env_int("XK_TRACE_CAP", static_cast<std::int64_t>(cfg.trace_cap)));
+  cfg.trace_cap = env_size("XK_TRACE_CAP", cfg.trace_cap);
   cfg.stats_dump = env_bool("XK_STATS", cfg.stats_dump);
-  cfg.sections = static_cast<unsigned>(
-      env_int("XK_SECTIONS", static_cast<std::int64_t>(cfg.sections)));
-  cfg.svc_queue_cap = static_cast<std::size_t>(env_int(
-      "XK_SVC_QUEUE_CAP", static_cast<std::int64_t>(cfg.svc_queue_cap)));
-  cfg.svc_batch = static_cast<std::size_t>(
-      env_int("XK_SVC_BATCH", static_cast<std::int64_t>(cfg.svc_batch)));
-  cfg.svc_idle_us = static_cast<std::uint64_t>(
-      env_int("XK_SVC_IDLE_US", static_cast<std::int64_t>(cfg.svc_idle_us)));
-  cfg.svc_section_cap = static_cast<std::size_t>(env_int(
-      "XK_SVC_SECTION_CAP", static_cast<std::int64_t>(cfg.svc_section_cap)));
+  // Each section beyond the first costs a full Worker instance; 4096 is
+  // far past any plausible overlap while rejecting cast wrap-arounds.
+  cfg.sections = env_unsigned("XK_SECTIONS", cfg.sections, 4096);
+  cfg.svc_queue_cap = env_size("XK_SVC_QUEUE_CAP", cfg.svc_queue_cap);
+  cfg.svc_batch = env_size("XK_SVC_BATCH", cfg.svc_batch);
+  {
+    const std::int64_t idle = env_int(
+        "XK_SVC_IDLE_US", static_cast<std::int64_t>(cfg.svc_idle_us));
+    if (idle < 0) {
+      std::fprintf(stderr,
+                   "xk: ignoring out-of-range XK_SVC_IDLE_US=%lld\n",
+                   static_cast<long long>(idle));
+    } else {
+      cfg.svc_idle_us = static_cast<std::uint64_t>(idle);
+    }
+  }
+  cfg.svc_section_cap = env_size("XK_SVC_SECTION_CAP", cfg.svc_section_cap);
   cfg.svc_weights = env_string("XK_SVC_WEIGHTS").value_or(cfg.svc_weights);
   return cfg;
 }
@@ -242,6 +274,11 @@ void Runtime::begin() {
   }
   const bool first =
       open_sections_.load(std::memory_order_relaxed) == 0;
+  if constexpr (check::kEnabled) {
+    // A new batch begins on every 0 -> 1 open transition; its matching
+    // last-close drain is asserted in end(). Guarded by section_mu_.
+    if (first) ++check_batches_;
+  }
   if (first) {
     // The previous batch's end-of-work famine saturated the failed-round
     // gauges; a fresh batch starts with no domain pre-declared starving.
@@ -286,7 +323,12 @@ void Runtime::end() {
   const unsigned id = w->id();
   {
     std::lock_guard lock(section_mu_);
-    const bool last = open_sections_.load(std::memory_order_relaxed) == 1;
+    const unsigned open = open_sections_.load(std::memory_order_relaxed);
+    // in_section() above already rejected a bare end(); this guards the
+    // counter itself — an open_sections_ underflow here would wrap the
+    // gauge and wedge every later first-open/last-close transition.
+    XK_EXPECT(section_underflow, open > 0, open);
+    const bool last = open == 1;
     if (last) section_active_.store(false, std::memory_order_release);
     // No explicit broadcasts here: when this is the last open section the
     // root-frame pop below clears the final master occupancy bit, the
@@ -309,6 +351,21 @@ void Runtime::end() {
     // batch, never two.
     obs::emit_span(obs::Ev::kSection, section_t0_[id], nworkers());
     section_t0_[id] = 0;
+    if constexpr (check::kEnabled) {
+      // Exactly-once drain per batch: after the last close's drain, the
+      // drain count must have caught up with the batch count — a second
+      // drain in the same batch (or a skipped one) breaks the equality.
+      // The open_sections_ check pins the other half: rings are only
+      // copied out while no section can be recording into them.
+      if (last) {
+        XK_EXPECT(section_drain,
+                  open_sections_.load(std::memory_order_relaxed) == 0,
+                  open_sections_.load(std::memory_order_relaxed));
+        ++check_drains_;
+        XK_EXPECT(section_drain, check_drains_ == check_batches_,
+                  check_drains_, check_batches_);
+      }
+    }
     if (last) drain_observability();
     for (std::size_t k = 0; k < master_slots_.size(); ++k) {
       if (master_slots_[k] == id) master_open_[k] = 0;

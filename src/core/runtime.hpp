@@ -252,6 +252,13 @@ class Runtime {
   std::atomic<unsigned> open_sections_{0};
   std::vector<unsigned> master_slots_;  ///< worker ids usable as masters
   std::vector<char> master_open_;       ///< parallel to master_slots_
+  // Checked-build (XK_CHECK=ON) section-batch accounting, written only
+  // under section_mu_: a batch is first-open -> last-close, and the
+  // observability drain must run exactly once per batch (the invariant
+  // XK_EXPECT(section_drain) pins in begin()/end()). Plain fields so the
+  // header layout does not depend on the build flavor; unused otherwise.
+  std::uint64_t check_batches_ = 0;  ///< first-opens observed
+  std::uint64_t check_drains_ = 0;   ///< last-close drains observed
 
   // Service mode (lazily created by the first submit; destroyed first in
   // ~Runtime so the dispatcher's sections close before pool shutdown).

@@ -74,7 +74,10 @@ ServiceState::ServiceState(Runtime& runtime)
     if (!tok.empty()) {
       char* endp = nullptr;
       const long w = std::strtol(tok.c_str(), &endp, 10);
-      if (endp != tok.c_str() && w > 0) {
+      // Upper bound alongside the sign check: a 64-bit long narrowed to
+      // unsigned could wrap a huge weight to 0 and silently starve the
+      // tenant the operator meant to boost.
+      if (endp != tok.c_str() && w > 0 && w <= 0xffffffffL) {
         queue.set_weight(tenant, static_cast<unsigned>(w));
       }
     }

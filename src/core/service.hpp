@@ -44,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "check/check.hpp"
 #include "support/parker.hpp"
 
 namespace xk {
@@ -61,6 +62,27 @@ enum class JobStatus : std::uint8_t {
 };
 
 namespace detail {
+
+/// The edges of the job state machine drawn above, as a predicate: the
+/// checked build asserts every terminal settle against it. kDone/kFailed/
+/// kCancelled/kRejected are terminal — no edge leaves them, which is what
+/// makes XK_EXPECT(job_settle_twice) below equivalent to "terminal states
+/// are mutually exclusive and settle exactly once".
+constexpr bool job_transition_ok(JobStatus from, JobStatus to) {
+  switch (from) {
+    case JobStatus::kQueued:
+      return to == JobStatus::kRunning || to == JobStatus::kCancelled ||
+             to == JobStatus::kRejected;
+    case JobStatus::kRunning:
+      return to == JobStatus::kDone || to == JobStatus::kFailed;
+    case JobStatus::kDone:
+    case JobStatus::kFailed:
+    case JobStatus::kCancelled:
+    case JobStatus::kRejected:
+      return false;
+  }
+  return false;
+}
 
 struct JobState {
   std::atomic<std::uint8_t> status{
@@ -80,9 +102,26 @@ struct JobState {
     return s != JobStatus::kQueued && s != JobStatus::kRunning;
   }
 
-  /// Terminal store + waiter wake (executor side).
+  /// Terminal store + waiter wake (executor side). The unchecked build
+  /// stores; the checked build exchanges so the displaced status is
+  /// available to assert against the state machine — this plain store
+  /// (unlike the two CASes out of kQueued) is where a double settle or a
+  /// terminal->terminal overwrite would otherwise pass silently.
   void finish(JobStatus s) {
-    status.store(static_cast<std::uint8_t>(s), std::memory_order_release);
+    if constexpr (check::kEnabled) {
+      const auto prev = static_cast<JobStatus>(status.exchange(
+          static_cast<std::uint8_t>(s), std::memory_order_acq_rel));
+      XK_EXPECT(job_settle_twice,
+                prev == JobStatus::kQueued || prev == JobStatus::kRunning,
+                static_cast<std::uint64_t>(prev),
+                static_cast<std::uint64_t>(s));
+      XK_EXPECT(job_transition, job_transition_ok(prev, s),
+                static_cast<std::uint64_t>(prev),
+                static_cast<std::uint64_t>(s));
+      (void)prev;  // XK_EXPECT is a no-op in the discarded-branch compile
+    } else {
+      status.store(static_cast<std::uint8_t>(s), std::memory_order_release);
+    }
     done.notify_all();
   }
 };

@@ -218,6 +218,8 @@ class StarvationBoard {
   /// A thief of this domain obtained work: the domain is provably not dry.
   void record_progress(unsigned rank) {
     if (Gauge* g = gauge(rank)) {
+      // xk-order: starvation gauge reset — readers are heuristic (victim
+      // draw, reply deal) and tolerate arbitrary staleness by design.
       g->failed.store(0, std::memory_order_relaxed);
     }
   }
@@ -229,6 +231,8 @@ class StarvationBoard {
   /// draws.
   void reset_rounds() {
     for (auto& g : gauges_) {
+      // xk-order: same heuristic-gauge contract as record_progress; the
+      // section open this rides is serialized by section_mu_ anyway.
       g->failed.store(0, std::memory_order_relaxed);
     }
   }
@@ -284,6 +288,9 @@ class StarvationBoard {
     OccSlot& s = occ_[w];
     const std::uint8_t bit = occupied ? 1 : 0;
     if (s.occupied.load(std::memory_order_relaxed) == bit) return 0;
+    // xk-order: owner-written edge-detect bit; only this worker writes its
+    // slot, and the quiescence decision below rides the gauge fetch_adds
+    // (whose counts, not this bit, are what fire_quiesce consumes).
     s.occupied.store(bit, std::memory_order_relaxed);
     unsigned folds = 1;
     Gauge* g = gauge(s.domain_rank);

@@ -39,6 +39,7 @@
 #include <cstdint>
 #include <exception>
 
+#include "check/check.hpp"
 #include "core/access.hpp"
 
 namespace xk {
@@ -70,6 +71,34 @@ enum class TaskState : std::uint8_t {
 /// Does this state order the task before later tasks in a readiness scan?
 constexpr bool state_blocks_successors(TaskState s) {
   return s != TaskState::kTerm && s != TaskState::kBodyDoneOwner;
+}
+
+/// The edges of the claim/commit machine drawn above, as a predicate: the
+/// checked build (XK_CHECK=ON) asserts every non-CAS state store against
+/// it (XK_EXPECT(task_transition) at the worker.cpp seams). The CAS
+/// transitions enforce their from-state by construction; the plain stores
+/// are where a scheduler bug could teleport a task — e.g. a double
+/// completion storing BodyDone over Term.
+constexpr bool task_transition_ok(TaskState from, TaskState to) {
+  switch (from) {
+    case TaskState::kInit:
+      return to == TaskState::kRunOwner || to == TaskState::kStolenClaim;
+    case TaskState::kStolenClaim:  // thief start, or the owner's reclaim
+      return to == TaskState::kRunThief || to == TaskState::kRunOwner;
+    case TaskState::kRunOwner:
+      return to == TaskState::kBodyDoneOwner;
+    case TaskState::kRunThief:
+      return to == TaskState::kBodyDoneThief;
+    case TaskState::kBodyDoneOwner:
+      return to == TaskState::kTerm;
+    case TaskState::kBodyDoneThief:  // CommitReady only under renaming
+      return to == TaskState::kCommitReady || to == TaskState::kTerm;
+    case TaskState::kCommitReady:
+      return to == TaskState::kTerm;
+    case TaskState::kTerm:  // terminal: nothing moves a task out of Term
+      return false;
+  }
+  return false;
 }
 
 /// Deferred-write record created when the scheduler renames a Write access:
@@ -117,6 +146,14 @@ struct Task {
   }
 
   bool try_claim(TaskState desired) {
+    // The CAS itself forbids double claims (one winner out of Init); the
+    // checked build additionally pins the *target*: claiming straight
+    // into a run-done or terminal state would corrupt the machine while
+    // still winning the CAS.
+    XK_EXPECT(task_claim_state,
+              desired == TaskState::kRunOwner ||
+                  desired == TaskState::kStolenClaim,
+              static_cast<std::uint64_t>(desired));
     TaskState expected = TaskState::kInit;
     return state.compare_exchange_strong(expected, desired,
                                          std::memory_order_acq_rel,

@@ -19,6 +19,22 @@ namespace xk {
 
 namespace {
 thread_local Worker* tls_worker = nullptr;
+
+/// Checked-build guard for the plain (non-CAS) task state stores: loads
+/// the prior state and asserts the edge against the claim/commit table
+/// (task.hpp). The CAS transitions need no guard — their from-state is
+/// part of the exchange. Compiles to nothing without XK_CHECK=ON.
+inline void check_task_store(Task* t, TaskState next) {
+  if constexpr (check::kEnabled) {
+    const TaskState prev = t->load_state(std::memory_order_relaxed);
+    XK_EXPECT(task_transition, task_transition_ok(prev, next),
+              static_cast<std::uint64_t>(prev),
+              static_cast<std::uint64_t>(next));
+    (void)prev;  // XK_EXPECT is a no-op in the discarded-branch compile
+  }
+  (void)t;
+  (void)next;
+}
 }  // namespace
 
 Worker* this_worker() { return tls_worker; }
@@ -237,6 +253,8 @@ void Worker::run_task(Task* t, Frame* src, bool stolen) {
   if (t->splitter != nullptr) {
     t->splitter_armed.store(false, std::memory_order_release);
   }
+  check_task_store(
+      t, stolen ? TaskState::kBodyDoneThief : TaskState::kBodyDoneOwner);
   t->state.store(stolen ? TaskState::kBodyDoneThief : TaskState::kBodyDoneOwner,
                  std::memory_order_release);
   try {
@@ -253,6 +271,7 @@ void Worker::run_task(Task* t, Frame* src, bool stolen) {
     // program order (wait_and_finalize) and publishes Term. seq_cst store:
     // half of the no-lost-wakeup pairing with the owner's registration
     // (see wake_joiner).
+    check_task_store(t, TaskState::kCommitReady);
     t->state.store(TaskState::kCommitReady, std::memory_order_seq_cst);
     // The owner may be parked waiting on exactly this task — wake it and
     // only it (the old path broadcast to every suspended waiter).
@@ -272,6 +291,7 @@ void Worker::run_task(Task* t, Frame* src, bool stolen) {
       rl->on_complete(t, domain_rank_, &stats_.value);
     }
   }
+  check_task_store(t, TaskState::kTerm);
   t->state.store(TaskState::kTerm,
                  stolen ? std::memory_order_seq_cst
                         : std::memory_order_release);
@@ -366,9 +386,12 @@ void Worker::wait_and_finalize(Task* t, Frame& f) {
   // backstop.
   steal_until_on(join_parker_, [&] {
     join_target_.store(t, std::memory_order_seq_cst);
-    const TaskState s = t->load_state(std::memory_order_seq_cst);
-    return s == TaskState::kTerm || s == TaskState::kCommitReady;
+    const TaskState cur = t->load_state(std::memory_order_seq_cst);
+    return cur == TaskState::kTerm || cur == TaskState::kCommitReady;
   });
+  // xk-order: deregistration only — the seq_cst *registration* store is
+  // the half of the no-lost-wakeup pairing that matters; a thief reading
+  // a stale non-null target sends one spurious (benign) wake.
   join_target_.store(nullptr, std::memory_order_relaxed);
   if (t->load_state() == TaskState::kCommitReady) {
     // All program-order predecessors terminated (the drain is in-order),
@@ -377,6 +400,7 @@ void Worker::wait_and_finalize(Task* t, Frame& f) {
     if (ReadyList* rl = f.ready_list.load(std::memory_order_acquire)) {
       rl->on_complete(t, domain_rank_, &stats_.value);
     }
+    check_task_store(t, TaskState::kTerm);
     t->state.store(TaskState::kTerm, std::memory_order_release);
   }
 }
@@ -562,6 +586,9 @@ bool Worker::try_steal_once() {
       return true;
     }
     if (s == StealRequest::kFailed) {
+      // xk-order: recycling the thief's own reply slot after the verdict
+      // acquire-load above; the next request's posting store re-publishes
+      // the slot with its own release edge.
       slot.status.store(StealRequest::kEmpty, std::memory_order_relaxed);
       obs::emit_span(obs::Ev::kStealFailed, req_t0, victim->id());
       if (local_phase) {

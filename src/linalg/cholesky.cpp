@@ -56,7 +56,9 @@ int cholesky_xkaapi(TiledMatrix& a, Runtime& rt) {
             const int r = potrf_lower(nb, akk, nb);
             if (r != 0) {
               int expected = 0;
-              info.compare_exchange_strong(expected, k * nb + r);
+              info.compare_exchange_strong(expected, k * nb + r,
+                                           std::memory_order_relaxed,
+                                           std::memory_order_relaxed);
             }
           },
           xk::rw(a.tile(k, k), te));
@@ -85,7 +87,8 @@ int cholesky_xkaapi(TiledMatrix& a, Runtime& rt) {
     }
     xk::sync();
   });
-  return info.load();
+  // Relaxed: the sync/join above already ordered every CAS.
+  return info.load(std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------------------
@@ -176,7 +179,8 @@ int cholesky_quark(TiledMatrix& a, quark_s* quark) {
     }
   }
   QUARK_Barrier(quark);
-  return info.load();
+  // Relaxed: the sync/join above already ordered every CAS.
+  return info.load(std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------------------
@@ -192,6 +196,8 @@ struct StaticProgress {
   explicit StaticProgress(int nt)
       : potrf_done(static_cast<std::size_t>(nt)),
         trsm_done(static_cast<std::size_t>(nt) * nt) {
+    // xk-order: pre-publication init — the worker threads that read these
+    // flags are spawned after the constructor returns.
     for (auto& f : potrf_done) f.store(0, std::memory_order_relaxed);
     for (auto& f : trsm_done) f.store(0, std::memory_order_relaxed);
   }
@@ -240,7 +246,9 @@ int cholesky_static(TiledMatrix& a, unsigned nthreads) {
       const int r = potrf_lower(nb, a.tile(m, m), nb);
       if (r != 0) {
         int expected = 0;
-        info.compare_exchange_strong(expected, m * nb + r);
+        info.compare_exchange_strong(expected, m * nb + r,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed);
       }
       progress.potrf_done[static_cast<std::size_t>(m)].store(
           1, std::memory_order_release);
@@ -252,7 +260,8 @@ int cholesky_static(TiledMatrix& a, unsigned nthreads) {
   for (unsigned t = 1; t < nthreads; ++t) threads.emplace_back(worker, t);
   worker(0);
   for (std::thread& t : threads) t.join();
-  return info.load();
+  // Relaxed: the sync/join above already ordered every CAS.
+  return info.load(std::memory_order_relaxed);
 }
 
 }  // namespace xk::linalg

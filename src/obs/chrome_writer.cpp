@@ -53,7 +53,11 @@ int ChromeTraceWriter::add_process(const std::string& name,
                                    unsigned nworkers) {
   std::lock_guard<std::mutex> lk(mu_);
   const int pid = static_cast<int>(procs_.size()) + 1;
-  procs_.push_back(Process{pid, name, nworkers});
+  Process p;
+  p.pid = pid;
+  p.name = name;
+  p.nworkers = nworkers;
+  procs_.push_back(std::move(p));
   return pid;
 }
 

@@ -43,6 +43,9 @@ enum class Ev : std::uint32_t {
   kSection,       ///< span: Runtime::begin() -> Runtime::end() drain
   // -- cat "job": service-mode job execution (Runtime::submit) ------------
   kJob,           ///< span: one submitted job's body (args: tenant)
+  // -- cat "check": invariant-checker reports (XK_CHECK=ON builds) --------
+  kCheckViolation,  ///< instant: an XK_EXPECT seam assertion failed
+                    ///  (args: invariant id, a0, a1 — see check/check.hpp)
 
   kCount_  // sentinel
 };
@@ -79,6 +82,7 @@ inline constexpr EventInfo kEventInfo[kEventKinds] = {
     {"foreach.chunk", "foreach", true, {"lo", "n", nullptr}},
     {"section", "section", true, {"nworkers", nullptr, nullptr}},
     {"job", "job", true, {"tenant", nullptr, nullptr}},
+    {"check.violation", "check", false, {"invariant", "a0", "a1"}},
 };
 
 inline constexpr const EventInfo& event_info(Ev e) {

@@ -55,7 +55,9 @@ int factor_xkaapi(BlockSkylineMatrix& a, Runtime& rt) {
             const int r = potrf_lower(bs, akk, bs);
             if (r != 0) {
               int expected = 0;
-              info.compare_exchange_strong(expected, k * bs + r);
+              info.compare_exchange_strong(expected, k * bs + r,
+                                           std::memory_order_relaxed,
+                                           std::memory_order_relaxed);
             }
           },
           xk::rw(a.block(k, k), be));
@@ -95,7 +97,8 @@ int factor_xkaapi(BlockSkylineMatrix& a, Runtime& rt) {
   } else {
     rt.run(submit);
   }
-  return info.load();
+  // Relaxed: the sync/join above already ordered every CAS.
+  return info.load(std::memory_order_relaxed);
 }
 
 int factor_gomp(BlockSkylineMatrix& a, baseline::GompLikePool& pool) {
@@ -110,7 +113,9 @@ int factor_gomp(BlockSkylineMatrix& a, baseline::GompLikePool& pool) {
       const int r = potrf_lower(bs, a.block(k, k), bs);
       if (r != 0) {
         int expected = 0;
-        info.compare_exchange_strong(expected, k * bs + r);
+        info.compare_exchange_strong(expected, k * bs + r,
+                                           std::memory_order_relaxed,
+                                           std::memory_order_relaxed);
         return;
       }
       for (int m = k + 1; m < nbk; ++m) {
@@ -137,7 +142,8 @@ int factor_gomp(BlockSkylineMatrix& a, baseline::GompLikePool& pool) {
       pool.taskwait();  // the paper's taskwait "after line 19"
     }
   });
-  return info.load();
+  // Relaxed: the sync/join above already ordered every CAS.
+  return info.load(std::memory_order_relaxed);
 }
 
 void solve_factored(const BlockSkylineMatrix& lfac, const double* b,

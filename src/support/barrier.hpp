@@ -25,6 +25,8 @@ class SenseBarrier {
   void arrive_and_wait() noexcept {
     const bool my_sense = !sense_.load(std::memory_order_relaxed);
     if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // xk-order: only next-round arrivers read remaining_, and each is
+      // ordered behind the sense_ release below via its own acquire spin.
       remaining_.store(parties_, std::memory_order_relaxed);
       sense_.store(my_sense, std::memory_order_release);  // releases waiters
       return;

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "check/check.hpp"
 #include "support/cache.hpp"
 
 namespace xk {
@@ -42,6 +43,8 @@ class MpmcRing {
     assert(capacity >= 2 && (capacity & (capacity - 1)) == 0 &&
            "MpmcRing capacity must be a power of two");
     for (std::size_t i = 0; i < capacity; ++i) {
+      // xk-order: pre-publication init — the ring is not shared until the
+      // constructor returns, and the owner hands it off with its own edge.
       slots_[i].seq.store(i, std::memory_order_relaxed);
     }
   }
@@ -60,6 +63,13 @@ class MpmcRing {
       if (seq == pos) {
         if (tail_.compare_exchange_weak(pos, pos + 1,
                                         std::memory_order_relaxed)) {
+          // Sound even though head_ races: head_ only advances, so the
+          // claimed ticket can only look *closer* to the consumers than it
+          // was at claim time — a distance beyond capacity is a genuine
+          // protocol break (a producer claimed past an unrecycled slot),
+          // never a stale read.
+          XK_EXPECT(ring_overflow,
+                    pos - head_.load(std::memory_order_relaxed) <= mask_, pos);
           s.value = v;
           s.seq.store(pos + 1, std::memory_order_release);
           return true;

@@ -1189,7 +1189,9 @@ TEST(AdaptiveSteal, StolenJoinWakesWaiterExactlyOnce) {
     // Only A and B exist, so at most two stolen joins; a double-wake of a
     // single registration would break these bounds.
     ASSERT_LE(s.join_wakes, 2u);
-    if (s.steal_tasks == 1) ASSERT_LE(s.join_wakes, 1u);
+    if (s.steal_tasks == 1) {
+      ASSERT_LE(s.join_wakes, 1u);
+    }
     if (s.join_wakes >= 1) {
       SUCCEED();
       return;

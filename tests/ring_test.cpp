@@ -144,7 +144,9 @@ TEST(MpmcRing, ConcurrentPushPopSmoke) {
       const auto p = static_cast<std::size_t>(v >> 32);
       const std::uint64_t seq = v & 0xffffffffu;
       ASSERT_LT(p, static_cast<std::size_t>(kProducers));
-      if (last[p] != ~std::uint64_t{0}) ASSERT_GT(seq, last[p]);
+      if (last[p] != ~std::uint64_t{0}) {
+        ASSERT_GT(seq, last[p]);
+      }
       last[p] = seq;
       all.push_back(v);
     }
